@@ -1,0 +1,198 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation.  Each benchmark runs the corresponding experiment and
+// reports the simulated quantities as custom metrics:
+//
+//	virt-s       measured I/O time in simulated seconds
+//	pred-s       the eq. (2) prediction for the same workload
+//	MiB/s        effective device bandwidth (figures 6–8)
+//
+// Benchmarks run at a reduced problem scale (32³, N=24) so the full
+// suite completes in seconds; `go run ./cmd/benchreport -scale paper`
+// reproduces the paper's Table 2 scale (128³, N=120).
+package msra_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/ptool"
+	"repro/internal/remotedisk"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+// benchScale keeps the paper's frequencies and rank count with a
+// reduced grid so wall time stays interactive.
+func benchScale() experiments.Scale {
+	return experiments.Scale{N: 32, MaxIter: 24, Freq: 6, Procs: 8}
+}
+
+func newBackend(b *testing.B, kind storage.Kind) storage.Backend {
+	b.Helper()
+	var be storage.Backend
+	var err error
+	switch kind {
+	case storage.KindLocalDisk:
+		be, err = localdisk.New("argonne-ssa", memfs.New())
+	case storage.KindRemoteDisk:
+		be, err = remotedisk.New("sdsc-disk", memfs.New())
+	case storage.KindRemoteTape:
+		be, err = tape.New(tape.Config{Name: "sdsc-hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return be
+}
+
+// sweep runs one PTool size sweep and reports the largest-size read and
+// write bandwidths — the content of figures 6, 7 and 8.
+func sweep(b *testing.B, kind storage.Kind) {
+	b.Helper()
+	var lastRep ptool.Report
+	for i := 0; i < b.N; i++ {
+		meta := metadb.New()
+		rep, err := ptool.Measure(vtime.NewVirtual(), newBackend(b, kind), meta, ptool.Config{Repeats: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastRep = rep
+	}
+	b.ReportMetric(lastRep.EffectiveBW(model.Write)/model.MiB, "write-MiB/s")
+	b.ReportMetric(lastRep.EffectiveBW(model.Read)/model.MiB, "read-MiB/s")
+}
+
+// BenchmarkFig6LocalDisk regenerates figure 6 (local-disk read/write
+// time vs transfer size).
+func BenchmarkFig6LocalDisk(b *testing.B) { sweep(b, storage.KindLocalDisk) }
+
+// BenchmarkFig7RemoteDisk regenerates figure 7 (remote disks via SRB).
+func BenchmarkFig7RemoteDisk(b *testing.B) { sweep(b, storage.KindRemoteDisk) }
+
+// BenchmarkFig8RemoteTape regenerates figure 8 (HPSS tapes).
+func BenchmarkFig8RemoteTape(b *testing.B) { sweep(b, storage.KindRemoteTape) }
+
+// BenchmarkTable1Constants regenerates Table 1: the eq. (1) constants
+// of all three resources, reported for the remote-disk row.
+func BenchmarkTable1Constants(b *testing.B) {
+	var meta *metadb.DB
+	for i := 0; i < b.N; i++ {
+		meta = metadb.New()
+		_, err := ptool.MeasureAll(vtime.NewVirtual(), meta, ptool.Config{Sizes: []int64{1 << 20}, Repeats: 1},
+			newBackend(b, storage.KindLocalDisk),
+			newBackend(b, storage.KindRemoteDisk),
+			newBackend(b, storage.KindRemoteTape))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(meta.Constant(nil, "remotedisk", "read", metadb.CompConn), "rdisk-conn-s")
+	b.ReportMetric(meta.Constant(nil, "remotetape", "read", metadb.CompOpen), "tape-open-s")
+	b.ReportMetric(meta.Constant(nil, "localdisk", "write", metadb.CompOpen), "ldisk-open-s")
+}
+
+// BenchmarkFig9Scenarios regenerates figure 9: the five placement
+// scenarios of the Astro3D run, measured and predicted.
+func BenchmarkFig9Scenarios(b *testing.B) {
+	for s := 1; s <= 5; s++ {
+		b.Run(fmt.Sprintf("scenario%d", s), func(b *testing.B) {
+			var row experiments.Fig9Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = experiments.Fig9One(benchScale(), s)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.Measured.Seconds(), "virt-s")
+			b.ReportMetric(row.Predicted.Seconds(), "pred-s")
+		})
+	}
+}
+
+// BenchmarkFig10aAnalysis regenerates figure 10(a): MSE data analysis
+// reading temp from tape vs remote disk.
+func BenchmarkFig10aAnalysis(b *testing.B) {
+	benchFig10(b, experiments.Fig10a)
+}
+
+// BenchmarkFig10bVisualization regenerates figure 10(b): Volren reading
+// vr_temp from tape vs local disk.
+func BenchmarkFig10bVisualization(b *testing.B) {
+	benchFig10(b, experiments.Fig10b)
+}
+
+// BenchmarkFig10cSuperfile regenerates figure 10(c): per-file vs
+// superfile access to the rendered images.
+func BenchmarkFig10cSuperfile(b *testing.B) {
+	benchFig10(b, experiments.Fig10c)
+}
+
+func benchFig10(b *testing.B, fn func(experiments.Scale) ([]experiments.Fig10Row, error)) {
+	b.Helper()
+	var rows []experiments.Fig10Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = fn(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, row := range rows {
+		b.ReportMetric(row.Measured.Seconds(), fmt.Sprintf("cfg%d-virt-s", i+1))
+	}
+}
+
+// BenchmarkFig11Prediction regenerates figure 11 at the paper's full
+// Table 2 scale: the per-dataset prediction table with temp on remote
+// disks and everything else on tape.
+func BenchmarkFig11Prediction(b *testing.B) {
+	env, err := experiments.NewEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var total float64
+	for i := 0; i < b.N; i++ {
+		rp, err := experiments.Fig11(env, experiments.PaperScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = rp.Total.Seconds()
+	}
+	b.ReportMetric(total, "pred-s")
+}
+
+// BenchmarkWorkedExample regenerates the §4.2 worked example: measured
+// vs predicted I/O time for vr-temp→local, vr-press→remote disk.
+func BenchmarkWorkedExample(b *testing.B) {
+	var pred, meas float64
+	for i := 0; i < b.N; i++ {
+		p, m, err := experiments.WorkedExample(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pred, meas = p.Seconds(), m.Seconds()
+	}
+	b.ReportMetric(meas, "virt-s")
+	b.ReportMetric(pred, "pred-s")
+}
+
+// BenchmarkFailover regenerates the final §5 experiment: the tape
+// system is down and the run proceeds on the remaining resources.
+func BenchmarkFailover(b *testing.B) {
+	var res experiments.FailoverResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Failover(benchScale())
+		if err != nil || res.WriteError != nil {
+			b.Fatalf("%v / %v", err, res.WriteError)
+		}
+	}
+	b.ReportMetric(res.IOTime.Seconds(), "virt-s")
+}

@@ -1,0 +1,142 @@
+// Command benchreport regenerates every table and figure of the
+// paper's evaluation and prints a paper-vs-measured report — the data
+// behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchreport [-scale test|bench|paper]
+//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|failover]
+//
+// The paper scale (128³, N=120) runs the real solver and moves ≈2.2 GB
+// per figure-9 scenario; expect minutes.  The bench scale keeps the
+// paper's frequencies and rank count at 32³ so everything finishes in
+// seconds with identical shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchreport: ")
+	scaleName := flag.String("scale", "bench", "problem scale: test, bench or paper")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig6, fig7, fig8, fig9, fig10a, fig10b, fig10c, fig11, worked, failover)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "test":
+		scale = experiments.TestScale()
+	case "bench":
+		scale = experiments.Scale{N: 32, MaxIter: 24, Freq: 6, Procs: 8}
+	case "paper":
+		scale = experiments.PaperScale()
+	default:
+		log.Fatalf("unknown scale %q", *scaleName)
+	}
+	if err := run(scale, *exp); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(scale experiments.Scale, exp string) error {
+	all := exp == "all"
+	out := os.Stdout
+
+	if all || exp == "table2" {
+		fmt.Fprintf(out, "== Table 2: Astro3D run-time parameter set ==\n%s\n", experiments.Table2String(scale))
+	}
+	if all || exp == "table1" || exp == "fig6" || exp == "fig7" || exp == "fig8" {
+		env, err := experiments.NewEnv()
+		if err != nil {
+			return err
+		}
+		if all || exp == "table1" {
+			fmt.Fprintf(out, "== Table 1: timings for file open, close, etc. (PTool) ==\n%s\n", env.Meta.Table1String())
+		}
+		figs := map[string]int{"fig6": 0, "fig7": 1, "fig8": 2}
+		for _, name := range []string{"fig6", "fig7", "fig8"} {
+			if all || exp == name {
+				fmt.Fprintf(out, "== %s: read/write time vs size ==\n%s\n", name, env.Reports[figs[name]].CurveString())
+			}
+		}
+	}
+	if all || exp == "fig9" {
+		fmt.Fprintln(out, "== Figure 9: Astro3D I/O time under five placement scenarios ==")
+		rows, err := experiments.Fig9(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-3s %-62s %12s %12s %10s\n", "#", "scenario", "measured(s)", "predicted(s)", "MiB")
+		for _, r := range rows {
+			fmt.Fprintf(out, "%-3d %-62s %12.2f %12.2f %10.1f\n",
+				r.Scenario, r.Desc, r.Measured.Seconds(), r.Predicted.Seconds(), float64(r.Bytes)/(1<<20))
+		}
+		fmt.Fprintln(out)
+	}
+	fig10 := map[string]func(experiments.Scale) ([]experiments.Fig10Row, error){
+		"fig10a": experiments.Fig10a,
+		"fig10b": experiments.Fig10b,
+		"fig10c": experiments.Fig10c,
+	}
+	for _, name := range []string{"fig10a", "fig10b", "fig10c"} {
+		if all || exp == name {
+			fmt.Fprintf(out, "== Figure 10(%c) ==\n", name[5])
+			rows, err := fig10[name](scale)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Fprintf(out, "%-44s measured %10.2f s   predicted %10.2f s\n",
+					r.Config, r.Measured.Seconds(), r.Predicted.Seconds())
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	if all || exp == "fig11" {
+		env, err := experiments.NewEnv()
+		if err != nil {
+			return err
+		}
+		rp, err := experiments.Fig11(env, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Figure 11: prediction table (temp → remote disks, rest → tapes) ==\n%s\n", rp.TableString())
+	}
+	if all || exp == "worked" {
+		pred, meas, err := experiments.WorkedExample(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== §4.2 worked example ==\npredicted %.2f s   measured %.2f s   (paper at full scale: 180.57 vs ≈197.4)\n\n",
+			pred.Seconds(), meas.Seconds())
+	}
+	if all || exp == "naive" {
+		coll, naive, err := experiments.CollectiveAblation(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Collective I/O ablation (strided temp dataset on remote disks) ==\ncollective %.2f s   naive %.2f s   (%.0f× slower without collective I/O)\n\n",
+			coll.Seconds(), naive.Seconds(), naive.Seconds()/coll.Seconds())
+	}
+	if all || exp == "failover" {
+		res, err := experiments.Failover(scale)
+		if err != nil {
+			return err
+		}
+		if res.WriteError != nil {
+			fmt.Fprintf(out, "== Failover ==\nrun FAILED during tape outage: %v\n\n", res.WriteError)
+		} else {
+			fmt.Fprintf(out, "== Failover (tape system down) ==\nAUTO dataset placed on %s; run completed, I/O time %.2f s\n\n",
+				res.PlacedOn, res.IOTime.Seconds())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Command ijgui serves the reproduction's analog of the paper's IJ-GUI
+// prediction window (figure 11): a web form of the Astro3D parameter
+// set that renders per-dataset predicted virtual times for any
+// placement, so the user can explore placements before running.
+//
+// Usage:
+//
+//	ijgui [-addr 127.0.0.1:8642] [-db perf.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/experiments"
+	"repro/internal/metadb"
+	"repro/internal/predict"
+	"repro/internal/webui"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ijgui: ")
+	addr := flag.String("addr", "127.0.0.1:8642", "HTTP listen address")
+	dbPath := flag.String("db", "", "performance database JSON (from ptool -save); measured on the fly if empty")
+	flag.Parse()
+
+	var pdb *predict.DB
+	if *dbPath != "" {
+		meta := metadb.New()
+		if err := meta.Load(*dbPath); err != nil {
+			log.Fatal(err)
+		}
+		pdb = predict.NewDB(meta)
+	} else {
+		env, err := experiments.NewEnv()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pdb = env.PDB
+	}
+	fmt.Printf("ijgui prediction window on http://%s/\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, webui.New(pdb)))
+}

@@ -1,0 +1,64 @@
+// Command imgview is the paper's image viewer: a data consumer that
+// reads the 2-D image datasets Volren produced.  It decodes PGM files
+// (written by `volren -out`) and prints their statistics, optionally
+// rendering a coarse ASCII preview.
+//
+// Usage:
+//
+//	imgview [-ascii] image000000.pgm [more.pgm ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/imageio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("imgview: ")
+	ascii := flag.Bool("ascii", false, "print a coarse ASCII rendering")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: imgview [-ascii] file.pgm ...")
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, err := imageio.DecodePGM(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		min, max, mean := imageio.Stats(im)
+		fmt.Printf("%s: %dx%d  min=%d max=%d mean=%.1f\n", path, im.W, im.H, min, max, mean)
+		if *ascii {
+			printASCII(im)
+		}
+	}
+}
+
+// printASCII downsamples the image to at most 64×32 characters.
+func printASCII(im *imageio.Image) {
+	const ramp = " .:-=+*#%@"
+	cols, rows := im.W, im.H
+	if cols > 64 {
+		cols = 64
+	}
+	if rows > 32 {
+		rows = 32
+	}
+	for r := 0; r < rows; r++ {
+		line := make([]byte, cols)
+		for c := 0; c < cols; c++ {
+			v := im.At(c*im.W/cols, r*im.H/rows)
+			line[c] = ramp[int(v)*(len(ramp)-1)/255]
+		}
+		fmt.Println(string(line))
+	}
+}

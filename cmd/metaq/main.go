@@ -1,0 +1,69 @@
+// Command metaq queries a saved meta-data database (metadb JSON, as
+// written by `ptool -save` or core systems persisting their state):
+// the runs and datasets registered in the system and the performance
+// tables the predictor consults.
+//
+// Usage:
+//
+//	metaq -db meta.json runs
+//	metaq -db meta.json datasets [runID]
+//	metaq -db meta.json samples <resource> <read|write>
+//	metaq -db meta.json table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/metadb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("metaq: ")
+	dbPath := flag.String("db", "", "meta-data database JSON file (required)")
+	flag.Parse()
+	if *dbPath == "" || flag.NArg() == 0 {
+		log.Fatal("usage: metaq -db meta.json <runs|datasets [run]|samples <resource> <op>|table1>")
+	}
+	db := metadb.New()
+	if err := db.Load(*dbPath); err != nil {
+		log.Fatal(err)
+	}
+	switch flag.Arg(0) {
+	case "runs":
+		fmt.Printf("%-16s %-12s %-10s %6s %6s\n", "ID", "APP", "USER", "ITER", "PROCS")
+		for _, r := range db.Runs(nil) {
+			fmt.Printf("%-16s %-12s %-10s %6d %6d\n", r.ID, r.App, r.User, r.Iterations, r.Procs)
+		}
+	case "datasets":
+		match := func(metadb.Dataset) bool { return true }
+		if flag.NArg() > 1 {
+			runID := flag.Arg(1)
+			match = func(d metadb.Dataset) bool { return d.RunID == runID }
+		}
+		fmt.Printf("%-12s %-14s %-10s %-5s %-8s %-12s %4s %-12s %-12s\n",
+			"RUN", "NAME", "AMODE", "ETYPE", "PATTERN", "LOCATION", "FREQ", "OPT", "RESOURCE")
+		for _, d := range db.QueryDatasets(nil, match) {
+			fmt.Printf("%-12s %-14s %-10s %-5d %-8s %-12s %4d %-12s %-12s\n",
+				d.RunID, d.Name, d.AMode, d.ETypeSize, d.Pattern, d.Location, d.Frequency, d.Opt, d.Resource)
+		}
+	case "samples":
+		if flag.NArg() != 3 {
+			log.Fatal("usage: metaq -db meta.json samples <resource> <read|write>")
+		}
+		samples := db.Samples(nil, flag.Arg(1), flag.Arg(2))
+		if len(samples) == 0 {
+			log.Fatalf("no samples for %s/%s", flag.Arg(1), flag.Arg(2))
+		}
+		fmt.Printf("%12s %12s\n", "size(bytes)", "seconds")
+		for _, s := range samples {
+			fmt.Printf("%12d %12.4f\n", s.Size, s.Seconds)
+		}
+	case "table1":
+		fmt.Print(db.Table1String())
+	default:
+		log.Fatalf("unknown query %q", flag.Arg(0))
+	}
+}

@@ -1,0 +1,64 @@
+// Command msanalysis reproduces the paper's data-analysis pipeline: it
+// runs the Astro3D producer with the temp dataset on a chosen resource,
+// then the MSE analysis over every dumped timestep, and prints the MSE
+// series plus the analysis I/O time (the figure 10(a) quantity).
+//
+// Usage:
+//
+//	msanalysis [-n 64] [-iter 24] [-freq 6] [-procs 8] [-loc REMOTEDISK]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/apps/astro3d"
+	"repro/internal/apps/mse"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msanalysis: ")
+	n := flag.Int("n", 64, "problem size edge")
+	iter := flag.Int("iter", 24, "maximum iterations")
+	freq := flag.Int("freq", 6, "dump frequency")
+	procs := flag.Int("procs", 8, "parallel processes")
+	locName := flag.String("loc", "REMOTEDISK", "where the producer places temp")
+	flag.Parse()
+
+	loc, err := core.ParseLocation(*locName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prodRep, err := astro3d.Run(env.Sys, "prod", astro3d.Params{
+		Nx: *n, Ny: *n, Nz: *n, MaxIter: *iter,
+		AnalysisFreq: *freq, Procs: *procs,
+		Locations:       map[string]core.Location{"temp": loc},
+		DefaultLocation: core.LocDisable,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("producer: temp → %s, write I/O %.2f s\n", loc, prodRep.IOTime.Seconds())
+
+	env.ResetClocks()
+	res, err := mse.Run(env.Sys, "mse", mse.Params{
+		ProducerRun: "prod", Dataset: "temp",
+		Iterations: *iter, Procs: *procs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analysis: read I/O %.2f s\n\n", res.IOTime.Seconds())
+	fmt.Println("maximum square error between consecutive timesteps:")
+	for i, step := range res.Steps {
+		fmt.Printf("  iter %4d: %.6g\n", step, res.MSE[i])
+	}
+}

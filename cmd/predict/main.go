@@ -1,0 +1,99 @@
+// Command predict is the reproduction's stand-in for the paper's
+// IJ-GUI prediction window (figure 11): given a performance database
+// (from ptool -save, or measured on the fly) and an Astro3D parameter
+// set, it prints the per-dataset predicted virtual times and the run
+// total before any experiment is carried out.
+//
+// Usage:
+//
+//	predict [-db perf.json] [-n 128] [-iter 120] [-freq 6] [-procs 8]
+//	        [-temp REMOTEDISK] [-default SDSCHPSS]
+//
+// The -temp flag places the 'temp' dataset (the paper's figure 11
+// example moves it to remote disks); -default places every other
+// dataset.  Hints accept the paper's names, including SDSCHPSS and
+// DISABLE.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hints"
+	"repro/internal/metadb"
+	"repro/internal/predict"
+	"repro/internal/sched"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("predict: ")
+	dbPath := flag.String("db", "", "performance database JSON (from ptool -save); measured on the fly if empty")
+	n := flag.Int("n", 128, "problem size edge")
+	iter := flag.Int("iter", 120, "maximum iterations")
+	freq := flag.Int("freq", 6, "dump frequency")
+	procs := flag.Int("procs", 8, "parallel processes")
+	tempHint := flag.String("temp", "REMOTEDISK", "location hint for the temp dataset")
+	defHint := flag.String("default", "SDSCHPSS", "location hint for every other dataset")
+	hintFile := flag.String("hints", "", "dataset hint table (overrides the built-in Astro3D set)")
+	compute := flag.Duration("compute", 0, "estimated compute time, for the max-run-time suggestion")
+	flag.Parse()
+
+	var pdb *predict.DB
+	if *dbPath != "" {
+		meta := metadb.New()
+		if err := meta.Load(*dbPath); err != nil {
+			log.Fatal(err)
+		}
+		pdb = predict.NewDB(meta)
+	} else {
+		env, err := experiments.NewEnv()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pdb = env.PDB
+	}
+
+	var rp predict.RunPrediction
+	if *hintFile != "" {
+		hs, err := hints.ParseFile(*hintFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rp, err = pdb.Predict(hints.PredictAll(hs, *iter, *procs, "write"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hint table %s, N=%d, %d procs\n\n", *hintFile, *iter, *procs)
+	} else {
+		tempLoc, err := core.ParseLocation(*tempHint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defLoc, err := core.ParseLocation(*defHint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scale := experiments.Scale{N: *n, MaxIter: *iter, Freq: *freq, Procs: *procs}
+		rp, err = experiments.PredictAstro3D(pdb, scale,
+			map[string]core.Location{"temp": tempLoc}, defLoc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("astro3d %dx%dx%d, N=%d, freq=%d, %d procs, collective I/O\n\n",
+			*n, *n, *n, *iter, *freq, *procs)
+	}
+	fmt.Print(rp.TableString())
+	if *compute > 0 {
+		suggest, err := sched.SuggestMaxRunTime(rp.Total, *compute, 0.15)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nsuggested batch max run time (I/O lower bound + compute + 15%%): %s\n", suggest.Round(time.Second))
+	}
+}

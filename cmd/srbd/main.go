@@ -1,0 +1,96 @@
+// Command srbd runs the SRB-like middleware daemon: it assembles the
+// three storage resources (backed by real directories when -root is
+// given, in-memory otherwise), registers them with a broker, and serves
+// the broker over TCP.  Remote applications reach the resources with
+// msra.NewSRBClient.
+//
+// Because live clients share real wall time, the daemon runs the
+// simulation in scaled mode: device costs are slept at -timescale of
+// real time (default 1/1000, so a 25 s tape mount takes 25 ms).
+//
+// Usage:
+//
+//	srbd [-addr :5544] [-root /var/srb] [-user shen -secret nwu] [-timescale 0.001]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/dbstore"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/osfs"
+	"repro/internal/remotedisk"
+	"repro/internal/srb"
+	"repro/internal/srbnet"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("srbd: ")
+	addr := flag.String("addr", "127.0.0.1:5544", "TCP listen address")
+	root := flag.String("root", "", "directory for on-disk stores (in-memory if empty)")
+	user := flag.String("user", "shen", "account name")
+	secret := flag.String("secret", "nwu", "account secret")
+	timescale := flag.Float64("timescale", 0.001, "wall seconds slept per simulated second")
+	flag.Parse()
+
+	store := func(sub string) storage.Store {
+		if *root == "" {
+			return memfs.New()
+		}
+		fs, err := osfs.New(filepath.Join(*root, sub))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fs
+	}
+
+	broker := srb.NewBroker()
+	local, err := localdisk.New("argonne-ssa", store("local"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", store("rdisk"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "sdsc-hpss", Params: model.RemoteTape2000(), Store: store("tape")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	localdb, err := dbstore.New("nwu-postgres", store("db"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, be := range []storage.Backend{local, rdisk, rtape, localdb} {
+		if err := broker.Register(be); err != nil {
+			log.Fatal(err)
+		}
+	}
+	broker.AddUser(*user, *secret)
+
+	srv, err := srbnet.Serve(*addr, broker, vtime.NewScaled(*timescale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("srbd listening on %s (resources: %v, timescale %g)\n", srv.Addr(), broker.Resources(), *timescale)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+// Command vizserver runs the interactive visualization consumer: it
+// produces a small Astro3D run (or continues from flags) and serves
+// dataset slices over HTTP as PGM images — the role the paper's VTK
+// tool plays in the simulation environment.
+//
+// Usage:
+//
+//	vizserver [-addr 127.0.0.1:8643] [-n 64] [-iter 24] [-freq 6] [-procs 8]
+//
+// Then browse /datasets and /slice?run=sim&ds=vr_temp&iter=12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/apps/astro3d"
+	"repro/internal/apps/vizserver"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vizserver: ")
+	addr := flag.String("addr", "127.0.0.1:8643", "HTTP listen address")
+	n := flag.Int("n", 64, "problem size edge")
+	iter := flag.Int("iter", 24, "maximum iterations")
+	freq := flag.Int("freq", 6, "dump frequency")
+	procs := flag.Int("procs", 8, "parallel processes")
+	flag.Parse()
+
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := astro3d.Run(env.Sys, "sim", astro3d.Params{
+		Nx: *n, Ny: *n, Nz: *n, MaxIter: *iter,
+		AnalysisFreq: *freq, VizFreq: *freq, Procs: *procs,
+		Locations: map[string]core.Location{
+			"temp":    core.LocLocalDisk,
+			"vr_temp": core.LocLocalDisk,
+		},
+		DefaultLocation: core.LocDisable,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	env.ResetClocks()
+	fmt.Printf("vizserver on http://%s/ (try /datasets, /slice?run=sim&ds=vr_temp&iter=%d)\n", *addr, *freq)
+	log.Fatal(http.ListenAndServe(*addr, vizserver.New(env.Sys)))
+}

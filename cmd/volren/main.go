@@ -1,0 +1,103 @@
+// Command volren reproduces the paper's visualization pipeline: it runs
+// the Astro3D producer with the vr_temp volume on a chosen resource,
+// renders every dumped timestep with the parallel volume renderer, and
+// writes the resulting PGM images to a local output directory (the
+// image-viewer path).
+//
+// Usage:
+//
+//	volren [-n 64] [-iter 24] [-freq 6] [-procs 8] [-loc LOCALDISK]
+//	       [-imgopt superfile] [-out ./out]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/apps/astro3d"
+	"repro/internal/apps/volren"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/imageio"
+	"repro/internal/ioopt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("volren: ")
+	n := flag.Int("n", 64, "problem size edge")
+	iter := flag.Int("iter", 24, "maximum iterations")
+	freq := flag.Int("freq", 6, "dump frequency")
+	procs := flag.Int("procs", 8, "parallel processes")
+	locName := flag.String("loc", "LOCALDISK", "where the producer places vr_temp")
+	imgOptName := flag.String("imgopt", "superfile", "image output optimization (collective, superfile)")
+	outDir := flag.String("out", "", "directory for rendered PGM images (skip if empty)")
+	flag.Parse()
+
+	loc, err := core.ParseLocation(*locName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	imgOpt, err := ioopt.Parse(*imgOptName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := astro3d.Run(env.Sys, "prod", astro3d.Params{
+		Nx: *n, Ny: *n, Nz: *n, MaxIter: *iter,
+		VizFreq: *freq, Procs: *procs,
+		Locations:       map[string]core.Location{"vr_temp": loc},
+		DefaultLocation: core.LocDisable,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	env.ResetClocks()
+	res, err := volren.Run(env.Sys, "volren", volren.Params{
+		ProducerRun: "prod", Dataset: "vr_temp",
+		Iterations: *iter, Procs: *procs,
+		ImageLocation: core.LocRemoteDisk, ImageOpt: imgOpt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rendered %d timesteps (vr_temp from %s), I/O time %.2f s\n",
+		len(res.Images), loc, res.IOTime.Seconds())
+
+	iters := make([]int, 0, len(res.Images))
+	for it := range res.Images {
+		iters = append(iters, it)
+	}
+	sort.Ints(iters)
+	for _, it := range iters {
+		im := res.Images[it]
+		min, max, mean := imageio.Stats(im)
+		fmt.Printf("  iter %4d: %dx%d  min=%d max=%d mean=%.1f\n", it, im.W, im.H, min, max, mean)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*outDir, fmt.Sprintf("image%06d.pgm", it))
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := imageio.EncodePGM(f, im); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *outDir != "" {
+		fmt.Printf("PGM images written to %s\n", *outDir)
+	}
+}

@@ -1,0 +1,85 @@
+// Pipeline: the paper's full simulation environment end to end —
+// Astro3D produces datasets with per-dataset placement hints, the MSE
+// analysis consumes temp from remote disks, and Volren renders vr_temp
+// from local disks into a superfile of images.  This is the paper's
+// motivating scenario: "the application can speculatively store the
+// datasets to the 'best' storage medium which is most favorable for the
+// desired post-processing".
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps/astro3d"
+	"repro/internal/apps/mse"
+	"repro/internal/apps/volren"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/imageio"
+	"repro/internal/ioopt"
+)
+
+func main() {
+	log.SetFlags(0)
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The producer: temp close to the analysis (remote disks), vr_temp
+	// close to the visualization (local disks), everything else archived
+	// on tape.
+	prm := astro3d.Params{
+		Nx: 32, Ny: 32, Nz: 32, MaxIter: 24,
+		AnalysisFreq: 6, VizFreq: 6, CheckpointFreq: 6, Procs: 8,
+		Locations: map[string]core.Location{
+			"temp":    core.LocRemoteDisk,
+			"vr_temp": core.LocLocalDisk,
+		},
+		DefaultLocation: core.LocRemoteTape,
+	}
+	rep, err := astro3d.Run(env.Sys, "sim", prm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("astro3d: %d dumps, %.1f MiB, write I/O %.1f s\n",
+		rep.Dumps, float64(rep.BytesOut)/(1<<20), rep.IOTime.Seconds())
+
+	// Post-processing starts after the simulation: devices are idle.
+	env.ResetClocks()
+
+	analysis, err := mse.Run(env.Sys, "mse", mse.Params{
+		ProducerRun: "sim", Dataset: "temp", Iterations: 24, Procs: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analysis: read I/O %.1f s; MSE series:", analysis.IOTime.Seconds())
+	for i := range analysis.Steps {
+		fmt.Printf(" %.3g", analysis.MSE[i])
+	}
+	fmt.Println()
+
+	env.ResetClocks()
+	render, err := volren.Run(env.Sys, "volren", volren.Params{
+		ProducerRun: "sim", Dataset: "vr_temp", Iterations: 24, Procs: 8,
+		ImageLocation: core.LocRemoteDisk, ImageOpt: ioopt.Superfile,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("volren: rendered %d images, I/O %.1f s\n", len(render.Images), render.IOTime.Seconds())
+	for iter, im := range render.Images {
+		if iter == 12 {
+			min, max, mean := imageio.Stats(im)
+			fmt.Printf("  image @ iter 12: %dx%d min=%d max=%d mean=%.1f\n", im.W, im.H, min, max, mean)
+		}
+	}
+
+	// The archived datasets remain on tape for later retrieval.
+	mounts, carts, wasted := env.RTape.Stats()
+	fmt.Printf("tape library: %d mounts, %d cartridges, %d dead bytes\n", mounts, carts, wasted)
+}

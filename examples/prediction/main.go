@@ -1,0 +1,92 @@
+// Prediction: use PTool and the eq. (2) predictor to choose a
+// placement *before* running, then verify the prediction against the
+// measured run — the paper's "lower bound for the maximum run time"
+// use case, plus the future-work requirement-driven AUTO placement.
+//
+//	go run ./examples/prediction
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	msra "repro"
+	"repro/internal/apps/astro3d"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/predict"
+)
+
+func main() {
+	log.SetFlags(0)
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Ask the predictor what each placement of an 8 MiB-per-dump
+	// dataset would cost over the run.
+	fmt.Println("predicted I/O time for 21 dumps of one 8 MiB dataset:")
+	for _, resource := range []string{"localdisk", "remotedisk", "remotetape"} {
+		row, err := env.PDB.PredictDataset(predict.DatasetReq{
+			Name: "temp", AMode: "create", Dims: []int{128, 128, 128}, Etype: 4,
+			Pattern: "B**", Location: resource, Frequency: 6, Procs: 8,
+		}, 120)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %10.1f s\n", resource, row.VirtualTime.Seconds())
+	}
+
+	// 2. Let the requirement-driven placer decide: "finish this
+	// dataset's I/O within 1500 s" → remote disk (tape misses the
+	// deadline, local disk is kept free).
+	placer := msra.PredictivePlacer(env.PDB, 120, 8, msra.WithRequirement(1500*time.Second))
+	sys, err := msra.NewSystem(msra.SystemConfig{
+		Sim: env.Sim, Meta: env.Meta,
+		LocalDisk: env.Local, RemoteDisk: env.RDisk, RemoteTape: env.RTape,
+		Placer: placer,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := sys.Initialize(msra.RunConfig{ID: "plan", App: "astro3d", Iterations: 120, Procs: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := run.OpenDataset(msra.DatasetSpec{
+		Name: "temp", AMode: msra.ModeCreate, Dims: []int{128, 128, 128},
+		Etype: 4, Location: msra.Auto, Frequency: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAUTO with a 1500 s requirement placed temp on: %s\n", ds.Backend().Kind())
+	if err := run.Finalize(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Verify prediction against measurement at a reduced scale.
+	scale := experiments.Scale{N: 32, MaxIter: 24, Freq: 6, Procs: 8}
+	pred, err := experiments.PredictAstro3D(env.PDB, scale,
+		map[string]core.Location{"temp": core.LocRemoteDisk}, core.LocDisable)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env2, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := astro3d.Run(env2.Sys, "verify", astro3d.Params{
+		Nx: 32, Ny: 32, Nz: 32, MaxIter: 24, AnalysisFreq: 6, Procs: 8,
+		Locations:       map[string]core.Location{"temp": core.LocRemoteDisk},
+		DefaultLocation: core.LocDisable,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscaled run: predicted %.2f s, measured %.2f s (%.1f%% apart)\n",
+		pred.Total.Seconds(), rep.IOTime.Seconds(),
+		100*(rep.IOTime.Seconds()-pred.Total.Seconds())/pred.Total.Seconds())
+}

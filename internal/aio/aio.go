@@ -1,0 +1,233 @@
+// Package aio provides the asynchronous I/O pieces of the run-time
+// library: a write-behind Writer that overlaps dumps with computation,
+// and a Prefetcher that overlaps the next timestep's read with the
+// current timestep's processing.
+//
+// Overlap is expressed in virtual time: a background I/O process owns
+// its own clock; enqueueing charges the caller only a memory-copy cost,
+// and Flush/Read advance the caller to the background completion time
+// if — and only if — the I/O is still outstanding.  This is exactly the
+// paper's caveat about aggressive prefetch: a "false" prefetch occupies
+// the device and can hurt, which the virtual clocks reproduce.
+package aio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// CopyBW is the in-memory staging bandwidth charged to the caller when
+// enqueueing a write-behind buffer.
+const CopyBW = 400 * model.MiB
+
+func copyCost(n int) time.Duration {
+	return time.Duration(float64(n) / CopyBW * float64(time.Second))
+}
+
+// Writer is a write-behind queue in front of a storage handle.
+type Writer struct {
+	h  storage.Handle
+	io *vtime.Proc
+	ch chan wreq
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	err      error
+	enqueued int
+	done     int
+	cond     *sync.Cond
+	closed   bool
+}
+
+type wreq struct {
+	data []byte
+	off  int64
+	at   time.Duration
+}
+
+// NewWriter starts a write-behind worker for h with the given queue
+// depth (buffered requests beyond which callers block).
+func NewWriter(sim *vtime.Sim, h storage.Handle, depth int) *Writer {
+	if depth <= 0 {
+		depth = 8
+	}
+	w := &Writer{
+		h:  h,
+		io: sim.NewProc("aio-writer"),
+		ch: make(chan wreq, depth),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.wg.Add(1)
+	go w.loop()
+	return w
+}
+
+func (w *Writer) loop() {
+	defer w.wg.Done()
+	for req := range w.ch {
+		// The device cannot start before the data existed.
+		w.io.AdvanceTo(req.at)
+		_, err := w.h.WriteAt(w.io, req.data, req.off)
+		w.mu.Lock()
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+		w.done++
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// WriteAt enqueues a write, charging the caller only the staging copy.
+// A previously failed background write surfaces here or at Flush.
+func (w *Writer) WriteAt(p *vtime.Proc, b []byte, off int64) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("aio write: %w", storage.ErrClosed)
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return fmt.Errorf("aio write: deferred: %w", err)
+	}
+	w.enqueued++
+	w.mu.Unlock()
+
+	p.Advance(copyCost(len(b)))
+	w.ch <- wreq{data: append([]byte(nil), b...), off: off, at: p.Now()}
+	return nil
+}
+
+// Flush blocks until every enqueued write has completed, then advances
+// the caller to the background clock if the I/O finished later.
+func (w *Writer) Flush(p *vtime.Proc) error {
+	w.mu.Lock()
+	for w.done < w.enqueued {
+		w.cond.Wait()
+	}
+	err := w.err
+	w.mu.Unlock()
+	p.AdvanceTo(w.io.Now())
+	if err != nil {
+		return fmt.Errorf("aio flush: deferred: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and stops the worker.  The underlying handle is left
+// open; the caller owns its lifecycle.
+func (w *Writer) Close(p *vtime.Proc) error {
+	err := w.Flush(p)
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.ch)
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+	return err
+}
+
+// Prefetcher overlaps whole-file reads with computation.  Read returns
+// the named file's contents and, given a hint, begins fetching the next
+// file in the background.
+type Prefetcher struct {
+	sess storage.Session
+	sim  *vtime.Sim
+
+	mu      sync.Mutex
+	pending map[string]*fetch
+}
+
+type fetch struct {
+	done   chan struct{}
+	data   []byte
+	err    error
+	finish time.Duration
+}
+
+// NewPrefetcher returns a prefetcher reading through sess.
+func NewPrefetcher(sim *vtime.Sim, sess storage.Session) *Prefetcher {
+	return &Prefetcher{sess: sess, sim: sim, pending: make(map[string]*fetch)}
+}
+
+// readWhole reads a full file through the session on the given proc.
+func readWhole(p *vtime.Proc, sess storage.Session, path string) ([]byte, error) {
+	h, err := sess.Open(p, path, storage.ModeRead)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, h.Size())
+	if _, err := h.ReadAt(p, buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		h.Close(p)
+		return nil, err
+	}
+	if err := h.Close(p); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Read returns path's contents.  If the file was prefetched, the caller
+// only waits (in virtual time) for the background completion; otherwise
+// the read is synchronous.  With hintNext non-empty, a background fetch
+// of that path begins at the caller's current instant — the "precise
+// hint" the paper says prefetch needs.
+func (pf *Prefetcher) Read(p *vtime.Proc, path, hintNext string) ([]byte, error) {
+	pf.mu.Lock()
+	f := pf.pending[path]
+	delete(pf.pending, path)
+	pf.mu.Unlock()
+
+	var data []byte
+	var err error
+	if f != nil {
+		<-f.done
+		p.AdvanceTo(f.finish)
+		data, err = f.data, f.err
+	} else {
+		data, err = readWhole(p, pf.sess, path)
+	}
+	if hintNext != "" {
+		pf.Start(p, hintNext)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("prefetcher read %q: %w", path, err)
+	}
+	return data, nil
+}
+
+// Start begins a background fetch of path at the caller's current
+// instant.  Duplicate starts are coalesced.
+func (pf *Prefetcher) Start(p *vtime.Proc, path string) {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if _, dup := pf.pending[path]; dup {
+		return
+	}
+	f := &fetch{done: make(chan struct{})}
+	pf.pending[path] = f
+	ioProc := pf.sim.NewProc("aio-prefetch")
+	ioProc.AdvanceTo(p.Now())
+	go func() {
+		f.data, f.err = readWhole(ioProc, pf.sess, path)
+		f.finish = ioProc.Now()
+		close(f.done)
+	}()
+}
+
+// Outstanding reports the number of in-flight or unconsumed prefetches
+// ("false" prefetches that were never Read still occupy this set).
+func (pf *Prefetcher) Outstanding() int {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return len(pf.pending)
+}

@@ -1,0 +1,222 @@
+package aio
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+func setup(t *testing.T, params model.Params, capacity int64) (storage.Session, *vtime.Sim) {
+	t.Helper()
+	be, err := device.New(device.Config{Name: "b", Params: params, Store: memfs.New(), Capacity: capacity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := vtime.NewVirtual()
+	p := sim.NewProc("setup")
+	sess, err := be.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, sim
+}
+
+func TestWriteBehindOverlapsComputation(t *testing.T) {
+	// Slow device (1 MiB/s); the caller enqueues 4 MiB, computes 1s, and
+	// only pays the remaining I/O time at Flush.
+	params := model.Params{Name: "slow", WriteBW: model.MiB}
+	sess, sim := setup(t, params, 0)
+	p := sim.NewProc("compute")
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(sim, h, 8)
+	data := bytes.Repeat([]byte{7}, 4*model.MiB)
+	if err := w.WriteAt(p, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	enq := p.Now()
+	if enq >= time.Second {
+		t.Fatalf("enqueue charged %v, want only the staging copy", enq)
+	}
+	p.Advance(time.Second) // overlapped computation
+	if err := w.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	// Total ≈ copy + max(compute, io) = ≈ 4s, not copy + 1s + 4s.
+	if p.Now() < 4*time.Second || p.Now() > 4*time.Second+200*time.Millisecond {
+		t.Fatalf("total = %v, want ≈4s (I/O overlapped with compute)", p.Now())
+	}
+	// Data must actually be on storage.
+	got := make([]byte, len(data))
+	if _, err := h.ReadAt(p, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("write-behind lost data")
+	}
+}
+
+func TestFlushWhenIOFasterThanCompute(t *testing.T) {
+	params := model.Params{Name: "fast", WriteBW: 100 * model.MiB}
+	sess, sim := setup(t, params, 0)
+	p := sim.NewProc("compute")
+	h, _ := sess.Open(p, "f", storage.ModeCreate)
+	w := NewWriter(sim, h, 4)
+	w.WriteAt(p, make([]byte, model.MiB), 0)
+	p.Advance(10 * time.Second) // long computation
+	if err := w.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Now() > 10*time.Second+100*time.Millisecond {
+		t.Fatalf("flush added %v beyond compute; I/O should have finished long ago", p.Now()-10*time.Second)
+	}
+}
+
+func TestDeferredErrorSurfaces(t *testing.T) {
+	sess, sim := setup(t, model.Memory(), 10) // tiny capacity
+	p := sim.NewProc("p")
+	h, _ := sess.Open(p, "f", storage.ModeCreate)
+	w := NewWriter(sim, h, 4)
+	if err := w.WriteAt(p, make([]byte, 100), 0); err != nil {
+		t.Fatal(err) // enqueue itself succeeds
+	}
+	err := w.Close(p)
+	if err == nil {
+		t.Fatal("capacity error swallowed by write-behind")
+	}
+}
+
+func TestWriterAfterClose(t *testing.T) {
+	sess, sim := setup(t, model.Memory(), 0)
+	p := sim.NewProc("p")
+	h, _ := sess.Open(p, "f", storage.ModeCreate)
+	w := NewWriter(sim, h, 4)
+	if err := w.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAt(p, []byte{1}, 0); err == nil {
+		t.Fatal("write after close accepted")
+	}
+}
+
+func TestMultipleWritesOrdered(t *testing.T) {
+	sess, sim := setup(t, model.Memory(), 0)
+	p := sim.NewProc("p")
+	h, _ := sess.Open(p, "f", storage.ModeCreate)
+	w := NewWriter(sim, h, 2)
+	var want []byte
+	for i := 0; i < 20; i++ {
+		chunk := bytes.Repeat([]byte{byte(i + 1)}, 50)
+		want = append(want, chunk...)
+		if err := w.WriteAt(p, chunk, int64(i*50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	h.ReadAt(p, got, 0)
+	if !bytes.Equal(got, want) {
+		t.Fatal("interleaved write-behind corrupted file")
+	}
+}
+
+func writeFiles(t *testing.T, sess storage.Session, sim *vtime.Sim, n int, size int) {
+	t.Helper()
+	p := sim.NewProc("writer")
+	for i := 0; i < n; i++ {
+		h, err := sess.Open(p, fmt.Sprintf("iter%04d", i), storage.ModeCreate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.WriteAt(p, bytes.Repeat([]byte{byte(i)}, size), 0)
+		h.Close(p)
+	}
+}
+
+func TestPrefetchOverlapsReads(t *testing.T) {
+	// Device: 1s per read call; compute 1s per step.  With prefetch the
+	// next read overlaps the current compute, so per-step cost ≈ 1s + open
+	// overheads instead of 2s.
+	params := model.Params{Name: "slow", PerCallRead: time.Second, PerCallWrite: time.Millisecond}
+	sess, sim := setup(t, params, 0)
+	const steps = 8
+	writeFiles(t, sess, sim, steps, 64)
+
+	p := sim.NewProc("consumer")
+	pf := NewPrefetcher(sim, sess)
+	start := p.Now()
+	for i := 0; i < steps; i++ {
+		next := ""
+		if i+1 < steps {
+			next = fmt.Sprintf("iter%04d", i+1)
+		}
+		data, err := pf.Read(p, fmt.Sprintf("iter%04d", i), next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != 64 || data[0] != byte(i) {
+			t.Fatalf("step %d data wrong", i)
+		}
+		p.Advance(time.Second) // compute on the data
+	}
+	total := p.Now() - start
+	// Serial would be ≈ steps × 2s = 16s; overlapped ≈ steps × 1s + first
+	// read ≈ 9s.  Allow slack for the open constants.
+	if total > 12*time.Second {
+		t.Fatalf("prefetched pipeline = %v, want well under serial 16s", total)
+	}
+	if pf.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d, want 0", pf.Outstanding())
+	}
+}
+
+func TestPrefetchMissFallsBackToSync(t *testing.T) {
+	sess, sim := setup(t, model.Memory(), 0)
+	writeFiles(t, sess, sim, 1, 16)
+	p := sim.NewProc("p")
+	pf := NewPrefetcher(sim, sess)
+	data, err := pf.Read(p, "iter0000", "")
+	if err != nil || len(data) != 16 {
+		t.Fatalf("sync fallback = %d bytes, %v", len(data), err)
+	}
+}
+
+func TestFalsePrefetchStaysOutstanding(t *testing.T) {
+	sess, sim := setup(t, model.Memory(), 0)
+	writeFiles(t, sess, sim, 2, 16)
+	p := sim.NewProc("p")
+	pf := NewPrefetcher(sim, sess)
+	pf.Start(p, "iter0001")
+	pf.Start(p, "iter0001") // coalesced duplicate
+	if pf.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d, want 1", pf.Outstanding())
+	}
+	// The user never reads iter0001: it remains a false prefetch.
+	if _, err := pf.Read(p, "iter0000", ""); err != nil {
+		t.Fatal(err)
+	}
+	if pf.Outstanding() != 1 {
+		t.Fatalf("false prefetch vanished; outstanding = %d", pf.Outstanding())
+	}
+}
+
+func TestPrefetchErrorPropagates(t *testing.T) {
+	sess, sim := setup(t, model.Memory(), 0)
+	p := sim.NewProc("p")
+	pf := NewPrefetcher(sim, sess)
+	pf.Start(p, "absent")
+	if _, err := pf.Read(p, "absent", ""); err == nil {
+		t.Fatal("prefetch of missing file returned no error")
+	}
+}

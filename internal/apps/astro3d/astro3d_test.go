@@ -1,0 +1,242 @@
+package astro3d
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/remotedisk"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+func newSystem(t *testing.T) *core.System {
+	t.Helper()
+	sim := vtime.NewVirtual()
+	local, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "sdsc-hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Sim: sim, Meta: metadb.New(),
+		LocalDisk: local, RemoteDisk: rdisk, RemoteTape: rtape,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func smallParams() Params {
+	return Params{
+		Nx: 16, Ny: 16, Nz: 16, MaxIter: 6,
+		AnalysisFreq: 3, VizFreq: 3, CheckpointFreq: 3,
+		Procs: 4,
+		Locations: map[string]core.Location{
+			"temp":    core.LocLocalDisk,
+			"vr_temp": core.LocLocalDisk,
+		},
+		DefaultLocation: core.LocLocalDisk,
+	}
+}
+
+func TestDatasetNameGroups(t *testing.T) {
+	if len(AnalysisNames()) != 6 || len(VizNames()) != 7 || len(CheckpointNames()) != 6 {
+		t.Fatalf("group sizes: %d %d %d", len(AnalysisNames()), len(VizNames()), len(CheckpointNames()))
+	}
+	if len(AllNames()) != 19 {
+		t.Fatalf("AllNames = %d, want 19", len(AllNames()))
+	}
+}
+
+func TestRunProducesAllDumps(t *testing.T) {
+	sys := newSystem(t)
+	rep, err := Run(sys, "r1", smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 iterations, freq 3 → dumps at i = 0, 3, 6 → 3 instances × 19
+	// datasets.
+	if rep.Dumps != 3*19 {
+		t.Fatalf("dumps = %d, want %d", rep.Dumps, 3*19)
+	}
+	wantBytes := int64(3) * (6*4*16*16*16 + 7*1*16*16*16 + 6*4*16*16*16)
+	if rep.BytesOut != wantBytes {
+		t.Fatalf("bytes = %d, want %d", rep.BytesOut, wantBytes)
+	}
+	if rep.IOTime <= 0 || rep.TotalTime < rep.IOTime {
+		t.Fatalf("times: io=%v total=%v", rep.IOTime, rep.TotalTime)
+	}
+}
+
+func TestDeterministicChecksum(t *testing.T) {
+	rep1, err := Run(newSystem(t), "r1", smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(newSystem(t), "r1", smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Checksum != rep2.Checksum {
+		t.Fatalf("checksums differ: %x vs %x", rep1.Checksum, rep2.Checksum)
+	}
+	// Different proc counts must compute the same physics.
+	p := smallParams()
+	p.Procs = 2
+	rep3, err := Run(newSystem(t), "r1", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.Checksum != rep1.Checksum {
+		t.Fatalf("decomposition changed physics: %x vs %x", rep3.Checksum, rep1.Checksum)
+	}
+}
+
+func TestFieldValuesFiniteAndEvolving(t *testing.T) {
+	sys := newSystem(t)
+	p := smallParams()
+	if _, err := Run(sys, "r1", p); err != nil {
+		t.Fatal(err)
+	}
+	// Read temp at iters 0 and 6 through a consumer run and verify the
+	// field is finite everywhere and actually changed.
+	consumer, err := sys.Initialize(core.RunConfig{ID: "check", App: "test", Iterations: 1, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := consumer.AttachDataset("r1", "temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := sys.Sim().NewProc("rd")
+	g0, err := d.ReadGlobal(rd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g6, err := d.ReadGlobal(rd, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g0) != 16*16*16*4 {
+		t.Fatalf("dataset size = %d", len(g0))
+	}
+	var diff float64
+	for i := 0; i < len(g0); i += 4 {
+		v0 := math.Float32frombits(binary.LittleEndian.Uint32(g0[i:]))
+		v6 := math.Float32frombits(binary.LittleEndian.Uint32(g6[i:]))
+		if math.IsNaN(float64(v0)) || math.IsInf(float64(v0), 0) || math.IsNaN(float64(v6)) {
+			t.Fatalf("non-finite field value at %d: %v %v", i/4, v0, v6)
+		}
+		if v0 < 0.1 || v0 > 10 {
+			t.Fatalf("temp outside clamp range: %v", v0)
+		}
+		diff += math.Abs(float64(v6 - v0))
+	}
+	if diff == 0 {
+		t.Fatal("field did not evolve over 6 iterations")
+	}
+}
+
+func TestDisableCutsIOTime(t *testing.T) {
+	sysAll := newSystem(t)
+	pAll := smallParams()
+	pAll.DefaultLocation = core.LocRemoteTape
+	repAll, err := Run(sysAll, "r1", pAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sysFew := newSystem(t)
+	pFew := smallParams()
+	pFew.DefaultLocation = core.LocDisable // only temp and vr_temp dumped
+	repFew, err := Run(sysFew, "r1", pFew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repFew.Dumps != 3*2 {
+		t.Fatalf("dumps with DISABLE = %d, want 6", repFew.Dumps)
+	}
+	if repFew.IOTime*4 > repAll.IOTime {
+		t.Fatalf("DISABLE saved too little: %v vs %v", repFew.IOTime, repAll.IOTime)
+	}
+}
+
+func TestCheckpointOverwrite(t *testing.T) {
+	sys := newSystem(t)
+	if _, err := Run(sys, "r1", smallParams()); err != nil {
+		t.Fatal(err)
+	}
+	// The restart dataset must be a single overwritten file.
+	row, err := sys.Meta().GetDataset(nil, "r1", "restart_temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.AMode != "over_write" {
+		t.Fatalf("restart amode = %q", row.AMode)
+	}
+	consumer, _ := sys.Initialize(core.RunConfig{ID: "c", Iterations: 1, Procs: 1})
+	d, err := consumer.AttachDataset("r1", "restart_temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.InstancePath(0) != d.InstancePath(6) {
+		t.Fatal("restart dataset has per-iteration files")
+	}
+}
+
+func TestVizDatasetsAreUnsignedChar(t *testing.T) {
+	sys := newSystem(t)
+	if _, err := Run(sys, "r1", smallParams()); err != nil {
+		t.Fatal(err)
+	}
+	row, err := sys.Meta().GetDataset(nil, "r1", "vr_temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ETypeSize != 1 {
+		t.Fatalf("vr_temp etype = %d, want 1 (unsigned char)", row.ETypeSize)
+	}
+	if row.Size() != 16*16*16 {
+		t.Fatalf("vr_temp size = %d", row.Size())
+	}
+	analysisRow, _ := sys.Meta().GetDataset(nil, "r1", "temp")
+	if analysisRow.ETypeSize != 4 {
+		t.Fatalf("temp etype = %d, want 4 (float)", analysisRow.ETypeSize)
+	}
+}
+
+func TestTooManyProcsRejected(t *testing.T) {
+	sys := newSystem(t)
+	p := smallParams()
+	p.Procs = 32 // > Nx = 16
+	if _, err := Run(sys, "r1", p); err == nil {
+		t.Fatal("Procs > Nx accepted")
+	}
+}
+
+func TestTable2Defaults(t *testing.T) {
+	var p Params
+	p.setDefaults()
+	if p.Nx != 128 || p.MaxIter != 120 || p.Procs != 8 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	spec := core.DatasetSpec{Dims: []int{p.Nx, p.Ny, p.Nz}, Etype: 4}
+	if spec.Size() != 8*model.MiB {
+		t.Fatalf("default analysis dataset = %d bytes, want 8 MiB", spec.Size())
+	}
+
+}

@@ -1,0 +1,104 @@
+package astro3d
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// restartFields maps each checkpoint dataset to the state field it
+// restores.  press is written for completeness but derived on restore
+// (p = ρT), exactly as the solver derives it.
+var restartFields = []string{"restart_rho", "restart_temp", "restart_ux", "restart_uy", "restart_uz"}
+
+// Restore loads the most recent checkpoint of a producer run into a
+// fresh state, so a run can continue after a crash or a queue kill —
+// the purpose of the paper's checkpoint dataset group.  The returned
+// state is decomposed over prm.Procs, which need not match the
+// producer's process count.
+func Restore(sys *core.System, producerRun string, prm Params) (*state, error) {
+	prm.setDefaults()
+	consumer, err := sys.Initialize(core.RunConfig{
+		ID: producerRun + "-restore", App: "astro3d-restore", User: "shen",
+		Iterations: 1, Procs: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := newState(prm)
+	rd := sys.Sim().NewProc("restore")
+	for _, name := range restartFields {
+		d, err := consumer.AttachDataset(producerRun, name)
+		if err != nil {
+			return nil, fmt.Errorf("astro3d restore: %w", err)
+		}
+		spec := d.Spec()
+		if len(spec.Dims) != 3 || spec.Dims[0] != prm.Nx || spec.Dims[1] != prm.Ny || spec.Dims[2] != prm.Nz {
+			return nil, fmt.Errorf("astro3d restore: checkpoint dims %v do not match %dx%dx%d",
+				spec.Dims, prm.Nx, prm.Ny, prm.Nz)
+		}
+		global, err := d.ReadGlobal(rd, 0) // over_write datasets have one instance
+		if err != nil {
+			return nil, fmt.Errorf("astro3d restore %s: %w", name, err)
+		}
+		if err := st.loadGlobal(name, global); err != nil {
+			return nil, err
+		}
+	}
+	// Derive pressure-coupled fields: nothing stored beyond the five
+	// primaries; press is recomputed on demand by field().
+	if err := consumer.Finalize(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// loadGlobal scatters a global float32 array into the rank slabs.
+func (st *state) loadGlobal(name string, global []byte) error {
+	want := st.nx * st.ny * st.nz * 4
+	if len(global) != want {
+		return fmt.Errorf("astro3d restore %s: %d bytes, want %d", name, len(global), want)
+	}
+	for _, rk := range st.ranks {
+		var dst []float32
+		switch name {
+		case "restart_rho":
+			dst = rk.rho
+		case "restart_temp":
+			dst = rk.temp
+		case "restart_ux":
+			dst = rk.ux
+		case "restart_uy":
+			dst = rk.uy
+		case "restart_uz":
+			dst = rk.uz
+		default:
+			return fmt.Errorf("astro3d restore: unknown checkpoint field %q", name)
+		}
+		plane := rk.ny * rk.nz
+		for x := rk.lo; x < rk.hi; x++ {
+			src := global[x*plane*4 : (x+1)*plane*4]
+			base := rk.idx(x-rk.lo+1, 0, 0)
+			for j := 0; j < plane; j++ {
+				dst[base+j] = math.Float32frombits(binary.LittleEndian.Uint32(src[j*4:]))
+			}
+		}
+	}
+	return nil
+}
+
+// ContinueRun resumes a killed run from its checkpoint: it restores the
+// state from producerRun's restart datasets and runs the remaining
+// iterations as a new run, writing the same dataset groups with the
+// same hints.
+func ContinueRun(sys *core.System, producerRun, newRunID string, remainingIter int, prm Params) (Report, error) {
+	prm.setDefaults()
+	st, err := Restore(sys, producerRun, prm)
+	if err != nil {
+		return Report{}, err
+	}
+	prm.MaxIter = remainingIter
+	return runFromState(sys, newRunID, prm, st)
+}

@@ -1,0 +1,118 @@
+package astro3d
+
+import (
+	"testing"
+)
+
+// TestRestartEquivalence: running 6 iterations, checkpointing, and
+// continuing 6 more must reach exactly the same field state as 12
+// straight iterations — the correctness contract of the checkpoint
+// group.
+func TestRestartEquivalence(t *testing.T) {
+	p := smallParams()
+	p.MaxIter = 12
+	p.AnalysisFreq, p.VizFreq = 0, 0
+	p.CheckpointFreq = 6
+
+	straight, err := Run(newSystem(t), "straight", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := newSystem(t)
+	first := p
+	first.MaxIter = 6
+	if _, err := Run(sys, "part1", first); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ContinueRun(sys, "part1", "part2", 6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Checksum != straight.Checksum {
+		t.Fatalf("restart diverged: %x vs %x", resumed.Checksum, straight.Checksum)
+	}
+}
+
+// TestRestartAcrossProcCounts: the checkpoint is decomposition
+// independent — a run killed at 4 ranks restarts at 2.
+func TestRestartAcrossProcCounts(t *testing.T) {
+	p := smallParams()
+	p.MaxIter = 6
+	p.AnalysisFreq, p.VizFreq = 0, 0
+	p.CheckpointFreq = 3
+
+	sys := newSystem(t)
+	if _, err := Run(sys, "part1", p); err != nil {
+		t.Fatal(err)
+	}
+	p2 := p
+	p2.Procs = 2
+	resumed, err := ContinueRun(sys, "part1", "part2", 6, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: 12 straight iterations at any proc count.
+	ref := p
+	ref.MaxIter = 12
+	straight, err := Run(newSystem(t), "straight", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Checksum != straight.Checksum {
+		t.Fatalf("cross-proc restart diverged: %x vs %x", resumed.Checksum, straight.Checksum)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	sys := newSystem(t)
+	p := smallParams()
+	p.AnalysisFreq, p.VizFreq = 0, 0
+	p.CheckpointFreq = 3
+	if _, err := Run(sys, "prod", p); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched dims must be rejected.
+	bad := p
+	bad.Nx, bad.Ny, bad.Nz = 8, 8, 8
+	if _, err := Restore(sys, "prod", bad); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+	// Missing producer.
+	if _, err := Restore(sys, "ghost", p); err == nil {
+		t.Fatal("missing producer accepted")
+	}
+	// A run without checkpoints cannot restore.
+	sys2 := newSystem(t)
+	noCkpt := p
+	noCkpt.CheckpointFreq = 0
+	noCkpt.AnalysisFreq = 3
+	if _, err := Run(sys2, "prod", noCkpt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(sys2, "prod", noCkpt); err == nil {
+		t.Fatal("restore without checkpoints accepted")
+	}
+}
+
+func TestContinueRunWritesNewDatasets(t *testing.T) {
+	sys := newSystem(t)
+	p := smallParams()
+	p.MaxIter = 6
+	p.CheckpointFreq = 3
+	if _, err := Run(sys, "part1", p); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ContinueRun(sys, "part1", "part2", 6, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dumps == 0 {
+		t.Fatal("continued run dumped nothing")
+	}
+	if _, err := sys.Meta().GetDataset(nil, "part2", "temp"); err != nil {
+		t.Fatalf("continued run not in metadata: %v", err)
+	}
+
+}

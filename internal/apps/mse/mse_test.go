@@ -1,0 +1,123 @@
+package mse
+
+import (
+	"testing"
+
+	"repro/internal/apps/astro3d"
+	"repro/internal/core"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/remotedisk"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+func newSystem(t *testing.T) *core.System {
+	t.Helper()
+	local, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "sdsc-hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Sim: vtime.NewVirtual(), Meta: metadb.New(),
+		LocalDisk: local, RemoteDisk: rdisk, RemoteTape: rtape,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func produce(t *testing.T, sys *core.System, loc core.Location) {
+	t.Helper()
+	_, err := astro3d.Run(sys, "prod", astro3d.Params{
+		Nx: 16, Ny: 16, Nz: 16, MaxIter: 6,
+		AnalysisFreq: 3, Procs: 4,
+		Locations:       map[string]core.Location{"temp": loc},
+		DefaultLocation: core.LocDisable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalysisSeries(t *testing.T) {
+	sys := newSystem(t)
+	produce(t, sys, core.LocLocalDisk)
+	res, err := Run(sys, "mse1", Params{
+		ProducerRun: "prod", Dataset: "temp", Iterations: 6, Procs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 3 || res.Steps[0] != 0 || res.Steps[2] != 6 {
+		t.Fatalf("steps = %v", res.Steps)
+	}
+	if res.MSE[0] != 0 {
+		t.Fatalf("MSE[0] = %v, want 0", res.MSE[0])
+	}
+	// The simulation evolves, so consecutive dumps must differ.
+	if res.MSE[1] <= 0 || res.MSE[2] <= 0 {
+		t.Fatalf("MSE series not positive: %v", res.MSE)
+	}
+	if res.IOTime <= 0 {
+		t.Fatal("analysis charged no I/O time")
+	}
+}
+
+// Figure 10(a)'s claim: analysis over remote disk is far faster than
+// over tape.
+func TestRemoteDiskBeatsTape(t *testing.T) {
+	sysTape := newSystem(t)
+	produce(t, sysTape, core.LocRemoteTape)
+	resTape, err := Run(sysTape, "m", Params{ProducerRun: "prod", Dataset: "temp", Iterations: 6, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysDisk := newSystem(t)
+	produce(t, sysDisk, core.LocRemoteDisk)
+	resDisk, err := Run(sysDisk, "m", Params{ProducerRun: "prod", Dataset: "temp", Iterations: 6, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resDisk.IOTime*2 > resTape.IOTime {
+		t.Fatalf("remote disk %v vs tape %v: want ≥2× win", resDisk.IOTime, resTape.IOTime)
+	}
+	// Same data, same result regardless of storage.
+	for i := range resTape.MSE {
+		if resTape.MSE[i] != resDisk.MSE[i] {
+			t.Fatalf("MSE differs across storage: %v vs %v", resTape.MSE, resDisk.MSE)
+		}
+	}
+}
+
+func TestRejectsNonFloatDataset(t *testing.T) {
+	sys := newSystem(t)
+	_, err := astro3d.Run(sys, "prod", astro3d.Params{
+		Nx: 16, Ny: 16, Nz: 16, MaxIter: 3, VizFreq: 3, Procs: 2,
+		DefaultLocation: core.LocLocalDisk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sys, "m", Params{ProducerRun: "prod", Dataset: "vr_temp", Iterations: 3}); err == nil {
+		t.Fatal("u8 dataset accepted for MSE")
+	}
+}
+
+func TestMissingProducer(t *testing.T) {
+	sys := newSystem(t)
+	if _, err := Run(sys, "m", Params{ProducerRun: "ghost", Dataset: "temp", Iterations: 6}); err == nil {
+		t.Fatal("missing producer accepted")
+	}
+}

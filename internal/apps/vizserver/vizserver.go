@@ -1,0 +1,188 @@
+// Package vizserver is the interactive visualization tool of the
+// paper's simulation environment (the role VTK plays in figure 1(b)):
+// a data consumer that "takes datasets directly from Astro3D" on
+// demand.  It serves dataset slices over HTTP as PGM images, locating
+// each dataset through the meta-data database and reading it through
+// the user API — so interactive exploration automatically benefits from
+// wherever the user's placement hints put the data.
+//
+// Endpoints:
+//
+//	GET /datasets                     list datasets known to the system
+//	GET /slice?run=R&ds=NAME&iter=N[&z=K]   one z-slice as a PGM image
+package vizserver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/imageio"
+	"repro/internal/metadb"
+	"repro/internal/vtime"
+)
+
+// Handler serves interactive dataset views.
+type Handler struct {
+	sys  *core.System
+	proc *vtime.Proc
+
+	mu       sync.Mutex
+	consumer *core.Run
+	attached map[string]*core.Dataset
+}
+
+// New returns a handler over a configured system.  The handler opens
+// one consumer run lazily and keeps datasets attached across requests,
+// the way an interactive session holds its files open.
+func New(sys *core.System) *Handler {
+	return &Handler{
+		sys:      sys,
+		proc:     sys.Sim().NewProc("vizserver"),
+		attached: make(map[string]*core.Dataset),
+	}
+}
+
+// dataset attaches (once) the named dataset of the named run.
+func (h *Handler) dataset(runID, name string) (*core.Dataset, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.consumer == nil {
+		run, err := h.sys.Initialize(core.RunConfig{
+			ID: "vizserver", App: "vizserver", Iterations: 1, Procs: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h.consumer = run
+	}
+	key := runID + "/" + name
+	if d, ok := h.attached[key]; ok {
+		return d, nil
+	}
+	d, err := h.consumer.AttachDataset(runID, name)
+	if err != nil {
+		return nil, err
+	}
+	h.attached[key] = d
+	return d, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/datasets":
+		h.serveDatasets(w)
+	case "/slice":
+		h.serveSlice(w, r)
+	case "/":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "vizserver — interactive dataset viewer")
+		fmt.Fprintln(w, "GET /datasets")
+		fmt.Fprintln(w, "GET /slice?run=R&ds=NAME&iter=N[&z=K]")
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (h *Handler) serveDatasets(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	rows := h.sys.Meta().QueryDatasets(h.proc, func(d metadb.Dataset) bool { return d.Resource != "-" })
+	for _, d := range rows {
+		fmt.Fprintf(w, "%s/%s dims=%v etype=%d on %s\n", d.RunID, d.Name, d.Dims, d.ETypeSize, d.Resource)
+	}
+}
+
+func (h *Handler) serveSlice(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	runID, name := q.Get("run"), q.Get("ds")
+	if runID == "" || name == "" {
+		http.Error(w, "run and ds are required", http.StatusBadRequest)
+		return
+	}
+	iter, err := strconv.Atoi(q.Get("iter"))
+	if err != nil || iter < 0 {
+		http.Error(w, "bad iter", http.StatusBadRequest)
+		return
+	}
+	d, err := h.dataset(runID, name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	spec := d.Spec()
+	if len(spec.Dims) != 3 {
+		http.Error(w, "only 3-D datasets have slices", http.StatusBadRequest)
+		return
+	}
+	nx, ny, nz := spec.Dims[0], spec.Dims[1], spec.Dims[2]
+	z := nz / 2
+	if v := q.Get("z"); v != "" {
+		z, err = strconv.Atoi(v)
+		if err != nil || z < 0 || z >= nz {
+			http.Error(w, "bad z", http.StatusBadRequest)
+			return
+		}
+	}
+	global, err := d.ReadGlobal(h.proc, iter)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	im, err := slice(global, spec.Etype, nx, ny, nz, z)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/x-portable-graymap")
+	if err := imageio.EncodePGM(w, im); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// slice extracts the (x, y) plane at depth z, normalizing float32 data
+// to 8-bit over the slice's own value range.
+func slice(global []byte, etype, nx, ny, nz, z int) (*imageio.Image, error) {
+	im, err := imageio.New(nx, ny)
+	if err != nil {
+		return nil, err
+	}
+	switch etype {
+	case 1:
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				im.Set(x, y, global[(x*ny+y)*nz+z])
+			}
+		}
+	case 4:
+		vals := make([]float64, nx*ny)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				off := ((x*ny+y)*nz + z) * 4
+				v := float64(math.Float32frombits(binary.LittleEndian.Uint32(global[off:])))
+				vals[x*ny+y] = v
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		span := hi - lo
+		if span == 0 {
+			span = 1
+		}
+		for i, v := range vals {
+			im.Pix[i] = byte((v - lo) / span * 255)
+		}
+	default:
+		return nil, fmt.Errorf("vizserver: unsupported element size %d", etype)
+	}
+	return im, nil
+}

@@ -1,0 +1,144 @@
+package vizserver
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/apps/astro3d"
+	"repro/internal/core"
+	"repro/internal/imageio"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/remotedisk"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+func newServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	local, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("rd", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "tp", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Sim: vtime.NewVirtual(), Meta: metadb.New(),
+		LocalDisk: local, RemoteDisk: rdisk, RemoteTape: rtape,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := astro3d.Run(sys, "sim", astro3d.Params{
+		Nx: 16, Ny: 16, Nz: 16, MaxIter: 6,
+		AnalysisFreq: 3, VizFreq: 3, Procs: 2,
+		Locations:       map[string]core.Location{"temp": core.LocLocalDisk, "vr_temp": core.LocLocalDisk},
+		DefaultLocation: core.LocDisable,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(sys))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, srv *httptest.Server, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestDatasetsListing(t *testing.T) {
+	srv := newServer(t)
+	code, body := get(t, srv, "/datasets")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !strings.Contains(string(body), "sim/temp") || !strings.Contains(string(body), "sim/vr_temp") {
+		t.Fatalf("listing:\n%s", body)
+	}
+	if strings.Contains(string(body), "sim/uz") {
+		t.Fatal("DISABLEd dataset listed")
+	}
+}
+
+func TestSliceUnsignedChar(t *testing.T) {
+	srv := newServer(t)
+	code, body := get(t, srv, "/slice?run=sim&ds=vr_temp&iter=3&z=8")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	im, err := imageio.DecodePGM(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 16 || im.H != 16 {
+		t.Fatalf("slice dims = %dx%d", im.W, im.H)
+	}
+	// Hot blob in the centre → centre brighter than corner.
+	if im.At(8, 8) <= im.At(0, 0) {
+		t.Fatalf("centre %d not brighter than corner %d", im.At(8, 8), im.At(0, 0))
+	}
+}
+
+func TestSliceFloatNormalized(t *testing.T) {
+	srv := newServer(t)
+	code, body := get(t, srv, "/slice?run=sim&ds=temp&iter=0")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	im, err := imageio.DecodePGM(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max, _ := imageio.Stats(im)
+	if min != 0 || max != 255 {
+		t.Fatalf("float slice not normalized: [%d, %d]", min, max)
+	}
+}
+
+func TestSliceErrors(t *testing.T) {
+	srv := newServer(t)
+	for url, want := range map[string]int{
+		"/slice":                             http.StatusBadRequest,
+		"/slice?run=sim&ds=temp&iter=potato": http.StatusBadRequest,
+		"/slice?run=sim&ds=temp&iter=0&z=99": http.StatusBadRequest,
+		"/slice?run=ghost&ds=temp&iter=0":    http.StatusNotFound,
+		"/slice?run=sim&ds=uz&iter=0":        http.StatusNotFound, // DISABLEd: no resource
+		"/slice?run=sim&ds=temp&iter=1":      http.StatusNotFound, // not a dump iteration
+		"/elsewhere":                         http.StatusNotFound,
+	} {
+		code, _ := get(t, srv, url)
+		if code != want {
+			t.Errorf("%s → %d, want %d", url, code, want)
+		}
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := newServer(t)
+	code, body := get(t, srv, "/")
+	if code != http.StatusOK || !strings.Contains(string(body), "/slice") {
+		t.Fatalf("index = %d %q", code, body)
+	}
+}

@@ -1,0 +1,185 @@
+package volren
+
+import (
+	"testing"
+
+	"repro/internal/apps/astro3d"
+	"repro/internal/core"
+	"repro/internal/imageio"
+	"repro/internal/ioopt"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/remotedisk"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+func newSystem(t *testing.T) *core.System {
+	t.Helper()
+	local, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "sdsc-hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Sim: vtime.NewVirtual(), Meta: metadb.New(),
+		LocalDisk: local, RemoteDisk: rdisk, RemoteTape: rtape,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func produce(t *testing.T, sys *core.System, loc core.Location) {
+	t.Helper()
+	_, err := astro3d.Run(sys, "prod", astro3d.Params{
+		Nx: 16, Ny: 16, Nz: 16, MaxIter: 6,
+		VizFreq: 3, Procs: 4,
+		Locations:       map[string]core.Location{"vr_temp": loc},
+		DefaultLocation: core.LocDisable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderProducesImages(t *testing.T) {
+	sys := newSystem(t)
+	produce(t, sys, core.LocLocalDisk)
+	res, err := Run(sys, "vr1", Params{
+		ProducerRun: "prod", Dataset: "vr_temp", Iterations: 6, Procs: 4,
+		ImageLocation: core.LocLocalDisk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Images) != 3 {
+		t.Fatalf("images = %d, want 3", len(res.Images))
+	}
+	im := res.Images[0]
+	if im.W != 16 || im.H != 16 {
+		t.Fatalf("image dims = %d×%d", im.W, im.H)
+	}
+	// The hot central blob must render brighter than the corner.
+	center := im.At(8, 8)
+	corner := im.At(0, 0)
+	if center <= corner {
+		t.Fatalf("center %d not brighter than corner %d", center, corner)
+	}
+	_, max, mean := imageio.Stats(im)
+	if max == 0 || mean == 0 {
+		t.Fatal("image is black")
+	}
+	if res.IOTime <= 0 {
+		t.Fatal("no I/O charged")
+	}
+}
+
+func TestImageDatasetReadableByViewer(t *testing.T) {
+	sys := newSystem(t)
+	produce(t, sys, core.LocLocalDisk)
+	res, err := Run(sys, "vr1", Params{
+		ProducerRun: "prod", Dataset: "vr_temp", Iterations: 6, Procs: 2,
+		ImageLocation: core.LocRemoteDisk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The image viewer path: attach the image dataset and compare with
+	// the in-memory render.
+	viewer, err := sys.Initialize(core.RunConfig{ID: "viewer", App: "imgview", Iterations: 1, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := viewer.AttachDataset("vr1", "image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Sim().NewProc("viewer0")
+	raw, err := d.ReadGlobal(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Images[3]
+	if len(raw) != len(want.Pix) {
+		t.Fatalf("stored image = %d bytes, want %d", len(raw), len(want.Pix))
+	}
+	for i := range raw {
+		if raw[i] != want.Pix[i] {
+			t.Fatalf("stored image differs at %d", i)
+		}
+	}
+}
+
+func TestSuperfileImagesRoundTrip(t *testing.T) {
+	sys := newSystem(t)
+	produce(t, sys, core.LocLocalDisk)
+	res, err := Run(sys, "vr1", Params{
+		ProducerRun: "prod", Dataset: "vr_temp", Iterations: 6, Procs: 2,
+		ImageLocation: core.LocRemoteDisk, ImageOpt: ioopt.Superfile,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewer, _ := sys.Initialize(core.RunConfig{ID: "viewer", Iterations: 1, Procs: 1})
+	d, err := viewer.AttachDataset("vr1", "image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Sim().NewProc("v")
+	raw, err := d.ReadGlobal(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Images[6]
+	for i := range raw {
+		if raw[i] != want.Pix[i] {
+			t.Fatal("superfile image differs")
+		}
+	}
+}
+
+func TestRejectsFloatVolume(t *testing.T) {
+	sys := newSystem(t)
+	_, err := astro3d.Run(sys, "prod", astro3d.Params{
+		Nx: 16, Ny: 16, Nz: 16, MaxIter: 3, AnalysisFreq: 3, Procs: 2,
+		DefaultLocation: core.LocLocalDisk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sys, "vr", Params{ProducerRun: "prod", Dataset: "temp", Iterations: 3}); err == nil {
+		t.Fatal("float volume accepted")
+	}
+}
+
+func TestRenderDeterministicAcrossProcs(t *testing.T) {
+	mk := func(procs int) *imageio.Image {
+		sys := newSystem(t)
+		produce(t, sys, core.LocLocalDisk)
+		res, err := Run(sys, "vr1", Params{
+			ProducerRun: "prod", Dataset: "vr_temp", Iterations: 6, Procs: procs,
+			ImageLocation: core.LocLocalDisk,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Images[6]
+	}
+	a, b := mk(1), mk(4)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("image differs between 1 and 4 procs at %d", i)
+		}
+	}
+}

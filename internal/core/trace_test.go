@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ioopt"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/pattern"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// TestNativeCallCountsMatchEq2 verifies, via the I/O trace, that each
+// run-time optimization issues exactly the native-call pattern the
+// predictor's eq. (2) assumes (ioopt.Kind.Calls).
+func TestNativeCallCountsMatchEq2(t *testing.T) {
+	dims := []int{8, 8, 8}
+	etype := 4
+	pat, err := pattern.Parse("BBB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const procs = 8
+
+	for _, opt := range []ioopt.Kind{ioopt.Collective, ioopt.Naive, ioopt.Subfile} {
+		rec := trace.New(0)
+		be, err := localdisk.New("traced", memfs.New(), localdisk.WithTrace(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewSystem(SystemConfig{
+			Sim: vtime.NewVirtual(), Meta: metadb.New(), LocalDisk: be,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := sys.Initialize(RunConfig{ID: "r", Iterations: 1, Procs: procs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := run.OpenDataset(DatasetSpec{
+			Name: "x", AMode: storage.ModeCreate, Dims: dims, Etype: etype,
+			Pattern: pat, Location: LocLocalDisk, Opt: opt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs := make([][]byte, procs)
+		for r := range bufs {
+			n, err := d.LocalSize(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufs[r] = make([]byte, n)
+		}
+		rec.Reset() // drop metadata-era events
+		if err := d.WriteIter(0, bufs); err != nil {
+			t.Fatalf("%v: %v", opt, err)
+		}
+		grid := d.Grid()
+		wantCalls, _, err := opt.Calls(dims, etype, pat, grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCalls := rec.Count("traced", trace.OpWrite)
+		// Eq. (2) counts collective as one logical call; physically each
+		// of the P ranks writes its contiguous domain, so the trace shows
+		// P calls whose units sum to the dataset.  Subfile and Naive map
+		// one to one.
+		if opt == ioopt.Collective {
+			wantCalls = procs
+		}
+		if opt == ioopt.Subfile {
+			wantCalls++ // the geometry meta file
+		}
+		if gotCalls != wantCalls {
+			t.Errorf("%v: traced %d native writes, eq.(2) accounting expects %d", opt, gotCalls, wantCalls)
+		}
+		// Every optimization moves exactly the dataset's bytes (subfile
+		// adds its small meta file).
+		var bytes int64
+		for _, e := range rec.Events() {
+			if e.Op == trace.OpWrite {
+				bytes += e.Bytes
+			}
+		}
+		want := pattern.TotalBytes(dims, etype)
+		slack := int64(0)
+		if opt == ioopt.Subfile {
+			slack = 256 // geometry meta file
+		}
+		if bytes < want || bytes > want+slack {
+			t.Errorf("%v: traced %d bytes written, want %d (+%d)", opt, bytes, want, slack)
+		}
+	}
+}
+
+// TestNaiveTraceShowsManySmallCalls pins the contrast the paper draws:
+// naive I/O issues hundreds of tiny calls where collective issues a
+// handful of large ones.
+func TestNaiveTraceShowsManySmallCalls(t *testing.T) {
+	count := func(opt ioopt.Kind) (calls int, maxBytes int64) {
+		rec := trace.New(0)
+		be, err := localdisk.New("traced", memfs.New(), localdisk.WithTrace(rec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, _ := NewSystem(SystemConfig{Sim: vtime.NewVirtual(), Meta: metadb.New(), LocalDisk: be})
+		run, _ := sys.Initialize(RunConfig{ID: "r", Iterations: 1, Procs: 4})
+		pat, _ := pattern.Parse("**B")
+		d, err := run.OpenDataset(DatasetSpec{
+			Name: "x", AMode: storage.ModeCreate, Dims: []int{8, 8, 8}, Etype: 4,
+			Pattern: pat, Location: LocLocalDisk, Opt: opt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs := make([][]byte, 4)
+		for r := range bufs {
+			n, _ := d.LocalSize(r)
+			bufs[r] = make([]byte, n)
+		}
+		rec.Reset()
+		if err := d.WriteIter(0, bufs); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range rec.Events() {
+			if e.Op == trace.OpWrite {
+				calls++
+				if e.Bytes > maxBytes {
+					maxBytes = e.Bytes
+				}
+			}
+		}
+		return calls, maxBytes
+	}
+	naiveCalls, naiveMax := count(ioopt.Naive)
+	collCalls, collMax := count(ioopt.Collective)
+	if naiveCalls < 10*collCalls {
+		t.Fatalf("naive %d calls vs collective %d: contrast lost", naiveCalls, collCalls)
+	}
+	if naiveMax >= collMax {
+		t.Fatalf("naive unit %d not smaller than collective unit %d", naiveMax, collMax)
+	}
+}

@@ -1,0 +1,181 @@
+package dbstore
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/apps/astro3d"
+	"repro/internal/core"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/predict"
+	"repro/internal/ptool"
+	"repro/internal/remotedisk"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+func TestDefaults(t *testing.T) {
+	b, err := New("nwu-postgres", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Kind() != storage.KindLocalDB {
+		t.Fatalf("kind = %v", b.Kind())
+	}
+	total, _ := b.Capacity()
+	if total != DefaultCapacity {
+		t.Fatalf("capacity = %d", total)
+	}
+	if b.Model().Name != "localdb" {
+		t.Fatalf("model = %q", b.Model().Name)
+	}
+}
+
+func TestCostProfileBetweenDiskAndWAN(t *testing.T) {
+	// The database sits between the raw local disks and the WAN-served
+	// remote disks for bulk transfers.
+	db := model.LocalDB2000()
+	local := model.LocalDisk2000()
+	remote := model.RemoteDisk2000()
+	for _, op := range []model.Op{model.Read, model.Write} {
+		dbT := db.CallTotal(op, 2*model.MiB)
+		if !(local.CallTotal(op, 2*model.MiB) < dbT && dbT < remote.CallTotal(op, 2*model.MiB)) {
+			t.Fatalf("%v: localdb cost %v not between local disk and remote disk", op, dbT)
+		}
+	}
+}
+
+// fullSystem wires all four resource classes.
+func fullSystem(t *testing.T) (*core.System, *metadb.DB) {
+	t.Helper()
+	sim := vtime.NewVirtual()
+	local, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := New("nwu-postgres", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := metadb.New()
+	sys, err := core.NewSystem(core.SystemConfig{
+		Sim: sim, Meta: meta,
+		LocalDisk: local, RemoteDisk: rdisk, RemoteTape: rtape, LocalDB: db,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, meta
+}
+
+func TestLocalDBHintRoutesDatasets(t *testing.T) {
+	sys, meta := fullSystem(t)
+	rep, err := astro3d.Run(sys, "r1", astro3d.Params{
+		Nx: 16, Ny: 16, Nz: 16, MaxIter: 6, AnalysisFreq: 3, Procs: 2,
+		Locations:       map[string]core.Location{"temp": core.LocLocalDB},
+		DefaultLocation: core.LocDisable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dumps != 3 {
+		t.Fatalf("dumps = %d", rep.Dumps)
+	}
+	row, err := meta.GetDataset(nil, "r1", "temp")
+	if err != nil || row.Resource != "nwu-postgres" || row.Location != "LOCALDB" {
+		t.Fatalf("row = %+v, %v", row, err)
+	}
+	// Consumer reads back through the same class.
+	consumer, _ := sys.Initialize(core.RunConfig{ID: "c", Iterations: 1, Procs: 1})
+	d, err := consumer.AttachDataset("r1", "temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.Sim().NewProc("p")
+	g0, err := d.ReadGlobal(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g6, err := d.ReadGlobal(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(g0, g6) {
+		t.Fatal("database-stored dumps identical across timesteps")
+	}
+}
+
+func TestParseLocalDBHint(t *testing.T) {
+	loc, err := core.ParseLocation("LOCALDB")
+	if err != nil || loc != core.LocLocalDB {
+		t.Fatalf("ParseLocation = %v, %v", loc, err)
+	}
+	if loc.String() != "LOCALDB" {
+		t.Fatalf("String = %q", loc.String())
+	}
+}
+
+func TestPToolAndPredictorCoverLocalDB(t *testing.T) {
+	db, err := New("pg", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := metadb.New()
+	rep, err := ptool.Measure(vtime.NewVirtual(), db, meta, ptool.Config{Sizes: []int64{1 << 20, 2 << 20}, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resource != "localdb" {
+		t.Fatalf("resource = %q", rep.Resource)
+	}
+	pdb := predict.NewDB(meta)
+	row, err := pdb.PredictDataset(predict.DatasetReq{
+		Name: "temp", AMode: "create", Dims: []int{64, 64, 64}, Etype: 4,
+		Pattern: "B**", Location: "localdb", Frequency: 6, Procs: 4,
+	}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.VirtualTime <= 0 {
+		t.Fatal("no prediction for localdb")
+	}
+	// 1 MiB at ≈4 MiB/s write → ≈0.25 s per MiB; dumps × size sanity.
+	perDump := row.VirtualTime / time.Duration(row.Dumps)
+	if perDump < 100*time.Millisecond || perDump > 2*time.Second {
+		t.Fatalf("per-dump prediction %v implausible for 1 MiB on localdb", perDump)
+	}
+}
+
+func TestFailoverPrefersDBOverLocalDisk(t *testing.T) {
+	sys, _ := fullSystem(t)
+	// Tape and remote disk down: AUTO falls to the database before the
+	// scarce local disks.
+	for _, kind := range []storage.Kind{storage.KindRemoteTape, storage.KindRemoteDisk} {
+		be, _ := sys.Backend(kind)
+		be.(storage.Outage).SetDown(true)
+	}
+	run, _ := sys.Initialize(core.RunConfig{ID: "r", Iterations: 6, Procs: 2})
+	d, err := run.OpenDataset(core.DatasetSpec{
+		Name: "x", AMode: storage.ModeCreate, Dims: []int{8, 8, 8}, Etype: 4,
+		Location: core.LocAuto, Frequency: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Backend().Kind() != storage.KindLocalDB {
+		t.Fatalf("failover placed on %v, want localdb", d.Backend().Kind())
+	}
+}

@@ -1,0 +1,311 @@
+// Package device implements a generic timed storage backend: a raw
+// byte Store fronted by an eq. (1) cost model and a set of virtual-time
+// device resources.  The local-disk and remote-disk resources of the
+// paper's architecture are instances of this package (see the localdisk
+// and remotedisk packages); the tape resource needs mount/wind mechanics
+// and lives in its own package.
+package device
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Config describes one timed storage resource.
+type Config struct {
+	// Name is the backend instance name, e.g. "argonne-ssa".
+	Name string
+	// Kind is the storage class advertised to the placement layer.
+	Kind storage.Kind
+	// Params is the eq. (1) cost model.
+	Params model.Params
+	// Store holds the actual bytes.
+	Store storage.Store
+	// Channels is the number of independent device channels.  Files hash
+	// onto channels, so transfers to distinct files overlap up to
+	// Channels ways (the SP2 node's four SSA disks), while Channels == 1
+	// models a single shared WAN link that serializes everything.
+	Channels int
+	// Capacity in bytes; <= 0 means unlimited.
+	Capacity int64
+	// Trace, when non-nil, records every native call served.
+	Trace *trace.Recorder
+}
+
+// Backend is a timed storage resource.  It implements storage.Backend
+// and storage.Outage.
+type Backend struct {
+	cfg      Config
+	channels []*vtime.Resource
+	down     atomic.Bool
+}
+
+var (
+	_ storage.Backend = (*Backend)(nil)
+	_ storage.Outage  = (*Backend)(nil)
+)
+
+// New returns a Backend for the given configuration.
+func New(cfg Config) (*Backend, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("device %q: nil store", cfg.Name)
+	}
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	b := &Backend{cfg: cfg}
+	b.channels = make([]*vtime.Resource, cfg.Channels)
+	for i := range b.channels {
+		b.channels[i] = vtime.NewResource(fmt.Sprintf("%s/ch%d", cfg.Name, i))
+	}
+	return b, nil
+}
+
+// Name implements storage.Backend.
+func (b *Backend) Name() string { return b.cfg.Name }
+
+// Kind implements storage.Backend.
+func (b *Backend) Kind() storage.Kind { return b.cfg.Kind }
+
+// Model returns the backend's cost model (used by tests and reports; the
+// predictor proper learns costs through PTool measurements).
+func (b *Backend) Model() model.Params { return b.cfg.Params }
+
+// Capacity implements storage.Backend.
+func (b *Backend) Capacity() (total, used int64) {
+	return b.cfg.Capacity, b.cfg.Store.UsedBytes()
+}
+
+// SetDown implements storage.Outage.
+func (b *Backend) SetDown(down bool) { b.down.Store(down) }
+
+// Down implements storage.Outage.
+func (b *Backend) Down() bool { return b.down.Load() }
+
+// ResetClocks returns all device channels to idle.  Benchmark scenarios
+// call this between runs so queueing state does not leak across them.
+func (b *Backend) ResetClocks() {
+	for _, ch := range b.channels {
+		ch.Reset()
+	}
+}
+
+// record emits one trace event covering [start, now] on p's clock.
+func (b *Backend) record(p *vtime.Proc, op trace.Op, path string, bytes int64, start time.Duration) {
+	b.cfg.Trace.Record(trace.Event{
+		At: p.Now(), Proc: p.Name(), Backend: b.cfg.Name,
+		Op: op, Path: path, Bytes: bytes, Cost: p.Now() - start,
+	})
+}
+
+// channel returns the device channel a path is bound to.
+func (b *Backend) channel(path string) *vtime.Resource {
+	if len(b.channels) == 1 {
+		return b.channels[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(path))
+	return b.channels[h.Sum32()%uint32(len(b.channels))]
+}
+
+// Connect implements storage.Backend, charging the communication-setup
+// constant.
+func (b *Backend) Connect(p *vtime.Proc) (storage.Session, error) {
+	if b.Down() {
+		return nil, fmt.Errorf("device %q connect: %w", b.cfg.Name, storage.ErrDown)
+	}
+	start := p.Now()
+	p.Advance(b.cfg.Params.Conn)
+	b.record(p, trace.OpConnect, "", 0, start)
+	return &session{b: b}, nil
+}
+
+type session struct {
+	b      *Backend
+	closed atomic.Bool
+}
+
+func (s *session) guard(op string) error {
+	if s.closed.Load() {
+		return fmt.Errorf("device %q %s: %w", s.b.cfg.Name, op, storage.ErrClosed)
+	}
+	if s.b.Down() {
+		return fmt.Errorf("device %q %s: %w", s.b.cfg.Name, op, storage.ErrDown)
+	}
+	return nil
+}
+
+// Open implements storage.Session, charging the file-open constant.
+func (s *session) Open(p *vtime.Proc, name string, mode storage.AMode) (storage.Handle, error) {
+	if err := s.guard("open"); err != nil {
+		return nil, err
+	}
+	name, err := storage.CleanPath(name)
+	if err != nil {
+		return nil, err
+	}
+	op := model.Read
+	if mode.Writable() {
+		op = model.Write
+	}
+	if mode == storage.ModeCreate {
+		if _, err := s.b.cfg.Store.Stat(name); err == nil {
+			return nil, fmt.Errorf("device %q create %q: %w", s.b.cfg.Name, name, storage.ErrExist)
+		}
+	}
+	f, err := s.b.cfg.Store.Open(name, mode.Writable(), mode == storage.ModeOverWrite)
+	if err != nil {
+		return nil, err
+	}
+	start := p.Now()
+	p.Advance(s.b.cfg.Params.Open(op))
+	s.b.record(p, trace.OpOpen, name, 0, start)
+	return &handle{s: s, f: f, path: name, mode: mode}, nil
+}
+
+// Remove implements storage.Session.
+func (s *session) Remove(p *vtime.Proc, name string) error {
+	if err := s.guard("remove"); err != nil {
+		return err
+	}
+	p.Advance(s.b.cfg.Params.PerCall(model.Write))
+	return s.b.cfg.Store.Remove(name)
+}
+
+// Stat implements storage.Session.
+func (s *session) Stat(p *vtime.Proc, name string) (storage.FileInfo, error) {
+	if err := s.guard("stat"); err != nil {
+		return storage.FileInfo{}, err
+	}
+	p.Advance(s.b.cfg.Params.PerCall(model.Read))
+	return s.b.cfg.Store.Stat(name)
+}
+
+// List implements storage.Session.
+func (s *session) List(p *vtime.Proc, prefix string) ([]storage.FileInfo, error) {
+	if err := s.guard("list"); err != nil {
+		return nil, err
+	}
+	p.Advance(s.b.cfg.Params.PerCall(model.Read))
+	return s.b.cfg.Store.List(prefix)
+}
+
+// Close implements storage.Session, charging the connection teardown.
+func (s *session) Close(p *vtime.Proc) error {
+	if s.closed.Swap(true) {
+		return fmt.Errorf("device %q session close: %w", s.b.cfg.Name, storage.ErrClosed)
+	}
+	p.Advance(s.b.cfg.Params.ConnClose)
+	return nil
+}
+
+type handle struct {
+	s    *session
+	f    storage.File
+	path string
+	mode storage.AMode
+
+	mu      sync.Mutex
+	lastEnd map[*vtime.Proc]int64
+	closed  bool
+}
+
+var _ storage.Handle = (*handle)(nil)
+
+func (h *handle) Path() string { return h.path }
+func (h *handle) Size() int64  { return h.f.Size() }
+
+// seekCost reports whether an access at off by p pays the seek
+// constant, and records the new head position.  Seek state is tracked
+// per process: each parallel stream positioning itself once after open
+// is free (that positioning is part of the open), while discontiguous
+// accesses within one process's stream — the strided patterns that
+// data sieving and collective I/O exist to avoid — pay the Table 1
+// seek constant.
+func (h *handle) seekCost(p *vtime.Proc, off, n int64) (cost bool, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return false, storage.ErrClosed
+	}
+	if h.lastEnd == nil {
+		h.lastEnd = make(map[*vtime.Proc]int64)
+	}
+	prev, seen := h.lastEnd[p]
+	cost = seen && prev != off
+	h.lastEnd[p] = off + n
+	return cost, nil
+}
+
+// ReadAt implements storage.Handle.
+func (h *handle) ReadAt(p *vtime.Proc, b []byte, off int64) (int, error) {
+	if err := h.s.guard("read"); err != nil {
+		return 0, err
+	}
+	seek, err := h.seekCost(p, off, int64(len(b)))
+	if err != nil {
+		return 0, fmt.Errorf("device %q read %q: %w", h.s.b.cfg.Name, h.path, err)
+	}
+	start := p.Now()
+	n, err := h.f.ReadAt(b, off)
+	cost := h.s.b.cfg.Params.Xfer(model.Read, int64(n))
+	if seek {
+		cost += h.s.b.cfg.Params.Seek
+	}
+	h.s.b.channel(h.path).Acquire(p, cost)
+	h.s.b.record(p, trace.OpRead, h.path, int64(n), start)
+	return n, err
+}
+
+// WriteAt implements storage.Handle.
+func (h *handle) WriteAt(p *vtime.Proc, b []byte, off int64) (int, error) {
+	if err := h.s.guard("write"); err != nil {
+		return 0, err
+	}
+	if !h.mode.Writable() {
+		return 0, fmt.Errorf("device %q write %q: %w", h.s.b.cfg.Name, h.path, storage.ErrReadOnly)
+	}
+	if limit := h.s.b.cfg.Capacity; limit > 0 {
+		ext := off + int64(len(b)) - h.f.Size()
+		if ext > 0 && h.s.b.cfg.Store.UsedBytes()+ext > limit {
+			return 0, fmt.Errorf("device %q write %q: %w", h.s.b.cfg.Name, h.path, storage.ErrCapacity)
+		}
+	}
+	// Table 1 marks the seek term "–" for writes: appends reposition as
+	// part of the transfer, so only the head-position bookkeeping runs.
+	if _, err := h.seekCost(p, off, int64(len(b))); err != nil {
+		return 0, fmt.Errorf("device %q write %q: %w", h.s.b.cfg.Name, h.path, err)
+	}
+	start := p.Now()
+	n, err := h.f.WriteAt(b, off)
+	h.s.b.channel(h.path).Acquire(p, h.s.b.cfg.Params.Xfer(model.Write, int64(n)))
+	h.s.b.record(p, trace.OpWrite, h.path, int64(n), start)
+	return n, err
+}
+
+// Close implements storage.Handle, charging the file-close constant.
+func (h *handle) Close(p *vtime.Proc) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return fmt.Errorf("device %q close %q: %w", h.s.b.cfg.Name, h.path, storage.ErrClosed)
+	}
+	h.closed = true
+	h.mu.Unlock()
+	op := model.Read
+	if h.mode.Writable() {
+		op = model.Write
+	}
+	start := p.Now()
+	p.Advance(h.s.b.cfg.Params.Close(op))
+	h.s.b.record(p, trace.OpClose, h.path, 0, start)
+	return h.f.Close()
+}

@@ -1,0 +1,180 @@
+// Package flaky wraps a storage backend with deterministic fault
+// injection, for exercising the error paths of the run-time library and
+// the user API: the paper's reliability argument ("often the remote
+// large storage system … is shutdown for system failure or
+// maintenance") deserves tests where failures happen mid-run, not only
+// between runs.
+//
+// Faults are injected by operation count: the wrapper fails every Nth
+// matching call with the configured error, deterministically, so tests
+// reproduce exactly.
+package flaky
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// Policy selects which calls fail.
+type Policy struct {
+	// FailEvery makes every Nth matching operation fail (1 = all).
+	// Zero disables injection.
+	FailEvery int64
+	// Err is the injected error (storage.ErrDown if nil).
+	Err error
+	// Ops restricts injection to the named operations ("read", "write",
+	// "open", "connect"); empty means all four.
+	Ops []string
+}
+
+func (p Policy) err() error {
+	if p.Err != nil {
+		return p.Err
+	}
+	return storage.ErrDown
+}
+
+func (p Policy) matches(op string) bool {
+	if len(p.Ops) == 0 {
+		return true
+	}
+	for _, o := range p.Ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// Backend wraps an inner backend with fault injection.
+type Backend struct {
+	inner  storage.Backend
+	policy Policy
+	count  atomic.Int64
+	hits   atomic.Int64
+}
+
+var _ storage.Backend = (*Backend)(nil)
+
+// Wrap returns a fault-injecting view of inner.
+func Wrap(inner storage.Backend, policy Policy) *Backend {
+	return &Backend{inner: inner, policy: policy}
+}
+
+// Injected reports how many faults have fired.
+func (b *Backend) Injected() int64 { return b.hits.Load() }
+
+// trip returns the injected error when this call is selected.
+func (b *Backend) trip(op string) error {
+	if b.policy.FailEvery <= 0 || !b.policy.matches(op) {
+		return nil
+	}
+	n := b.count.Add(1)
+	if n%b.policy.FailEvery == 0 {
+		b.hits.Add(1)
+		return fmt.Errorf("flaky %q: injected %s fault: %w", b.inner.Name(), op, b.policy.err())
+	}
+	return nil
+}
+
+// Name implements storage.Backend.
+func (b *Backend) Name() string { return b.inner.Name() }
+
+// Kind implements storage.Backend.
+func (b *Backend) Kind() storage.Kind { return b.inner.Kind() }
+
+// Capacity implements storage.Backend.
+func (b *Backend) Capacity() (total, used int64) { return b.inner.Capacity() }
+
+// SetDown forwards outage control when the inner backend supports it.
+func (b *Backend) SetDown(down bool) {
+	if o, ok := b.inner.(storage.Outage); ok {
+		o.SetDown(down)
+	}
+}
+
+// Down reports the inner backend's outage state.
+func (b *Backend) Down() bool {
+	if o, ok := b.inner.(storage.Outage); ok {
+		return o.Down()
+	}
+	return false
+}
+
+// Connect implements storage.Backend.
+func (b *Backend) Connect(p *vtime.Proc) (storage.Session, error) {
+	if err := b.trip("connect"); err != nil {
+		return nil, err
+	}
+	inner, err := b.inner.Connect(p)
+	if err != nil {
+		return nil, err
+	}
+	return &session{b: b, inner: inner}, nil
+}
+
+type session struct {
+	b     *Backend
+	inner storage.Session
+}
+
+// Open implements storage.Session.
+func (s *session) Open(p *vtime.Proc, name string, mode storage.AMode) (storage.Handle, error) {
+	if err := s.b.trip("open"); err != nil {
+		return nil, err
+	}
+	h, err := s.inner.Open(p, name, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &handle{b: s.b, inner: h}, nil
+}
+
+// Remove implements storage.Session.
+func (s *session) Remove(p *vtime.Proc, name string) error { return s.inner.Remove(p, name) }
+
+// Stat implements storage.Session.
+func (s *session) Stat(p *vtime.Proc, name string) (storage.FileInfo, error) {
+	return s.inner.Stat(p, name)
+}
+
+// List implements storage.Session.
+func (s *session) List(p *vtime.Proc, prefix string) ([]storage.FileInfo, error) {
+	return s.inner.List(p, prefix)
+}
+
+// Close implements storage.Session.
+func (s *session) Close(p *vtime.Proc) error { return s.inner.Close(p) }
+
+type handle struct {
+	b     *Backend
+	inner storage.Handle
+}
+
+// ReadAt implements storage.Handle.
+func (h *handle) ReadAt(p *vtime.Proc, buf []byte, off int64) (int, error) {
+	if err := h.b.trip("read"); err != nil {
+		return 0, err
+	}
+	return h.inner.ReadAt(p, buf, off)
+}
+
+// WriteAt implements storage.Handle.
+func (h *handle) WriteAt(p *vtime.Proc, buf []byte, off int64) (int, error) {
+	if err := h.b.trip("write"); err != nil {
+		return 0, err
+	}
+	return h.inner.WriteAt(p, buf, off)
+}
+
+// Size implements storage.Handle.
+func (h *handle) Size() int64 { return h.inner.Size() }
+
+// Path implements storage.Handle.
+func (h *handle) Path() string { return h.inner.Path() }
+
+// Close implements storage.Handle.
+func (h *handle) Close(p *vtime.Proc) error { return h.inner.Close(p) }

@@ -1,0 +1,201 @@
+package flaky
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/apps/astro3d"
+	"repro/internal/core"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/remotedisk"
+	"repro/internal/replica"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+func inner(t *testing.T) storage.Backend {
+	t.Helper()
+	be, err := localdisk.New("l", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be
+}
+
+func TestEveryNthWriteFails(t *testing.T) {
+	b := Wrap(inner(t), Policy{FailEvery: 3, Ops: []string{"write"}})
+	p := vtime.NewVirtual().NewProc("p")
+	sess, err := b.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures := 0
+	for i := 0; i < 9; i++ {
+		if _, err := h.WriteAt(p, []byte{1}, int64(i)); err != nil {
+			failures++
+			if !errors.Is(err, storage.ErrDown) {
+				t.Fatalf("injected err = %v", err)
+			}
+		}
+	}
+	if failures != 3 || b.Injected() != 3 {
+		t.Fatalf("failures = %d, injected = %d, want 3", failures, b.Injected())
+	}
+}
+
+func TestOpFilterAndCustomError(t *testing.T) {
+	custom := errors.New("boom")
+	b := Wrap(inner(t), Policy{FailEvery: 1, Err: custom, Ops: []string{"read"}})
+	p := vtime.NewVirtual().NewProc("p")
+	sess, err := b.Connect(p) // connect unaffected
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Open(p, "f", storage.ModeCreate) // open unaffected
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(p, []byte{1}, 0); err != nil { // write unaffected
+		t.Fatal(err)
+	}
+	if _, err := h.ReadAt(p, make([]byte, 1), 0); !errors.Is(err, custom) {
+		t.Fatalf("read err = %v, want custom", err)
+	}
+}
+
+func TestZeroPolicyIsTransparent(t *testing.T) {
+	b := Wrap(inner(t), Policy{})
+	p := vtime.NewVirtual().NewProc("p")
+	sess, _ := b.Connect(p)
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := h.WriteAt(p, []byte{1}, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Injected() != 0 {
+		t.Fatalf("injected = %d", b.Injected())
+	}
+}
+
+// TestRunSurfacesMidRunFault: a fault in the middle of an application
+// run must surface as a clean error, not a hang or corruption.
+func TestRunSurfacesMidRunFault(t *testing.T) {
+	be := Wrap(inner(t), Policy{FailEvery: 10, Ops: []string{"write"}})
+	sys, err := core.NewSystem(core.SystemConfig{
+		Sim: vtime.NewVirtual(), Meta: metadb.New(), LocalDisk: be,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = astro3d.Run(sys, "r", astro3d.Params{
+		Nx: 8, Ny: 8, Nz: 8, MaxIter: 12, AnalysisFreq: 3, Procs: 2,
+		DefaultLocation: core.LocLocalDisk,
+	})
+	if err == nil {
+		t.Fatal("mid-run fault swallowed")
+	}
+	if !errors.Is(err, storage.ErrDown) {
+		t.Fatalf("fault surfaced as %v", err)
+	}
+}
+
+// TestReplicaMasksFlakyMember: replication over a flaky member and a
+// healthy one keeps reads flowing.
+func TestReplicaMasksFlakyMember(t *testing.T) {
+	healthy, err := remotedisk.New("stable", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	unstable := Wrap(inner(t), Policy{FailEvery: 1, Ops: []string{"read"}})
+	mirror, err := replica.New("m", unstable, healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vtime.NewVirtual().NewProc("p")
+	sess, err := mirror.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(p, []byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	h.Close(p)
+	r, err := sess.Open(p, "f", storage.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := r.ReadAt(p, buf, 0); err != nil {
+		t.Fatalf("replica did not mask flaky reads: %v", err)
+	}
+	if string(buf) != "ok" {
+		t.Fatalf("read %q", buf)
+	}
+	if unstable.Injected() == 0 {
+		t.Fatal("flaky member never exercised")
+	}
+}
+
+func TestPassthroughSurface(t *testing.T) {
+	b := Wrap(inner(t), Policy{})
+	if b.Kind() != storage.KindLocalDisk || b.Name() != "l" {
+		t.Fatalf("identity = %v/%v", b.Kind(), b.Name())
+	}
+	if total, _ := b.Capacity(); total == 0 {
+		t.Fatal("capacity not forwarded")
+	}
+	b.SetDown(true)
+	if !b.Down() {
+		t.Fatal("outage not forwarded")
+	}
+	b.SetDown(false)
+	p := vtime.NewVirtual().NewProc("p")
+	sess, err := b.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := sess.Open(p, "d/f", storage.ModeCreate)
+	h.WriteAt(p, []byte{1, 2}, 0)
+	if h.Size() != 2 || h.Path() != "d/f" {
+		t.Fatalf("handle surface = %d %q", h.Size(), h.Path())
+	}
+	if err := h.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := sess.Stat(p, "d/f")
+	if err != nil || fi.Size != 2 {
+		t.Fatalf("Stat = %+v, %v", fi, err)
+	}
+	ls, err := sess.List(p, "d/")
+	if err != nil || len(ls) != 1 {
+		t.Fatalf("List = %v, %v", ls, err)
+	}
+	if err := sess.Remove(p, "d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectFault(t *testing.T) {
+	b := Wrap(inner(t), Policy{FailEvery: 1, Ops: []string{"connect"}})
+	p := vtime.NewVirtual().NewProc("p")
+	if _, err := b.Connect(p); !errors.Is(err, storage.ErrDown) {
+		t.Fatalf("connect fault = %v", err)
+	}
+}

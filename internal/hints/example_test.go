@@ -1,0 +1,26 @@
+package hints_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hints"
+)
+
+// A hint table is the textual form of the paper's figure 11 screen.
+func ExampleParse() {
+	table := `
+# name   amode  etype pattern dims        expectedloc freq
+temp     create 4     B**     128,128,128 REMOTEDISK  6
+vr_temp  create 1     B**     128,128,128 LOCALDISK   6
+uz       create 4     B**     128,128,128 DISABLE     6
+`
+	hs, _ := hints.Parse(strings.NewReader(table))
+	for _, h := range hs {
+		fmt.Printf("%-8s → %-10s every %d iterations\n", h.Name, h.Location, h.Frequency)
+	}
+	// Output:
+	// temp     → REMOTEDISK every 6 iterations
+	// vr_temp  → LOCALDISK  every 6 iterations
+	// uz       → DISABLE    every 6 iterations
+}

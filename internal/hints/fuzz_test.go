@@ -1,0 +1,25 @@
+package hints
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse: arbitrary hint-table text must never panic; accepted rows
+// must convert to specs and predictor requests without panicking.
+func FuzzParse(f *testing.F) {
+	f.Add("press create 4 B** 128,128,128 SDSCHPSS 6")
+	f.Add("img create 1 B* 16,16 REMOTEDISK superfile")
+	f.Add("# comment only")
+	f.Add("x y z")
+	f.Fuzz(func(t *testing.T, text string) {
+		hs, err := Parse(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		for _, h := range hs {
+			_ = h.Spec()
+			_ = h.PredictReq(8)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+// Package hints parses the dataset hint tables users hand to the
+// system — the textual form of the paper's figure 11 screen, where
+// every dataset row carries NAME, AMODE, NDIMS, ETYPE, PATTERN, DIMS,
+// EXPECTEDLOC and FREQUENCY.
+//
+// Format: one dataset per line, whitespace-separated columns, '#'
+// comments and blank lines ignored:
+//
+//	# name          amode      etype pattern dims        expectedloc freq
+//	press           create     4     B**     128,128,128 SDSCHPSS    6
+//	temp            create     4     B**     128,128,128 REMOTEDISK  6
+//	vr_temp         create     1     B**     128,128,128 LOCALDISK   6
+//	restart_press   over_write 4     B**     128,128,128 SDSCHPSS    6
+//	uz              create     4     B**     128,128,128 DISABLE     6
+//
+// NDIMS is implied by the DIMS column.  The parsed rows convert
+// directly to core.DatasetSpec values and predict.DatasetReq rows, so
+// one hint file drives both the real run and its prediction.
+package hints
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ioopt"
+	"repro/internal/pattern"
+	"repro/internal/predict"
+	"repro/internal/storage"
+)
+
+// Hint is one parsed dataset row.
+type Hint struct {
+	Name      string
+	AMode     storage.AMode
+	Etype     int
+	Pattern   pattern.Pattern
+	Dims      []int
+	Location  core.Location
+	Frequency int
+	// Opt is an optional trailing column naming the optimization
+	// (defaults to collective).
+	Opt ioopt.Kind
+}
+
+// Parse reads a hint table.
+func Parse(r io.Reader) ([]Hint, error) {
+	var out []Hint
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		h, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("hints: line %d: %w", lineNo, err)
+		}
+		out = append(out, h)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hints: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("hints: no dataset rows")
+	}
+	seen := make(map[string]bool, len(out))
+	for _, h := range out {
+		if seen[h.Name] {
+			return nil, fmt.Errorf("hints: duplicate dataset %q", h.Name)
+		}
+		seen[h.Name] = true
+	}
+	return out, nil
+}
+
+// ParseFile reads a hint table from a file.
+func ParseFile(path string) ([]Hint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("hints: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+func parseLine(line string) (Hint, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 6 || len(fields) > 7 {
+		return Hint{}, fmt.Errorf("want 6–7 columns (name amode etype pattern dims loc [freq|freq opt]), got %d", len(fields))
+	}
+	// Columns: name amode etype pattern dims loc [freq] [opt]
+	h := Hint{Name: fields[0], Frequency: 1, Opt: ioopt.Collective}
+	switch fields[1] {
+	case "create":
+		h.AMode = storage.ModeCreate
+	case "over_write":
+		h.AMode = storage.ModeOverWrite
+	case "read":
+		h.AMode = storage.ModeRead
+	default:
+		return Hint{}, fmt.Errorf("unknown amode %q", fields[1])
+	}
+	etype, err := strconv.Atoi(fields[2])
+	if err != nil || etype <= 0 {
+		return Hint{}, fmt.Errorf("bad etype %q", fields[2])
+	}
+	h.Etype = etype
+	pat, err := pattern.Parse(fields[3])
+	if err != nil {
+		return Hint{}, err
+	}
+	h.Pattern = pat
+	for _, d := range strings.Split(fields[4], ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(d))
+		if err != nil || v <= 0 {
+			return Hint{}, fmt.Errorf("bad dims %q", fields[4])
+		}
+		h.Dims = append(h.Dims, v)
+	}
+	if len(h.Dims) != len(h.Pattern) {
+		return Hint{}, fmt.Errorf("pattern %q has %d dims, DIMS %q has %d", fields[3], len(h.Pattern), fields[4], len(h.Dims))
+	}
+	loc, err := core.ParseLocation(fields[5])
+	if err != nil {
+		return Hint{}, err
+	}
+	h.Location = loc
+	if len(fields) >= 7 {
+		freq, err := strconv.Atoi(fields[6])
+		if err != nil || freq <= 0 {
+			// Allow the 7th column to be the optimization instead.
+			opt, oerr := ioopt.Parse(fields[6])
+			if oerr != nil {
+				return Hint{}, fmt.Errorf("bad frequency/opt %q", fields[6])
+			}
+			h.Opt = opt
+		} else {
+			h.Frequency = freq
+		}
+	}
+	return h, nil
+}
+
+// Spec converts the hint to a dataset specification.
+func (h Hint) Spec() core.DatasetSpec {
+	return core.DatasetSpec{
+		Name: h.Name, AMode: h.AMode, Dims: append([]int(nil), h.Dims...),
+		Etype: h.Etype, Pattern: h.Pattern, Location: h.Location,
+		Frequency: h.Frequency, Opt: h.Opt,
+	}
+}
+
+// PredictReq converts the hint to a predictor request for a run with
+// the given process count.  DISABLEd hints map to the zero-cost row.
+func (h Hint) PredictReq(procs int) predict.DatasetReq {
+	resource := "DISABLE"
+	if kind, ok := h.Location.Kind(); ok {
+		resource = kind.String()
+	} else if h.Location == core.LocAuto {
+		resource = storage.KindRemoteTape.String()
+	}
+	op := "create"
+	switch h.AMode {
+	case storage.ModeOverWrite:
+		op = "over_write"
+	case storage.ModeRead:
+		op = "read"
+	}
+	return predict.DatasetReq{
+		Name: h.Name, AMode: op, Dims: append([]int(nil), h.Dims...),
+		Etype: h.Etype, Pattern: h.Pattern.String(), Location: resource,
+		Frequency: h.Frequency, Opt: h.Opt, Procs: procs,
+	}
+}
+
+// OpenAll opens every hinted dataset on the run, returning them keyed
+// by name.
+func OpenAll(run *core.Run, hs []Hint) (map[string]*core.Dataset, error) {
+	out := make(map[string]*core.Dataset, len(hs))
+	for _, h := range hs {
+		d, err := run.OpenDataset(h.Spec())
+		if err != nil {
+			return nil, err
+		}
+		out[h.Name] = d
+	}
+	return out, nil
+}
+
+// PredictAll converts a hint table to a full run prediction request.
+func PredictAll(hs []Hint, iterations, procs int, op string) predict.RunReq {
+	req := predict.RunReq{Iterations: iterations, Op: op}
+	for _, h := range hs {
+		req.Datasets = append(req.Datasets, h.PredictReq(procs))
+	}
+	return req
+}

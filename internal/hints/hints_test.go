@@ -1,0 +1,148 @@
+package hints
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ioopt"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+const sample = `
+# the figure 11 table, abridged
+press           create     4  B**  16,16,16  SDSCHPSS    6
+temp            create     4  B**  16,16,16  REMOTEDISK  6
+vr_temp         create     1  B**  16,16,16  LOCALDISK   6
+restart_press   over_write 4  B**  16,16,16  SDSCHPSS    6
+uz              create     4  B**  16,16,16  DISABLE     6
+`
+
+func TestParseSample(t *testing.T) {
+	hs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 5 {
+		t.Fatalf("rows = %d", len(hs))
+	}
+	press := hs[0]
+	if press.Name != "press" || press.AMode != storage.ModeCreate || press.Etype != 4 {
+		t.Fatalf("press = %+v", press)
+	}
+	if press.Pattern.String() != "B**" || len(press.Dims) != 3 || press.Frequency != 6 {
+		t.Fatalf("press geometry = %+v", press)
+	}
+	if press.Location != core.LocRemoteTape {
+		t.Fatalf("SDSCHPSS parsed as %v", press.Location)
+	}
+	if hs[3].AMode != storage.ModeOverWrite {
+		t.Fatalf("restart amode = %v", hs[3].AMode)
+	}
+	if hs[4].Location != core.LocDisable {
+		t.Fatalf("uz location = %v", hs[4].Location)
+	}
+}
+
+func TestParseOptColumn(t *testing.T) {
+	hs, err := Parse(strings.NewReader("img create 1 B* 16,16 REMOTEDISK superfile\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs[0].Opt != ioopt.Superfile || hs[0].Frequency != 1 {
+		t.Fatalf("hint = %+v", hs[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                                       // empty table
+		"x create 4 B** 16,16,16",                                // too few columns
+		"x flurb 4 B** 16,16,16 AUTO 6",                          // bad amode
+		"x create nope B** 16,16,16 AUTO 6",                      // bad etype
+		"x create 4 QQ 16,16 AUTO 6",                             // bad pattern
+		"x create 4 B** 16,zz,16 AUTO 6",                         // bad dims
+		"x create 4 B** 16,16 AUTO 6",                            // pattern/dims mismatch
+		"x create 4 B** 16,16,16 FLOPPY 6",                       // bad location
+		"x create 4 B** 16,16,16 AUTO zero",                      // bad freq/opt
+		"x create 4 B* 16,16 AUTO 6\nx create 4 B* 16,16 AUTO 6", // duplicate
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestParseFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hints.txt")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := ParseFile(path)
+	if err != nil || len(hs) != 5 {
+		t.Fatalf("ParseFile = %d rows, %v", len(hs), err)
+	}
+	if _, err := ParseFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file parsed")
+	}
+}
+
+func TestSpecAndPredictReq(t *testing.T) {
+	hs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := hs[1].Spec() // temp → REMOTEDISK
+	if spec.Name != "temp" || spec.Location != core.LocRemoteDisk || spec.Size() != 16*16*16*4 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	req := hs[1].PredictReq(8)
+	if req.Location != "remotedisk" || req.Procs != 8 || req.AMode != "create" {
+		t.Fatalf("req = %+v", req)
+	}
+	if hs[4].PredictReq(8).Location != "DISABLE" {
+		t.Fatalf("disabled req = %+v", hs[4].PredictReq(8))
+	}
+	if hs[3].PredictReq(8).AMode != "over_write" {
+		t.Fatalf("over_write req = %+v", hs[3].PredictReq(8))
+	}
+	rr := PredictAll(hs, 120, 8, "write")
+	if len(rr.Datasets) != 5 || rr.Iterations != 120 {
+		t.Fatalf("PredictAll = %+v", rr)
+	}
+}
+
+func TestOpenAll(t *testing.T) {
+	local, err := localdisk.New("l", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Sim: vtime.NewVirtual(), Meta: metadb.New(), LocalDisk: local,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Initialize(core.RunConfig{ID: "r", Iterations: 12, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := Parse(strings.NewReader("a create 4 B** 16,16,16 LOCALDISK 6\nb create 1 B** 16,16,16 DISABLE 6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenAll(run, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds["a"].Disabled() || !ds["b"].Disabled() {
+		t.Fatalf("OpenAll = %v", ds)
+	}
+}

@@ -1,0 +1,35 @@
+package imageio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePGM: arbitrary input must never panic, and any successfully
+// decoded image must re-encode to an equivalent raster.
+func FuzzDecodePGM(f *testing.F) {
+	im, _ := New(3, 2)
+	copy(im.Pix, []byte{1, 2, 3, 4, 5, 6})
+	seed, _ := Bytes(im)
+	f.Add(seed)
+	f.Add([]byte("P5\n1 1\n255\nA"))
+	f.Add([]byte("P6\n1 1\n255\nA"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodePGM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := Bytes(got)
+		if err != nil {
+			t.Fatalf("decoded image failed to encode: %v", err)
+		}
+		round, err := DecodePGM(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if round.W != got.W || round.H != got.H || !bytes.Equal(round.Pix, got.Pix) {
+			t.Fatal("re-encode round trip mismatch")
+		}
+	})
+}

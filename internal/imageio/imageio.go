@@ -1,0 +1,100 @@
+// Package imageio encodes and decodes the 2-D grayscale images the
+// Volren renderer produces, in the binary PGM (P5) format the era's
+// image viewers consumed.  It is the "image viewer" data-consumer path
+// of the paper's simulation environment.
+package imageio
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+)
+
+// Image is an 8-bit grayscale image in row-major order.
+type Image struct {
+	W, H int
+	Pix  []byte // len == W*H
+}
+
+// New returns a zeroed image.
+func New(w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("imageio: invalid dimensions %d×%d", w, h)
+	}
+	return &Image{W: w, H: h, Pix: make([]byte, w*h)}, nil
+}
+
+// At returns the pixel at (x, y).
+func (im *Image) At(x, y int) byte { return im.Pix[y*im.W+x] }
+
+// Set writes the pixel at (x, y).
+func (im *Image) Set(x, y int, v byte) { im.Pix[y*im.W+x] = v }
+
+// EncodePGM writes the image as binary PGM (P5).
+func EncodePGM(w io.Writer, im *Image) error {
+	if len(im.Pix) != im.W*im.H {
+		return fmt.Errorf("imageio: pixel buffer is %d bytes for %d×%d", len(im.Pix), im.W, im.H)
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return fmt.Errorf("imageio: encode: %w", err)
+	}
+	if _, err := w.Write(im.Pix); err != nil {
+		return fmt.Errorf("imageio: encode: %w", err)
+	}
+	return nil
+}
+
+// Bytes returns the PGM encoding of the image.
+func Bytes(im *Image) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodePGM(&buf, im); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePGM parses a binary PGM (P5) image.
+func DecodePGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var w, h, max int
+	if _, err := fmt.Fscan(br, &magic, &w, &h, &max); err != nil {
+		return nil, fmt.Errorf("imageio: decode header: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("imageio: not a P5 PGM (magic %q)", magic)
+	}
+	if w <= 0 || h <= 0 || max != 255 {
+		return nil, fmt.Errorf("imageio: unsupported PGM %d×%d max=%d", w, h, max)
+	}
+	// Exactly one whitespace byte separates the header from the raster.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, fmt.Errorf("imageio: decode: %w", err)
+	}
+	im := &Image{W: w, H: h, Pix: make([]byte, w*h)}
+	if _, err := io.ReadFull(br, im.Pix); err != nil {
+		return nil, fmt.Errorf("imageio: decode raster: %w", err)
+	}
+	return im, nil
+}
+
+// Stats summarizes an image for viewers and tests: min, max and mean
+// intensity.
+func Stats(im *Image) (min, max byte, mean float64) {
+	if len(im.Pix) == 0 {
+		return 0, 0, 0
+	}
+	min, max = im.Pix[0], im.Pix[0]
+	var sum int64
+	for _, v := range im.Pix {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		sum += int64(v)
+	}
+	return min, max, float64(sum) / float64(len(im.Pix))
+}

@@ -1,0 +1,88 @@
+package imageio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	im, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 5; x++ {
+			im.Set(x, y, byte(10*y+x))
+		}
+	}
+	data, err := Bytes(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePGM(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 5 || got.H != 3 || !bytes.Equal(got.Pix, im.Pix) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.At(4, 2) != 24 {
+		t.Fatalf("At = %d", got.At(4, 2))
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := New(4, -1); err == nil {
+		t.Fatal("negative height accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodePGM(bytes.NewReader([]byte("P6\n2 2\n255\n0000"))); err == nil {
+		t.Fatal("P6 accepted")
+	}
+	if _, err := DecodePGM(bytes.NewReader([]byte("P5\n2 2\n255\n0"))); err == nil {
+		t.Fatal("short raster accepted")
+	}
+	if _, err := DecodePGM(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	im, _ := New(2, 2)
+	copy(im.Pix, []byte{0, 10, 20, 30})
+	min, max, mean := Stats(im)
+	if min != 0 || max != 30 || mean != 15 {
+		t.Fatalf("Stats = %d %d %v", min, max, mean)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(w8, h8 uint8, seed byte) bool {
+		w, h := int(w8%16)+1, int(h8%16)+1
+		im, err := New(w, h)
+		if err != nil {
+			return false
+		}
+		for i := range im.Pix {
+			im.Pix[i] = byte(i) ^ seed
+		}
+		data, err := Bytes(im)
+		if err != nil {
+			return false
+		}
+		got, err := DecodePGM(bytes.NewReader(data))
+		if err != nil {
+			return false
+		}
+		return got.W == w && got.H == h && bytes.Equal(got.Pix, im.Pix)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package ioopt enumerates the run-time library's I/O optimization
+// strategies and derives, for each, the native-call accounting that the
+// performance predictor's equation (2) needs: n(j), the number of
+// native I/O calls per dump of dataset j, and the unit transfer size s
+// of those calls.
+package ioopt
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+)
+
+// Kind is one I/O optimization strategy.
+type Kind int
+
+const (
+	// Collective is two-phase collective I/O (the default, as in the
+	// paper's experiments).
+	Collective Kind = iota
+	// Naive issues one native call per file run per process.
+	Naive
+	// DataSieving covers each process's runs with one large call.
+	DataSieving
+	// Subfile stores one file per process.
+	Subfile
+	// Superfile packs many small files into one container.
+	Superfile
+)
+
+var kindNames = map[Kind]string{
+	Collective:  "collective",
+	Naive:       "naive",
+	DataSieving: "sieving",
+	Subfile:     "subfile",
+	Superfile:   "superfile",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Parse converts an optimization name to its Kind.
+func Parse(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("ioopt: unknown optimization %q", s)
+}
+
+// Calls returns n(j) and the unit size s for one dump of a dataset with
+// the given geometry under optimization k, following the paper's
+// accounting: "when collective I/O is applied, it allows the user to
+// issue one single write for one dataset during each iteration", so
+// n = 1 with s the full dataset size.
+func (k Kind) Calls(dims []int, etype int, pat pattern.Pattern, grid pattern.Grid) (n int, unit int64, err error) {
+	total := pattern.TotalBytes(dims, etype)
+	nprocs := grid.Procs()
+	switch k {
+	case Collective, Superfile:
+		return 1, total, nil
+	case Subfile:
+		return nprocs, total / int64(nprocs), nil
+	case Naive:
+		calls := 0
+		for r := 0; r < nprocs; r++ {
+			sets, err := pattern.IndexSets(dims, pat, grid, r)
+			if err != nil {
+				return 0, 0, err
+			}
+			calls += len(pattern.FileRuns(dims, etype, sets))
+		}
+		if calls == 0 {
+			return 0, 0, nil
+		}
+		return calls, total / int64(calls), nil
+	case DataSieving:
+		// One covering call per process; the unit is the average extent.
+		var extents int64
+		for r := 0; r < nprocs; r++ {
+			sets, err := pattern.IndexSets(dims, pat, grid, r)
+			if err != nil {
+				return 0, 0, err
+			}
+			runs := pattern.FileRuns(dims, etype, sets)
+			if len(runs) == 0 {
+				continue
+			}
+			extents += runs[len(runs)-1].End() - runs[0].Off
+		}
+		return nprocs, extents / int64(nprocs), nil
+	default:
+		return 0, 0, fmt.Errorf("ioopt: unknown kind %d", int(k))
+	}
+}

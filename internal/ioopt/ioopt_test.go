@@ -1,0 +1,91 @@
+package ioopt
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func geom(t *testing.T) ([]int, int, pattern.Pattern, pattern.Grid) {
+	t.Helper()
+	p, err := pattern.Parse("BBB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []int{16, 16, 16}, 4, p, pattern.Grid{2, 2, 2}
+}
+
+func TestStringAndParse(t *testing.T) {
+	for _, k := range []Kind{Collective, Naive, DataSieving, Subfile, Superfile} {
+		got, err := Parse(k.String())
+		if err != nil || got != k {
+			t.Fatalf("Parse(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Fatalf("unknown kind string: %q", Kind(42))
+	}
+	if _, err := Parse("bogus"); err == nil {
+		t.Fatal("bogus optimization parsed")
+	}
+}
+
+func TestCollectiveCalls(t *testing.T) {
+	dims, etype, pat, grid := geom(t)
+	n, unit, err := Collective.Calls(dims, etype, pat, grid)
+	if err != nil || n != 1 || unit != 16*16*16*4 {
+		t.Fatalf("collective = (%d, %d, %v)", n, unit, err)
+	}
+}
+
+func TestSuperfileCalls(t *testing.T) {
+	dims, etype, pat, grid := geom(t)
+	n, unit, err := Superfile.Calls(dims, etype, pat, grid)
+	if err != nil || n != 1 || unit != 16*16*16*4 {
+		t.Fatalf("superfile = (%d, %d, %v)", n, unit, err)
+	}
+}
+
+func TestSubfileCalls(t *testing.T) {
+	dims, etype, pat, grid := geom(t)
+	n, unit, err := Subfile.Calls(dims, etype, pat, grid)
+	if err != nil || n != 8 || unit != 16*16*16*4/8 {
+		t.Fatalf("subfile = (%d, %d, %v)", n, unit, err)
+	}
+}
+
+func TestNaiveCalls(t *testing.T) {
+	dims, etype, pat, grid := geom(t)
+	n, unit, err := Naive.Calls(dims, etype, pat, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BBB over 2×2×2 on 16³: each rank has 8×8 = 64 runs of 8 elements.
+	if n != 8*64 {
+		t.Fatalf("naive calls = %d, want 512", n)
+	}
+	if unit != 8*4 {
+		t.Fatalf("naive unit = %d, want 32", unit)
+	}
+}
+
+func TestSievingCalls(t *testing.T) {
+	dims, etype, pat, grid := geom(t)
+	n, unit, err := DataSieving.Calls(dims, etype, pat, grid)
+	if err != nil || n != 8 {
+		t.Fatalf("sieving = (%d, %d, %v)", n, unit, err)
+	}
+	if unit <= 16*16*16*4/8 {
+		t.Fatalf("sieving extent %d should exceed the packed size", unit)
+	}
+}
+
+func TestCallsBadGeometry(t *testing.T) {
+	p, _ := pattern.Parse("BB")
+	if _, _, err := Naive.Calls([]int{4}, 1, p, pattern.Grid{2, 2}); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if _, _, err := Kind(42).Calls([]int{4}, 1, pattern.Pattern{pattern.Block}, pattern.Grid{1}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,50 @@
+// Package localdisk constructs the local-disk storage resource of the
+// paper's experimental environment: the SP2 node's I/O subsystem with
+// four 9 GB SSA disks, accessed through the UNIX filesystem with the
+// D-OL run-time library's cost profile.
+package localdisk
+
+import (
+	"repro/internal/device"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// SSADisks is the number of disks in the SP2 node's I/O subsystem.
+const SSADisks = 4
+
+// SSACapacity is the aggregate local capacity: four 9 GB disks.
+const SSACapacity = 4 * 9 * 1000 * 1000 * 1000
+
+// Option adjusts the backend configuration.
+type Option func(*device.Config)
+
+// WithCapacity overrides the capacity limit in bytes (<= 0 = unlimited).
+func WithCapacity(n int64) Option { return func(c *device.Config) { c.Capacity = n } }
+
+// WithChannels overrides the number of parallel disk channels.
+func WithChannels(n int) Option { return func(c *device.Config) { c.Channels = n } }
+
+// WithTrace attaches a native-call trace recorder.
+func WithTrace(r *trace.Recorder) Option { return func(c *device.Config) { c.Trace = r } }
+
+// WithParams overrides the cost model.
+func WithParams(p model.Params) Option { return func(c *device.Config) { c.Params = p } }
+
+// New returns a local-disk backend over the given byte store (osfs for a
+// real directory, memfs for hermetic benchmarks).
+func New(name string, store storage.Store, opts ...Option) (*device.Backend, error) {
+	cfg := device.Config{
+		Name:     name,
+		Kind:     storage.KindLocalDisk,
+		Params:   model.LocalDisk2000(),
+		Store:    store,
+		Channels: SSADisks,
+		Capacity: SSACapacity,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return device.New(cfg)
+}

@@ -1,0 +1,237 @@
+// Package memfs is an in-memory implementation of the raw storage.Store
+// byte layer.  It backs the emulated remote-disk and tape resources and
+// keeps the benchmark harness hermetic: all "remote" bytes live in
+// process memory while the virtual clock charges year-2000 device costs.
+package memfs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// FS is an in-memory file store.  It is safe for concurrent use.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string]*file
+	used  atomic.Int64
+}
+
+type file struct {
+	mu   sync.RWMutex
+	name string
+	data []byte
+	fs   *FS
+}
+
+// New returns an empty in-memory store.
+func New() *FS {
+	return &FS{files: make(map[string]*file)}
+}
+
+var _ storage.Store = (*FS)(nil)
+
+// Open implements storage.Store.
+func (fs *FS) Open(name string, create, trunc bool) (storage.File, error) {
+	name, err := storage.CleanPath(name)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("memfs open %q: %w", name, storage.ErrNotExist)
+		}
+		f = &file{name: name, fs: fs}
+		fs.files[name] = f
+	}
+	if trunc {
+		f.mu.Lock()
+		fs.used.Add(-int64(len(f.data)))
+		f.data = nil
+		f.mu.Unlock()
+	}
+	return &handle{f: f}, nil
+}
+
+// Remove implements storage.Store.
+func (fs *FS) Remove(name string) error {
+	name, err := storage.CleanPath(name)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("memfs remove %q: %w", name, storage.ErrNotExist)
+	}
+	fs.used.Add(-int64(len(f.data)))
+	delete(fs.files, name)
+	return nil
+}
+
+// Stat implements storage.Store.
+func (fs *FS) Stat(name string) (storage.FileInfo, error) {
+	name, err := storage.CleanPath(name)
+	if err != nil {
+		return storage.FileInfo{}, err
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return storage.FileInfo{}, fmt.Errorf("memfs stat %q: %w", name, storage.ErrNotExist)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return storage.FileInfo{Path: name, Size: int64(len(f.data))}, nil
+}
+
+// List implements storage.Store.
+func (fs *FS) List(prefix string) ([]storage.FileInfo, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []storage.FileInfo
+	for name, f := range fs.files {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			f.mu.RLock()
+			out = append(out, storage.FileInfo{Path: name, Size: int64(len(f.data))})
+			f.mu.RUnlock()
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// UsedBytes implements storage.Store.
+func (fs *FS) UsedBytes() int64 { return fs.used.Load() }
+
+// handle is an open view of a file; closing it does not invalidate other
+// handles.
+type handle struct {
+	mu     sync.Mutex
+	f      *file
+	closed bool
+}
+
+func (h *handle) guard() (*file, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, storage.ErrClosed
+	}
+	return h.f, nil
+}
+
+// ReadAt implements storage.File with io.ReaderAt semantics.
+func (h *handle) ReadAt(b []byte, off int64) (int, error) {
+	f, err := h.guard()
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("memfs read %q: negative offset: %w", f.name, storage.ErrBadPath)
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if off >= int64(len(f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(b, f.data[off:])
+	if n < len(b) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements storage.File, zero-filling any gap.
+func (h *handle) WriteAt(b []byte, off int64) (int, error) {
+	f, err := h.guard()
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("memfs write %q: negative offset: %w", f.name, storage.ErrBadPath)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	end := off + int64(len(b))
+	f.grow(end)
+	copy(f.data[off:end], b)
+	return len(b), nil
+}
+
+// grow extends the file to end bytes, zero-filling new space.  Capacity
+// grows geometrically so appending in small increments stays linear.
+func (f *file) grow(end int64) {
+	cur := int64(len(f.data))
+	if end <= cur {
+		return
+	}
+	if end <= int64(cap(f.data)) {
+		f.data = f.data[:end]
+		// Reslicing may expose bytes left behind by an earlier shrink.
+		clear(f.data[cur:end])
+	} else {
+		newCap := 2 * int64(cap(f.data))
+		if newCap < end {
+			newCap = end
+		}
+		grown := make([]byte, end, newCap)
+		copy(grown, f.data[:cur])
+		f.data = grown
+	}
+	f.fs.addUsed(end - cur)
+}
+
+// Size implements storage.File.
+func (h *handle) Size() int64 {
+	f, err := h.guard()
+	if err != nil {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return int64(len(f.data))
+}
+
+// Truncate implements storage.File.
+func (h *handle) Truncate(size int64) error {
+	f, err := h.guard()
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("memfs truncate %q: negative size: %w", f.name, storage.ErrBadPath)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := int64(len(f.data))
+	if size < cur {
+		f.fs.addUsed(size - cur)
+		f.data = f.data[:size]
+	} else {
+		f.grow(size)
+	}
+	return nil
+}
+
+// Close implements storage.File.
+func (h *handle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return storage.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+func (fs *FS) addUsed(d int64) { fs.used.Add(d) }

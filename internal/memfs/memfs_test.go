@@ -1,0 +1,270 @@
+package memfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func TestOpenCreateWriteRead(t *testing.T) {
+	fs := New()
+	f, err := fs.Open("a/b", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.WriteAt([]byte("hello"), 0); n != 5 || err != nil {
+		t.Fatalf("WriteAt = (%d, %v)", n, err)
+	}
+	buf := make([]byte, 5)
+	if n, err := f.ReadAt(buf, 0); n != 5 || err != nil {
+		t.Fatalf("ReadAt = (%d, %v)", n, err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q, want hello", buf)
+	}
+	if f.Size() != 5 {
+		t.Fatalf("size = %d, want 5", f.Size())
+	}
+}
+
+func TestOpenMissingWithoutCreate(t *testing.T) {
+	fs := New()
+	if _, err := fs.Open("missing", false, false); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestSparseWriteZeroFills(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("x", true, false)
+	if _, err := f.WriteAt([]byte{7}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 11 {
+		t.Fatalf("size = %d, want 11", f.Size())
+	}
+	buf := make([]byte, 11)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 11)
+	want[10] = 7
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("gap not zero-filled: %v", buf)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("x", true, false)
+	f.WriteAt([]byte("abc"), 0)
+	buf := make([]byte, 5)
+	n, err := f.ReadAt(buf, 1)
+	if n != 2 || err != io.EOF {
+		t.Fatalf("short read = (%d, %v), want (2, EOF)", n, err)
+	}
+	if _, err := f.ReadAt(buf, 99); err != io.EOF {
+		t.Fatalf("read past EOF err = %v, want EOF", err)
+	}
+}
+
+func TestTruncateAndUsedBytes(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("x", true, false)
+	f.WriteAt(make([]byte, 100), 0)
+	if got := fs.UsedBytes(); got != 100 {
+		t.Fatalf("used = %d, want 100", got)
+	}
+	if err := f.Truncate(40); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.UsedBytes(); got != 40 {
+		t.Fatalf("used after shrink = %d, want 40", got)
+	}
+	if err := f.Truncate(60); err != nil {
+		t.Fatal(err)
+	}
+	if got, sz := fs.UsedBytes(), f.Size(); got != 60 || sz != 60 {
+		t.Fatalf("(used, size) after grow = (%d, %d), want (60, 60)", got, sz)
+	}
+	// The grown region must read as zeros.
+	buf := make([]byte, 20)
+	if _, err := f.ReadAt(buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, 20)) {
+		t.Fatal("grown region not zero-filled")
+	}
+}
+
+func TestTruncOnOpen(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("x", true, false)
+	f.WriteAt([]byte("data"), 0)
+	f.Close()
+	g, err := fs.Open("x", true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 0 {
+		t.Fatalf("size after trunc open = %d, want 0", g.Size())
+	}
+	if fs.UsedBytes() != 0 {
+		t.Fatalf("used after trunc = %d, want 0", fs.UsedBytes())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("x", true, false)
+	f.WriteAt([]byte("1234"), 0)
+	if err := fs.Remove("x"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.UsedBytes() != 0 {
+		t.Fatalf("used after remove = %d", fs.UsedBytes())
+	}
+	if err := fs.Remove("x"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("double remove err = %v, want ErrNotExist", err)
+	}
+	if _, err := fs.Stat("x"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("stat removed err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestListPrefixSorted(t *testing.T) {
+	fs := New()
+	for _, name := range []string{"run1/b", "run1/a", "run2/c", "other"} {
+		f, _ := fs.Open(name, true, false)
+		f.WriteAt([]byte{1}, 0)
+	}
+	got, err := fs.List("run1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Path != "run1/a" || got[1].Path != "run1/b" {
+		t.Fatalf("List = %v", got)
+	}
+	all, _ := fs.List("")
+	if len(all) != 4 {
+		t.Fatalf("List(\"\") = %d entries, want 4", len(all))
+	}
+}
+
+func TestClosedHandle(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("x", true, false)
+	f.Close()
+	if _, err := f.WriteAt([]byte{1}, 0); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("write on closed = %v", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("read on closed = %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+func TestTwoHandlesShareFile(t *testing.T) {
+	fs := New()
+	a, _ := fs.Open("x", true, false)
+	b, _ := fs.Open("x", true, false)
+	a.WriteAt([]byte("shared"), 0)
+	buf := make([]byte, 6)
+	if _, err := b.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "shared" {
+		t.Fatalf("second handle read %q", buf)
+	}
+	a.Close()
+	if _, err := b.ReadAt(buf, 0); err != nil {
+		t.Fatalf("closing one handle broke the other: %v", err)
+	}
+}
+
+func TestConcurrentDisjointWrites(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("x", true, false)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			chunk := bytes.Repeat([]byte{byte(i + 1)}, 128)
+			if _, err := f.WriteAt(chunk, int64(i)*128); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	buf := make([]byte, n*128)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < 128; j++ {
+			if buf[i*128+j] != byte(i+1) {
+				t.Fatalf("byte (%d,%d) = %d, want %d", i, j, buf[i*128+j], i+1)
+			}
+		}
+	}
+}
+
+// Property: write-then-read round-trips arbitrary content at arbitrary
+// (small) offsets.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(data []byte, off uint16) bool {
+		fs := New()
+		h, err := fs.Open("f", true, false)
+		if err != nil {
+			return false
+		}
+		if _, err := h.WriteAt(data, int64(off)); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if len(data) > 0 {
+			if _, err := h.ReadAt(got, int64(off)); err != nil && err != io.EOF {
+				return false
+			}
+		}
+		return bytes.Equal(got, data) && h.Size() == int64(off)+int64(len(data))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: UsedBytes equals the sum of file sizes after any sequence of
+// writes.
+func TestQuickUsedBytesConsistent(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		fs := New()
+		var want int64
+		for i, s := range sizes {
+			h, err := fs.Open(string(rune('a'+i%26))+"/f", true, true)
+			if err != nil {
+				return false
+			}
+			if _, err := h.WriteAt(make([]byte, int(s)), 0); err != nil {
+				return false
+			}
+		}
+		infos, _ := fs.List("")
+		for _, fi := range infos {
+			want += fi.Size
+		}
+		return fs.UsedBytes() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

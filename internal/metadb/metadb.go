@@ -1,0 +1,390 @@
+// Package metadb is the system's meta-data repository — the stand-in
+// for the "small" Postgres database at Northwestern in the paper's
+// environment.
+//
+// It stores exactly what the paper describes: information about
+// applications and runs, per-dataset characteristics (storage resource,
+// file path, partition pattern, access mode, dump frequency), and the
+// performance data that the I/O performance predictor consults (the
+// transfer-time curves measured by PTool plus the Table 1 constants).
+//
+// The store is an embedded, concurrency-safe table database with JSON
+// persistence.  Meta-data access is deliberately cheap ("there is no
+// need to provide a run-time library on top of the native interface"):
+// each operation charges a small constant from model.MetaDB2000 when a
+// virtual clock is supplied.
+package metadb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/vtime"
+)
+
+// ErrNotFound is returned when a looked-up row does not exist.
+var ErrNotFound = fmt.Errorf("metadb: not found")
+
+// Run describes one application run registered in the system.
+type Run struct {
+	ID         string `json:"id"`
+	App        string `json:"app"`
+	User       string `json:"user"`
+	Iterations int    `json:"iterations"`
+	Procs      int    `json:"procs"`
+}
+
+// Dataset is the per-dataset meta-data row (cf. the columns of the
+// paper's figure 11: NAME, AMODE, NDIMS, ETYPE, PATTERN, DIMS,
+// EXPECTEDLOC, FREQUENCY).
+type Dataset struct {
+	RunID     string `json:"run_id"`
+	Name      string `json:"name"`
+	AMode     string `json:"amode"`
+	NDims     int    `json:"ndims"`
+	Dims      []int  `json:"dims"`
+	ETypeSize int    `json:"etype_size"` // bytes per element
+	Pattern   string `json:"pattern"`    // e.g. "BBB"
+	Location  string `json:"location"`   // the user's hint
+	Frequency int    `json:"frequency"`
+	Opt       string `json:"opt"`      // run-time library optimization used
+	Resource  string `json:"resource"` // backend instance chosen by placement
+	PathBase  string `json:"path_base"`
+}
+
+// Size returns the dataset's bytes per dump.
+func (d Dataset) Size() int64 {
+	if len(d.Dims) == 0 {
+		return 0
+	}
+	n := int64(d.ETypeSize)
+	for _, dim := range d.Dims {
+		n *= int64(dim)
+	}
+	return n
+}
+
+// PerfSample is one measured transfer time: size s bytes took Seconds on
+// the given resource class for the given op ("read"/"write").
+type PerfSample struct {
+	Resource string  `json:"resource"`
+	Op       string  `json:"op"`
+	Size     int64   `json:"size"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// PerfConstant is one measured eq. (1) constant (conn, open, seek,
+// close, connclose) for a resource class and op.
+type PerfConstant struct {
+	Resource  string  `json:"resource"`
+	Op        string  `json:"op"`
+	Component string  `json:"component"`
+	Seconds   float64 `json:"seconds"`
+}
+
+// Components of eq. (1) recorded as PerfConstant rows.
+const (
+	CompConn      = "conn"
+	CompOpen      = "fileopen"
+	CompSeek      = "fileseek"
+	CompClose     = "fileclose"
+	CompConnClose = "connclose"
+)
+
+// DB is the meta-data database.
+type DB struct {
+	params model.Params
+
+	mu        sync.RWMutex
+	runs      map[string]Run
+	datasets  map[string]Dataset
+	samples   []PerfSample
+	constants []PerfConstant
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{
+		params:   model.MetaDB2000(),
+		runs:     make(map[string]Run),
+		datasets: make(map[string]Dataset),
+	}
+}
+
+// charge advances p by the meta-data access constant; nil p skips
+// timing (pure bookkeeping contexts).
+func (db *DB) charge(p *vtime.Proc, op model.Op) {
+	if p != nil {
+		p.Advance(db.params.PerCall(op))
+	}
+}
+
+func dsKey(runID, name string) string { return runID + "\x00" + name }
+
+// PutRun inserts or replaces a run row.
+func (db *DB) PutRun(p *vtime.Proc, r Run) error {
+	if r.ID == "" {
+		return fmt.Errorf("metadb: run with empty ID")
+	}
+	db.charge(p, model.Write)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.runs[r.ID] = r
+	return nil
+}
+
+// GetRun fetches a run row.
+func (db *DB) GetRun(p *vtime.Proc, id string) (Run, error) {
+	db.charge(p, model.Read)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.runs[id]
+	if !ok {
+		return Run{}, fmt.Errorf("%w: run %q", ErrNotFound, id)
+	}
+	return r, nil
+}
+
+// Runs returns all run rows sorted by ID.
+func (db *DB) Runs(p *vtime.Proc) []Run {
+	db.charge(p, model.Read)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Run, 0, len(db.runs))
+	for _, r := range db.runs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PutDataset inserts or replaces a dataset row.
+func (db *DB) PutDataset(p *vtime.Proc, d Dataset) error {
+	if d.RunID == "" || d.Name == "" {
+		return fmt.Errorf("metadb: dataset with empty key (%q, %q)", d.RunID, d.Name)
+	}
+	db.charge(p, model.Write)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.datasets[dsKey(d.RunID, d.Name)] = d
+	return nil
+}
+
+// GetDataset fetches one dataset row.
+func (db *DB) GetDataset(p *vtime.Proc, runID, name string) (Dataset, error) {
+	db.charge(p, model.Read)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	d, ok := db.datasets[dsKey(runID, name)]
+	if !ok {
+		return Dataset{}, fmt.Errorf("%w: dataset %q in run %q", ErrNotFound, name, runID)
+	}
+	return d, nil
+}
+
+// DatasetsForRun returns a run's dataset rows sorted by name.
+func (db *DB) DatasetsForRun(p *vtime.Proc, runID string) []Dataset {
+	db.charge(p, model.Read)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Dataset
+	for _, d := range db.datasets {
+		if d.RunID == runID {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// QueryDatasets returns all dataset rows matching the predicate, sorted
+// by (run, name).
+func (db *DB) QueryDatasets(p *vtime.Proc, match func(Dataset) bool) []Dataset {
+	db.charge(p, model.Read)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Dataset
+	for _, d := range db.datasets {
+		if match(d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RunID != out[j].RunID {
+			return out[i].RunID < out[j].RunID
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// AddSample appends one performance sample.
+func (db *DB) AddSample(p *vtime.Proc, s PerfSample) {
+	db.charge(p, model.Write)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.samples = append(db.samples, s)
+}
+
+// Samples returns the samples for (resource, op) sorted by size.
+// Duplicate sizes are averaged, matching how PTool's repeated
+// measurements are consumed by the predictor.
+func (db *DB) Samples(p *vtime.Proc, resource, op string) []PerfSample {
+	db.charge(p, model.Read)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bySize := make(map[int64][]float64)
+	for _, s := range db.samples {
+		if s.Resource == resource && s.Op == op {
+			bySize[s.Size] = append(bySize[s.Size], s.Seconds)
+		}
+	}
+	out := make([]PerfSample, 0, len(bySize))
+	for size, secs := range bySize {
+		var sum float64
+		for _, v := range secs {
+			sum += v
+		}
+		out = append(out, PerfSample{Resource: resource, Op: op, Size: size, Seconds: sum / float64(len(secs))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Size < out[j].Size })
+	return out
+}
+
+// SetConstant inserts or replaces an eq. (1) constant.
+func (db *DB) SetConstant(p *vtime.Proc, c PerfConstant) {
+	db.charge(p, model.Write)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for i, old := range db.constants {
+		if old.Resource == c.Resource && old.Op == c.Op && old.Component == c.Component {
+			db.constants[i] = c
+			return
+		}
+	}
+	db.constants = append(db.constants, c)
+}
+
+// Constant fetches an eq. (1) constant; missing constants are zero, the
+// way the paper's Table 1 marks inapplicable cells with "–".
+func (db *DB) Constant(p *vtime.Proc, resource, op, component string) float64 {
+	db.charge(p, model.Read)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, c := range db.constants {
+		if c.Resource == resource && c.Op == op && c.Component == component {
+			return c.Seconds
+		}
+	}
+	return 0
+}
+
+// Constants returns all constant rows sorted (resource, op, component).
+func (db *DB) Constants(p *vtime.Proc) []PerfConstant {
+	db.charge(p, model.Read)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := append([]PerfConstant(nil), db.constants...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Resource != b.Resource {
+			return a.Resource < b.Resource
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		return a.Component < b.Component
+	})
+	return out
+}
+
+// snapshot is the JSON persistence layout.
+type snapshot struct {
+	Runs      []Run          `json:"runs"`
+	Datasets  []Dataset      `json:"datasets"`
+	Samples   []PerfSample   `json:"samples"`
+	Constants []PerfConstant `json:"constants"`
+}
+
+// Save writes the database to path as JSON.
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	snap := snapshot{Samples: append([]PerfSample(nil), db.samples...), Constants: append([]PerfConstant(nil), db.constants...)}
+	for _, r := range db.runs {
+		snap.Runs = append(snap.Runs, r)
+	}
+	for _, d := range db.datasets {
+		snap.Datasets = append(snap.Datasets, d)
+	}
+	db.mu.RUnlock()
+	sort.Slice(snap.Runs, func(i, j int) bool { return snap.Runs[i].ID < snap.Runs[j].ID })
+	sort.Slice(snap.Datasets, func(i, j int) bool {
+		return dsKey(snap.Datasets[i].RunID, snap.Datasets[i].Name) < dsKey(snap.Datasets[j].RunID, snap.Datasets[j].Name)
+	})
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("metadb save: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("metadb save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("metadb save: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the database contents from a JSON file written by Save.
+func (db *DB) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("metadb load: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("metadb load %s: %w", path, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.runs = make(map[string]Run, len(snap.Runs))
+	for _, r := range snap.Runs {
+		db.runs[r.ID] = r
+	}
+	db.datasets = make(map[string]Dataset, len(snap.Datasets))
+	for _, d := range snap.Datasets {
+		db.datasets[dsKey(d.RunID, d.Name)] = d
+	}
+	db.samples = snap.Samples
+	db.constants = snap.Constants
+	return nil
+}
+
+// Table1String renders the constants as the paper's Table 1.
+func (db *DB) Table1String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-6s %8s %9s %9s %10s %10s\n", "Location", "Type", "Conn", "Fileopen", "Fileseek", "Fileclose", "Connclose")
+	seen := make(map[string]bool)
+	for _, c := range db.Constants(nil) {
+		key := c.Resource + "/" + c.Op
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		get := func(comp string) string {
+			v := db.Constant(nil, c.Resource, c.Op, comp)
+			if v == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.4g", v)
+		}
+		fmt.Fprintf(&b, "%-12s %-6s %8s %9s %9s %10s %10s\n",
+			c.Resource, c.Op, get(CompConn), get(CompOpen), get(CompSeek), get(CompClose), get(CompConnClose))
+	}
+	return b.String()
+}

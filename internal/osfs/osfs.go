@@ -1,0 +1,169 @@
+// Package osfs implements the raw storage.Store byte layer on top of a
+// real directory tree.  The local-disk backend and the srbd server use it
+// so data genuinely round-trips through the operating system's
+// filesystem, matching the paper's "native interface to local disks is
+// the general UNIX file system".
+package osfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// FS stores files under a root directory.  Storage paths map to
+// filesystem paths beneath the root; parent directories are created on
+// demand.
+type FS struct {
+	root string
+}
+
+// New returns a store rooted at dir, creating it if necessary.
+func New(dir string) (*FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("osfs: %w", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("osfs: %w", err)
+	}
+	return &FS{root: abs}, nil
+}
+
+// Root returns the root directory.
+func (f *FS) Root() string { return f.root }
+
+var _ storage.Store = (*FS)(nil)
+
+func (f *FS) realPath(name string) (string, error) {
+	c, err := storage.CleanPath(name)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(f.root, filepath.FromSlash(c)), nil
+}
+
+// Open implements storage.Store.
+func (f *FS) Open(name string, create, trunc bool) (storage.File, error) {
+	rp, err := f.realPath(name)
+	if err != nil {
+		return nil, err
+	}
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE
+		if err := os.MkdirAll(filepath.Dir(rp), 0o755); err != nil {
+			return nil, fmt.Errorf("osfs open %q: %w", name, err)
+		}
+	}
+	if trunc {
+		flags |= os.O_TRUNC
+	}
+	fh, err := os.OpenFile(rp, flags, 0o644)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("osfs open %q: %w", name, storage.ErrNotExist)
+		}
+		return nil, fmt.Errorf("osfs open %q: %w", name, err)
+	}
+	return &file{f: fh}, nil
+}
+
+// Remove implements storage.Store.
+func (f *FS) Remove(name string) error {
+	rp, err := f.realPath(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(rp); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("osfs remove %q: %w", name, storage.ErrNotExist)
+		}
+		return fmt.Errorf("osfs remove %q: %w", name, err)
+	}
+	return nil
+}
+
+// Stat implements storage.Store.
+func (f *FS) Stat(name string) (storage.FileInfo, error) {
+	rp, err := f.realPath(name)
+	if err != nil {
+		return storage.FileInfo{}, err
+	}
+	fi, err := os.Stat(rp)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return storage.FileInfo{}, fmt.Errorf("osfs stat %q: %w", name, storage.ErrNotExist)
+		}
+		return storage.FileInfo{}, fmt.Errorf("osfs stat %q: %w", name, err)
+	}
+	c, _ := storage.CleanPath(name)
+	return storage.FileInfo{Path: c, Size: fi.Size()}, nil
+}
+
+// List implements storage.Store.
+func (f *FS) List(prefix string) ([]storage.FileInfo, error) {
+	var out []storage.FileInfo
+	err := filepath.WalkDir(f.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(f.root, p)
+		if err != nil {
+			return err
+		}
+		name := filepath.ToSlash(rel)
+		if !strings.HasPrefix(name, prefix) {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		out = append(out, storage.FileInfo{Path: name, Size: fi.Size()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("osfs list %q: %w", prefix, err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// UsedBytes implements storage.Store by walking the tree.
+func (f *FS) UsedBytes() int64 {
+	var total int64
+	_ = filepath.WalkDir(f.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if fi, err := d.Info(); err == nil {
+			total += fi.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+type file struct {
+	f *os.File
+}
+
+func (fl *file) ReadAt(b []byte, off int64) (int, error)  { return fl.f.ReadAt(b, off) }
+func (fl *file) WriteAt(b []byte, off int64) (int, error) { return fl.f.WriteAt(b, off) }
+func (fl *file) Truncate(size int64) error                { return fl.f.Truncate(size) }
+func (fl *file) Close() error                             { return fl.f.Close() }
+
+func (fl *file) Size() int64 {
+	fi, err := fl.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}

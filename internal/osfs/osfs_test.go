@@ -1,0 +1,116 @@
+package osfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	fs, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestRoundTrip(t *testing.T) {
+	fs := newFS(t)
+	f, err := fs.Open("a/b/c.dat", true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("payload"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "payload" {
+		t.Fatalf("read %q", buf)
+	}
+	if f.Size() != 7 {
+		t.Fatalf("size = %d", f.Size())
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Open("nope", false, false); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("open missing err = %v", err)
+	}
+	if _, err := fs.Stat("nope"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("stat missing err = %v", err)
+	}
+	if err := fs.Remove("nope"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("remove missing err = %v", err)
+	}
+}
+
+func TestPathEscapeRejected(t *testing.T) {
+	fs := newFS(t)
+	for _, p := range []string{"../x", "a/../../x", ""} {
+		if _, err := fs.Open(p, true, false); !errors.Is(err, storage.ErrBadPath) {
+			t.Errorf("Open(%q) err = %v, want ErrBadPath", p, err)
+		}
+	}
+}
+
+func TestStatListUsed(t *testing.T) {
+	fs := newFS(t)
+	for _, name := range []string{"r/a", "r/b", "s/c"} {
+		f, err := fs.Open(name, true, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.WriteAt(bytes.Repeat([]byte{1}, 10), 0)
+		f.Close()
+	}
+	fi, err := fs.Stat("r/a")
+	if err != nil || fi.Size != 10 || fi.Path != "r/a" {
+		t.Fatalf("Stat = %+v, %v", fi, err)
+	}
+	ls, err := fs.List("r/")
+	if err != nil || len(ls) != 2 {
+		t.Fatalf("List = %v, %v", ls, err)
+	}
+	if ls[0].Path != "r/a" || ls[1].Path != "r/b" {
+		t.Fatalf("List order = %v", ls)
+	}
+	if used := fs.UsedBytes(); used != 30 {
+		t.Fatalf("UsedBytes = %d, want 30", used)
+	}
+}
+
+func TestTruncateOnOpen(t *testing.T) {
+	fs := newFS(t)
+	f, _ := fs.Open("x", true, false)
+	f.WriteAt([]byte("0123456789"), 0)
+	f.Close()
+	g, err := fs.Open("x", true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Size() != 0 {
+		t.Fatalf("size after trunc = %d", g.Size())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := newFS(t)
+	f, _ := fs.Open("x", true, false)
+	f.WriteAt([]byte{1}, 0)
+	f.Close()
+	if err := fs.Remove("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("x"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("stat after remove = %v", err)
+	}
+}

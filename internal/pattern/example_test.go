@@ -1,0 +1,35 @@
+package pattern_test
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+)
+
+// A 4×4 array of 32-bit elements distributed Block×Block over a 2×2
+// process grid: rank 3 owns the bottom-right quadrant, which lands in
+// the row-major file as two strided runs.
+func ExampleFileRuns() {
+	dims := []int{4, 4}
+	pat, _ := pattern.Parse("BB")
+	grid := pattern.Grid{2, 2}
+	sets, _ := pattern.IndexSets(dims, pat, grid, 3)
+	for _, run := range pattern.FileRuns(dims, 4, sets) {
+		fmt.Printf("offset %2d, %d bytes\n", run.Off, run.Len)
+	}
+	// Output:
+	// offset 40, 8 bytes
+	// offset 56, 8 bytes
+}
+
+func ExampleParse() {
+	p, _ := pattern.Parse("B*C")
+	fmt.Println(p)
+	// Output: B*C
+}
+
+func ExampleDefaultGrid() {
+	g, _ := pattern.DefaultGrid(3, 12)
+	fmt.Println(g, g.Procs())
+	// Output: [3 2 2] 12
+}

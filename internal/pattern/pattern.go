@@ -1,0 +1,316 @@
+// Package pattern implements the access-pattern machinery of the user
+// API: HPF-style data distributions of multidimensional arrays over
+// parallel processes, and the translation of a process's subarray into
+// the byte runs it touches in the row-major global file.
+//
+// The paper's hint "PATTERN: BBB" (figure 11) is exactly this: a
+// three-dimensional array distributed Block×Block×Block over the process
+// grid.  The run-time library uses the file runs to perform naive,
+// sieved, or two-phase collective I/O, and the performance predictor
+// derives n(j) — the number of native I/O calls per dump — from the same
+// geometry.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dist is the distribution of one array dimension.
+type Dist int
+
+const (
+	// Block partitions the dimension into contiguous chunks, one per
+	// process-grid coordinate.
+	Block Dist = iota
+	// Cyclic deals indices round-robin across the grid coordinate.
+	Cyclic
+	// All replicates the dimension (no partitioning), written '*'.
+	All
+)
+
+func (d Dist) String() string {
+	switch d {
+	case Block:
+		return "B"
+	case Cyclic:
+		return "C"
+	case All:
+		return "*"
+	default:
+		return "?"
+	}
+}
+
+// Pattern is a per-dimension distribution, e.g. BBB.
+type Pattern []Dist
+
+// Parse converts a pattern string such as "BBB", "B*C" into a Pattern.
+func Parse(s string) (Pattern, error) {
+	if s == "" {
+		return nil, fmt.Errorf("pattern: empty")
+	}
+	p := make(Pattern, 0, len(s))
+	for _, c := range s {
+		switch c {
+		case 'B', 'b':
+			p = append(p, Block)
+		case 'C', 'c':
+			p = append(p, Cyclic)
+		case '*':
+			p = append(p, All)
+		default:
+			return nil, fmt.Errorf("pattern: unknown distribution %q in %q", c, s)
+		}
+	}
+	return p, nil
+}
+
+// String renders the pattern ("BBB").
+func (p Pattern) String() string {
+	var b strings.Builder
+	for _, d := range p {
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// Grid is the process grid, one extent per dimension; its product is the
+// number of processes.
+type Grid []int
+
+// Procs returns the total process count of the grid.
+func (g Grid) Procs() int {
+	n := 1
+	for _, e := range g {
+		n *= e
+	}
+	return n
+}
+
+// Coords returns rank's coordinates in the grid (row-major rank order).
+func (g Grid) Coords(rank int) ([]int, error) {
+	if rank < 0 || rank >= g.Procs() {
+		return nil, fmt.Errorf("pattern: rank %d outside grid %v", rank, g)
+	}
+	coords := make([]int, len(g))
+	for i := len(g) - 1; i >= 0; i-- {
+		coords[i] = rank % g[i]
+		rank /= g[i]
+	}
+	return coords, nil
+}
+
+// DefaultGrid factors nprocs into ndims extents as evenly as possible,
+// assigning larger factors to earlier (outer) dimensions, which keeps
+// file runs long.
+func DefaultGrid(ndims, nprocs int) (Grid, error) {
+	if ndims <= 0 || nprocs <= 0 {
+		return nil, fmt.Errorf("pattern: invalid grid request (%d dims, %d procs)", ndims, nprocs)
+	}
+	g := make(Grid, ndims)
+	for i := range g {
+		g[i] = 1
+	}
+	remaining := nprocs
+	// Peel prime factors onto the currently smallest extent.
+	for f := 2; f*f <= remaining; f++ {
+		for remaining%f == 0 {
+			remaining /= f
+			g[argmin(g)] *= f
+		}
+	}
+	if remaining > 1 {
+		g[argmin(g)] *= remaining
+	}
+	// Descending extents so outer dimensions get the larger factors.
+	for i := 0; i < len(g); i++ {
+		for j := i + 1; j < len(g); j++ {
+			if g[j] > g[i] {
+				g[i], g[j] = g[j], g[i]
+			}
+		}
+	}
+	return g, nil
+}
+
+func argmin(g Grid) int {
+	k := 0
+	for i, v := range g {
+		if v < g[k] {
+			k = i
+		}
+	}
+	return k
+}
+
+// IndexSets returns, for each dimension, the sorted global indices rank
+// owns under the pattern.  It validates that dims, pat and grid agree in
+// rank and that non-distributed dimensions have grid extent 1.
+func IndexSets(dims []int, pat Pattern, grid Grid, rank int) ([][]int, error) {
+	if len(dims) != len(pat) || len(dims) != len(grid) {
+		return nil, fmt.Errorf("pattern: rank mismatch dims=%d pat=%d grid=%d", len(dims), len(pat), len(grid))
+	}
+	coords, err := grid.Coords(rank)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([][]int, len(dims))
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("pattern: non-positive dim %d", d)
+		}
+		switch pat[i] {
+		case All:
+			if grid[i] != 1 {
+				return nil, fmt.Errorf("pattern: dimension %d is '*' but grid extent %d != 1", i, grid[i])
+			}
+			set := make([]int, d)
+			for k := range set {
+				set[k] = k
+			}
+			sets[i] = set
+		case Block:
+			lo, hi := blockRange(d, grid[i], coords[i])
+			set := make([]int, 0, hi-lo)
+			for k := lo; k < hi; k++ {
+				set = append(set, k)
+			}
+			sets[i] = set
+		case Cyclic:
+			var set []int
+			for k := coords[i]; k < d; k += grid[i] {
+				set = append(set, k)
+			}
+			sets[i] = set
+		}
+	}
+	return sets, nil
+}
+
+// blockRange returns the [lo, hi) slice of a dimension of extent d for
+// grid coordinate c of n, distributing the remainder over the leading
+// coordinates.
+func blockRange(d, n, c int) (lo, hi int) {
+	q, r := d/n, d%n
+	lo = c*q + min(c, r)
+	hi = lo + q
+	if c < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// NumElems returns the number of elements in the given index sets.
+func NumElems(sets [][]int) int {
+	n := 1
+	for _, s := range sets {
+		n *= len(s)
+	}
+	return n
+}
+
+// Run is a contiguous byte extent in the global file.
+type Run struct {
+	Off int64
+	Len int64
+}
+
+// End returns the first byte past the run.
+func (r Run) End() int64 { return r.Off + r.Len }
+
+// FileRuns returns the contiguous byte runs (sorted, merged) that the
+// index sets cover in the row-major file of element size etype.
+func FileRuns(dims []int, etype int, sets [][]int) []Run {
+	if len(sets) == 0 || NumElems(sets) == 0 {
+		return nil
+	}
+	// Strides in elements for each dimension.
+	strides := make([]int64, len(dims))
+	s := int64(1)
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= int64(dims[i])
+	}
+	var runs []Run
+	push := func(off, length int64) {
+		if n := len(runs); n > 0 && runs[n-1].End() == off {
+			runs[n-1].Len += length
+			return
+		}
+		runs = append(runs, Run{Off: off, Len: length})
+	}
+	// Iterate the outer dimensions' index product in lexicographic order;
+	// within the innermost dimension merge consecutive indices.
+	last := len(dims) - 1
+	idx := make([]int, len(dims)-1) // positions into sets[0..last-1]
+	for {
+		base := int64(0)
+		for i := 0; i < last; i++ {
+			base += int64(sets[i][idx[i]]) * strides[i]
+		}
+		inner := sets[last]
+		start := 0
+		for start < len(inner) {
+			end := start + 1
+			for end < len(inner) && inner[end] == inner[end-1]+1 {
+				end++
+			}
+			off := (base + int64(inner[start])) * int64(etype)
+			push(off, int64(end-start)*int64(etype))
+			start = end
+		}
+		// Odometer increment over the outer dims.
+		i := last - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(sets[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return runs
+}
+
+// Pack copies the bytes of the runs out of the global buffer into a
+// packed local buffer (the rank's canonical local layout).
+func Pack(global []byte, runs []Run) []byte {
+	var total int64
+	for _, r := range runs {
+		total += r.Len
+	}
+	out := make([]byte, total)
+	var pos int64
+	for _, r := range runs {
+		copy(out[pos:pos+r.Len], global[r.Off:r.End()])
+		pos += r.Len
+	}
+	return out
+}
+
+// Unpack scatters a packed local buffer into the global buffer at the
+// runs' extents — the inverse of Pack.
+func Unpack(global []byte, runs []Run, local []byte) error {
+	var pos int64
+	for _, r := range runs {
+		if pos+r.Len > int64(len(local)) {
+			return fmt.Errorf("pattern: local buffer too small: need %d, have %d", pos+r.Len, len(local))
+		}
+		copy(global[r.Off:r.End()], local[pos:pos+r.Len])
+		pos += r.Len
+	}
+	return nil
+}
+
+// TotalBytes returns the byte size of the whole global array.
+func TotalBytes(dims []int, etype int) int64 {
+	n := int64(etype)
+	for _, d := range dims {
+		n *= int64(d)
+	}
+	return n
+}

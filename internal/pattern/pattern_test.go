@@ -1,0 +1,313 @@
+package pattern
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAndString(t *testing.T) {
+	p, err := Parse("BBB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, Pattern{Block, Block, Block}) {
+		t.Fatalf("Parse(BBB) = %v", p)
+	}
+	if p.String() != "BBB" {
+		t.Fatalf("String = %q", p)
+	}
+	p2, err := Parse("b*C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.String() != "B*C" {
+		t.Fatalf("String = %q", p2)
+	}
+	if _, err := Parse(""); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	if _, err := Parse("BXB"); err == nil {
+		t.Fatal("bad distribution accepted")
+	}
+}
+
+func TestGridCoords(t *testing.T) {
+	g := Grid{2, 2, 2}
+	if g.Procs() != 8 {
+		t.Fatalf("Procs = %d", g.Procs())
+	}
+	cases := map[int][]int{
+		0: {0, 0, 0},
+		1: {0, 0, 1},
+		2: {0, 1, 0},
+		7: {1, 1, 1},
+	}
+	for rank, want := range cases {
+		got, err := g.Coords(rank)
+		if err != nil || !reflect.DeepEqual(got, want) {
+			t.Errorf("Coords(%d) = %v, %v; want %v", rank, got, err, want)
+		}
+	}
+	if _, err := g.Coords(8); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if _, err := g.Coords(-1); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	cases := []struct {
+		ndims, nprocs int
+		want          Grid
+	}{
+		{3, 8, Grid{2, 2, 2}},
+		{3, 4, Grid{2, 2, 1}},
+		{3, 12, Grid{3, 2, 2}},
+		{3, 1, Grid{1, 1, 1}},
+		{2, 6, Grid{3, 2}},
+		{1, 7, Grid{7}},
+	}
+	for _, c := range cases {
+		got, err := DefaultGrid(c.ndims, c.nprocs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("DefaultGrid(%d, %d) = %v, want %v", c.ndims, c.nprocs, got, c.want)
+		}
+		if got.Procs() != c.nprocs {
+			t.Errorf("grid %v does not multiply to %d", got, c.nprocs)
+		}
+	}
+	if _, err := DefaultGrid(0, 4); err == nil {
+		t.Fatal("zero dims accepted")
+	}
+}
+
+func TestBlockRangeCoversExactly(t *testing.T) {
+	// 10 elements over 3 coordinates: 4+3+3 with remainder leading.
+	var all []int
+	for c := 0; c < 3; c++ {
+		lo, hi := blockRange(10, 3, c)
+		for k := lo; k < hi; k++ {
+			all = append(all, k)
+		}
+	}
+	if len(all) != 10 {
+		t.Fatalf("block ranges cover %d of 10", len(all))
+	}
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("coverage gap at %d: %v", i, all)
+		}
+	}
+}
+
+func TestIndexSetsBlock(t *testing.T) {
+	pat, _ := Parse("BB")
+	sets, err := IndexSets([]int{4, 6}, pat, Grid{2, 2}, 3) // coords (1,1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sets[0], []int{2, 3}) || !reflect.DeepEqual(sets[1], []int{3, 4, 5}) {
+		t.Fatalf("sets = %v", sets)
+	}
+	if NumElems(sets) != 6 {
+		t.Fatalf("NumElems = %d", NumElems(sets))
+	}
+}
+
+func TestIndexSetsCyclicAndAll(t *testing.T) {
+	pat, _ := Parse("C*")
+	sets, err := IndexSets([]int{5, 3}, pat, Grid{2, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sets[0], []int{1, 3}) {
+		t.Fatalf("cyclic set = %v", sets[0])
+	}
+	if !reflect.DeepEqual(sets[1], []int{0, 1, 2}) {
+		t.Fatalf("all set = %v", sets[1])
+	}
+	// '*' with grid extent > 1 is invalid.
+	if _, err := IndexSets([]int{5, 3}, pat, Grid{1, 2}, 0); err == nil {
+		t.Fatal("replicated dim with grid extent > 1 accepted")
+	}
+}
+
+func TestIndexSetsValidation(t *testing.T) {
+	pat, _ := Parse("BB")
+	if _, err := IndexSets([]int{4}, pat, Grid{2, 2}, 0); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if _, err := IndexSets([]int{4, 0}, pat, Grid{2, 2}, 0); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+}
+
+func TestFileRunsContiguousBlock(t *testing.T) {
+	// 4×4 ints, 2×1 grid: rank 0 owns rows 0-1 — one contiguous run.
+	pat, _ := Parse("B*")
+	sets, _ := IndexSets([]int{4, 4}, pat, Grid{2, 1}, 0)
+	runs := FileRuns([]int{4, 4}, 4, sets)
+	if len(runs) != 1 || runs[0] != (Run{Off: 0, Len: 32}) {
+		t.Fatalf("runs = %v", runs)
+	}
+	sets1, _ := IndexSets([]int{4, 4}, pat, Grid{2, 1}, 1)
+	runs1 := FileRuns([]int{4, 4}, 4, sets1)
+	if len(runs1) != 1 || runs1[0] != (Run{Off: 32, Len: 32}) {
+		t.Fatalf("rank1 runs = %v", runs1)
+	}
+}
+
+func TestFileRunsStrided(t *testing.T) {
+	// 4×4 ints split on the inner dimension: each rank gets 4 strided runs.
+	pat, _ := Parse("*B")
+	sets, _ := IndexSets([]int{4, 4}, pat, Grid{1, 2}, 1)
+	runs := FileRuns([]int{4, 4}, 4, sets)
+	want := []Run{{8, 8}, {24, 8}, {40, 8}, {56, 8}}
+	if !reflect.DeepEqual(runs, want) {
+		t.Fatalf("runs = %v, want %v", runs, want)
+	}
+}
+
+func TestFileRunsCyclic(t *testing.T) {
+	// 1-D cyclic over 2 procs: alternating elements, no merging.
+	pat, _ := Parse("C")
+	sets, _ := IndexSets([]int{6}, pat, Grid{2}, 0)
+	runs := FileRuns([]int{6}, 1, sets)
+	want := []Run{{0, 1}, {2, 1}, {4, 1}}
+	if !reflect.DeepEqual(runs, want) {
+		t.Fatalf("runs = %v", runs)
+	}
+}
+
+func TestRunsCoverDisjointComplete(t *testing.T) {
+	// Union over all ranks covers the file exactly once for BBB / 2x2x2.
+	dims := []int{8, 8, 8}
+	pat, _ := Parse("BBB")
+	grid := Grid{2, 2, 2}
+	covered := make([]int, TotalBytes(dims, 4))
+	for rank := 0; rank < grid.Procs(); rank++ {
+		sets, err := IndexSets(dims, pat, grid, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range FileRuns(dims, 4, sets) {
+			for b := r.Off; b < r.End(); b++ {
+				covered[b]++
+			}
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("byte %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	dims := []int{4, 4}
+	global := make([]byte, TotalBytes(dims, 1))
+	for i := range global {
+		global[i] = byte(i)
+	}
+	pat, _ := Parse("*B")
+	sets, _ := IndexSets(dims, pat, Grid{1, 2}, 1)
+	runs := FileRuns(dims, 1, sets)
+	local := Pack(global, runs)
+	if len(local) != 8 {
+		t.Fatalf("packed %d bytes", len(local))
+	}
+	dst := make([]byte, len(global))
+	if err := Unpack(dst, runs, local); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		if !bytes.Equal(dst[r.Off:r.End()], global[r.Off:r.End()]) {
+			t.Fatal("unpack mismatch")
+		}
+	}
+	if err := Unpack(dst, runs, local[:3]); err == nil {
+		t.Fatal("short local buffer accepted")
+	}
+}
+
+// Property: for random small dims/grids with Block patterns, the ranks'
+// runs are disjoint, sorted, and their total equals the file size.
+func TestQuickBlockDecompositionComplete(t *testing.T) {
+	f := func(d0, d1, g0, g1 uint8) bool {
+		dims := []int{int(d0%6) + 1, int(d1%6) + 1}
+		grid := Grid{int(g0%3) + 1, int(g1%3) + 1}
+		if grid[0] > dims[0] || grid[1] > dims[1] {
+			return true // more procs than elements in a dim: skip
+		}
+		pat := Pattern{Block, Block}
+		var total int64
+		for rank := 0; rank < grid.Procs(); rank++ {
+			sets, err := IndexSets(dims, pat, grid, rank)
+			if err != nil {
+				return false
+			}
+			prev := int64(-1)
+			for _, r := range FileRuns(dims, 2, sets) {
+				if r.Off <= prev {
+					return false // not sorted/merged
+				}
+				prev = r.End() - 1
+				total += r.Len
+			}
+		}
+		return total == TotalBytes(dims, 2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pack followed by Unpack restores exactly the bytes of the runs.
+func TestQuickPackUnpack(t *testing.T) {
+	f := func(seed uint8, g1 uint8) bool {
+		dims := []int{6, 8}
+		grid := Grid{1, int(g1%4) + 1}
+		if grid[1] > dims[1] {
+			return true
+		}
+		pat := Pattern{All, Block}
+		global := make([]byte, TotalBytes(dims, 1))
+		for i := range global {
+			global[i] = byte(i) ^ seed
+		}
+		sets, err := IndexSets(dims, pat, grid, grid.Procs()-1)
+		if err != nil {
+			return false
+		}
+		runs := FileRuns(dims, 1, sets)
+		local := Pack(global, runs)
+		fresh := make([]byte, len(global))
+		if err := Unpack(fresh, runs, local); err != nil {
+			return false
+		}
+		for _, r := range runs {
+			if !bytes.Equal(fresh[r.Off:r.End()], global[r.Off:r.End()]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	if got := TotalBytes([]int{128, 128, 128}, 4); got != 8*1024*1024 {
+		t.Fatalf("TotalBytes = %d, want 8 MiB (the paper's float dataset)", got)
+	}
+	if got := TotalBytes([]int{128, 128, 128}, 1); got != 2*1024*1024 {
+		t.Fatalf("TotalBytes = %d, want 2 MiB (the paper's vr dataset)", got)
+	}
+}

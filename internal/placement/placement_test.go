@@ -1,0 +1,138 @@
+package placement
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/predict"
+	"repro/internal/ptool"
+	"repro/internal/remotedisk"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+type fixture struct {
+	sys   *core.System
+	pdb   *predict.DB
+	rtape *tape.Library
+}
+
+func newFixture(t *testing.T, placerOf func(*predict.DB) core.Placer) *fixture {
+	t.Helper()
+	sim := vtime.NewVirtual()
+	local, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "sdsc-hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := metadb.New()
+	if _, err := ptool.MeasureAll(vtime.NewVirtual(), meta, ptool.Config{Repeats: 1}, local, rdisk, rtape); err != nil {
+		t.Fatal(err)
+	}
+	pdb := predict.NewDB(meta)
+	var placer core.Placer
+	if placerOf != nil {
+		placer = placerOf(pdb)
+	}
+	sys, err := core.NewSystem(core.SystemConfig{
+		Sim: sim, Meta: metadb.New(),
+		LocalDisk: local, RemoteDisk: rdisk, RemoteTape: rtape,
+		Placer: placer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{sys: sys, pdb: pdb, rtape: rtape}
+}
+
+func spec(name string) core.DatasetSpec {
+	return core.DatasetSpec{
+		Name: name, AMode: storage.ModeCreate,
+		Dims: []int{128, 128, 128}, Etype: 4, Frequency: 6,
+		Location: core.LocAuto,
+	}
+}
+
+func place(t *testing.T, f *fixture, s core.DatasetSpec) storage.Backend {
+	t.Helper()
+	run, err := f.sys.Initialize(core.RunConfig{ID: "r-" + s.Name, Iterations: 120, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := run.OpenDataset(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Backend()
+}
+
+func TestNoRequirementDefaultsToTape(t *testing.T) {
+	f := newFixture(t, func(pdb *predict.DB) core.Placer {
+		return Predictive(pdb, 120, 8)
+	})
+	if got := place(t, f, spec("a")); got.Kind() != storage.KindRemoteTape {
+		t.Fatalf("placed on %v, want tape (largest capacity)", got.Kind())
+	}
+}
+
+func TestTightRequirementPicksLocalDisk(t *testing.T) {
+	f := newFixture(t, func(pdb *predict.DB) core.Placer {
+		return Predictive(pdb, 120, 8, WithRequirement(60*time.Second))
+	})
+	if got := place(t, f, spec("a")); got.Kind() != storage.KindLocalDisk {
+		t.Fatalf("placed on %v, want local disk for a 60 s requirement", got.Kind())
+	}
+}
+
+func TestMediumRequirementPicksRemoteDisk(t *testing.T) {
+	// 8 MiB × 21 dumps on remote disk ≈ 700–800 s; on tape ≈ 3000 s.
+	f := newFixture(t, func(pdb *predict.DB) core.Placer {
+		return Predictive(pdb, 120, 8, WithRequirement(1500*time.Second))
+	})
+	if got := place(t, f, spec("a")); got.Kind() != storage.KindRemoteDisk {
+		t.Fatalf("placed on %v, want remote disk for a 1500 s requirement", got.Kind())
+	}
+}
+
+func TestImpossibleRequirementFallsBackToFastest(t *testing.T) {
+	f := newFixture(t, func(pdb *predict.DB) core.Placer {
+		return Predictive(pdb, 120, 8, WithRequirement(time.Millisecond))
+	})
+	if got := place(t, f, spec("a")); got.Kind() != storage.KindLocalDisk {
+		t.Fatalf("placed on %v, want fastest (local disk)", got.Kind())
+	}
+}
+
+func TestPredictiveSkipsDownTape(t *testing.T) {
+	f := newFixture(t, func(pdb *predict.DB) core.Placer {
+		return Predictive(pdb, 120, 8)
+	})
+	f.rtape.SetDown(true)
+	if got := place(t, f, spec("a")); got.Kind() != storage.KindRemoteDisk {
+		t.Fatalf("placed on %v, want remote disk with tape down", got.Kind())
+	}
+}
+
+func TestExplicitHintBypassesPrediction(t *testing.T) {
+	f := newFixture(t, func(pdb *predict.DB) core.Placer {
+		return Predictive(pdb, 120, 8, WithRequirement(time.Millisecond))
+	})
+	s := spec("a")
+	s.Location = core.LocRemoteTape
+	if got := place(t, f, s); got.Kind() != storage.KindRemoteTape {
+		t.Fatalf("explicit tape hint placed on %v", got.Kind())
+	}
+}

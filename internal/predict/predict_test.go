@@ -1,0 +1,221 @@
+package predict
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ioopt"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/ptool"
+	"repro/internal/remotedisk"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+// measuredDB builds a performance database by running PTool against all
+// three resources.
+func measuredDB(t *testing.T) *metadb.DB {
+	t.Helper()
+	meta := metadb.New()
+	sim := vtime.NewVirtual()
+	local, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ptool.MeasureAll(sim, meta, ptool.Config{Repeats: 1}, local, rdisk, rtape); err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+func TestUnitInterpolation(t *testing.T) {
+	meta := metadb.New()
+	meta.AddSample(nil, metadb.PerfSample{Resource: "r", Op: "write", Size: 1000, Seconds: 1})
+	meta.AddSample(nil, metadb.PerfSample{Resource: "r", Op: "write", Size: 3000, Seconds: 3})
+	db := NewDB(meta)
+	got, err := db.Unit("r", "write", 2000)
+	if err != nil || math.Abs(got-2) > 1e-9 {
+		t.Fatalf("interpolated Unit = %v, %v", got, err)
+	}
+	// Extrapolation beyond the last point follows the last slope.
+	got, _ = db.Unit("r", "write", 5000)
+	if math.Abs(got-5) > 1e-9 {
+		t.Fatalf("extrapolated Unit = %v", got)
+	}
+	// Below the first point.
+	got, _ = db.Unit("r", "write", 500)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("low extrapolated Unit = %v", got)
+	}
+	if _, err := db.Unit("absent", "write", 100); err == nil {
+		t.Fatal("missing resource predicted")
+	}
+}
+
+func TestUnitSingleSampleScales(t *testing.T) {
+	meta := metadb.New()
+	meta.AddSample(nil, metadb.PerfSample{Resource: "r", Op: "read", Size: 100, Seconds: 2})
+	got, err := NewDB(meta).Unit("r", "read", 50)
+	if err != nil || math.Abs(got-1) > 1e-9 {
+		t.Fatalf("single-sample Unit = %v, %v", got, err)
+	}
+}
+
+// The §4.2 worked example through the measured database: vr-temp
+// (2 MiB, LOCALDISK) + vr-press (2 MiB, REMOTEDISK), N = 120, freq = 6,
+// collective I/O.  The paper computes 180.57 s; our calibration must
+// land within ±15%.
+func TestWorkedExample(t *testing.T) {
+	db := NewDB(measuredDB(t))
+	req := RunReq{
+		Iterations: 120,
+		Op:         "write",
+		Datasets: []DatasetReq{
+			{Name: "vr_temp", AMode: "create", Dims: []int{128, 128, 128}, Etype: 1,
+				Pattern: "BBB", Location: "localdisk", Frequency: 6, Procs: 8},
+			{Name: "vr_press", AMode: "create", Dims: []int{128, 128, 128}, Etype: 1,
+				Pattern: "BBB", Location: "remotedisk", Frequency: 6, Procs: 8},
+		},
+	}
+	got, err := db.Predict(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Datasets) != 2 {
+		t.Fatalf("datasets = %d", len(got.Datasets))
+	}
+	if got.Datasets[0].Dumps != 21 {
+		t.Fatalf("dumps = %d, want 21 (N/freq + 1)", got.Datasets[0].Dumps)
+	}
+	if got.Datasets[0].NativeCalls != 1 {
+		t.Fatalf("collective n(j) = %d, want 1", got.Datasets[0].NativeCalls)
+	}
+	paper := 180.57
+	if ratio := got.Total.Seconds() / paper; ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("worked example prediction = %.2f s, want within 15%% of %.2f", got.Total.Seconds(), paper)
+	}
+}
+
+// Figure 11 per-dataset check: an 8 MiB float dataset on tape predicts
+// ≈3036 s over the run; on remote disk ≈812 s.
+func TestFig11DatasetRows(t *testing.T) {
+	db := NewDB(measuredDB(t))
+	tapeRow, err := db.PredictDataset(DatasetReq{
+		Name: "press", AMode: "create", Dims: []int{128, 128, 128}, Etype: 4,
+		Pattern: "BBB", Location: "remotetape", Frequency: 6, Procs: 8,
+	}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := tapeRow.VirtualTime.Seconds() / 3036.34; ratio < 0.85 || ratio > 1.15 {
+		t.Fatalf("tape 8 MiB dataset = %.1f s, want ≈3036 s", tapeRow.VirtualTime.Seconds())
+	}
+	diskRow, err := db.PredictDataset(DatasetReq{
+		Name: "temp", AMode: "create", Dims: []int{128, 128, 128}, Etype: 4,
+		Pattern: "BBB", Location: "remotedisk", Frequency: 6, Procs: 8,
+	}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := diskRow.VirtualTime.Seconds() / 812.45; ratio < 0.80 || ratio > 1.20 {
+		t.Fatalf("remote disk 8 MiB dataset = %.1f s, want ≈812 s", diskRow.VirtualTime.Seconds())
+	}
+}
+
+func TestDisabledDatasetPredictsZero(t *testing.T) {
+	db := NewDB(measuredDB(t))
+	row, err := db.PredictDataset(DatasetReq{Name: "unused", Location: "DISABLE", Dims: []int{8}, Etype: 1, Pattern: "B"}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.VirtualTime != 0 || row.Resource != "-" {
+		t.Fatalf("disabled row = %+v", row)
+	}
+}
+
+func TestNaivePredictsManyCalls(t *testing.T) {
+	db := NewDB(measuredDB(t))
+	naive, err := db.PredictDataset(DatasetReq{
+		Name: "x", AMode: "create", Dims: []int{16, 16, 16}, Etype: 4,
+		Pattern: "BBB", Location: "remotedisk", Frequency: 1, Procs: 8, Opt: ioopt.Naive,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll, err := db.PredictDataset(DatasetReq{
+		Name: "x", AMode: "create", Dims: []int{16, 16, 16}, Etype: 4,
+		Pattern: "BBB", Location: "remotedisk", Frequency: 1, Procs: 8, Opt: ioopt.Collective,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.NativeCalls <= coll.NativeCalls {
+		t.Fatalf("naive calls = %d, collective = %d", naive.NativeCalls, coll.NativeCalls)
+	}
+	if naive.VirtualTime <= coll.VirtualTime {
+		t.Fatalf("naive %v must exceed collective %v", naive.VirtualTime, coll.VirtualTime)
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	db := NewDB(metadb.New())
+	if _, err := db.PredictDataset(DatasetReq{Name: "x", Dims: []int{4}, Etype: 1, Pattern: "Q", Location: "localdisk"}, 10); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	if _, err := db.PredictDataset(DatasetReq{Name: "x", Dims: []int{4}, Etype: 1, Pattern: "B", Location: "localdisk"}, 10); err == nil {
+		t.Fatal("empty perf DB predicted")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	db := NewDB(measuredDB(t))
+	rp, err := db.Predict(RunReq{
+		Iterations: 120, Op: "write",
+		Datasets: []DatasetReq{{
+			Name: "temp", AMode: "create", Dims: []int{128, 128, 128}, Etype: 4,
+			Pattern: "BBB", Location: "remotedisk", Frequency: 6, Procs: 8,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rp.TableString()
+	if !strings.Contains(s, "temp") || !strings.Contains(s, "VIRTUALTIME") || !strings.Contains(s, "TOTAL") {
+		t.Fatalf("table:\n%s", s)
+	}
+}
+
+func TestPredictTotalsAddConnOnce(t *testing.T) {
+	db := NewDB(measuredDB(t))
+	one, err := db.Predict(RunReq{Iterations: 6, Op: "write", Datasets: []DatasetReq{
+		{Name: "a", AMode: "create", Dims: []int{64, 64, 64}, Etype: 4, Pattern: "BBB", Location: "remotedisk", Frequency: 6, Procs: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := db.Predict(RunReq{Iterations: 6, Op: "write", Datasets: []DatasetReq{
+		{Name: "a", AMode: "create", Dims: []int{64, 64, 64}, Etype: 4, Pattern: "BBB", Location: "remotedisk", Frequency: 6, Procs: 4},
+		{Name: "b", AMode: "create", Dims: []int{64, 64, 64}, Etype: 4, Pattern: "BBB", Location: "remotedisk", Frequency: 6, Procs: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perDS := two.Datasets[0].VirtualTime
+	wantTwo := one.Total + perDS // same conn charge, one more dataset
+	if diff := (two.Total - wantTwo).Seconds(); math.Abs(diff) > 1e-6 {
+		t.Fatalf("conn charged per dataset? two=%v want=%v", two.Total, wantTwo)
+	}
+
+}

@@ -1,0 +1,256 @@
+// Package ptool is the paper's PTool: "a tool that can automatically
+// generate all these numbers" — it measures read/write times for a
+// sweep of data sizes on every storage resource plus the eq. (1)
+// constants (connection, open, seek, close), and stores everything in
+// the performance database "so the user can easily set up her basic
+// performance prediction database in a single run".
+//
+// Measurements run against the same backends the applications use, on a
+// dedicated virtual-time process, so the recorded curves are exactly
+// what the run-time system charges (figures 6, 7, 8 and Table 1).
+package ptool
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// Config controls a measurement sweep.
+type Config struct {
+	// Sizes are the transfer sizes to measure; DefaultSizes() if empty.
+	Sizes []int64
+	// Repeats averages each point over this many trials (default 3).
+	Repeats int
+	// Dir is the scratch path prefix on the resource (default "ptool").
+	Dir string
+}
+
+// DefaultSizes returns the sweep the paper's figures 6–8 use: 64 KiB
+// through 16 MiB in powers of two.
+func DefaultSizes() []int64 {
+	var sizes []int64
+	for s := int64(64 << 10); s <= 16<<20; s <<= 1 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// Point is one measured (size, seconds) pair.
+type Point struct {
+	Size    int64
+	Seconds float64
+}
+
+// Report is the outcome of one backend's sweep.
+type Report struct {
+	Resource  string // resource class name used as the database key
+	Backend   string // instance name
+	Write     []Point
+	Read      []Point
+	Constants map[string]float64 // component/op → seconds, e.g. "fileopen/read"
+}
+
+// Measure sweeps one backend and records samples and constants into the
+// meta-data database under the backend's storage class.
+func Measure(sim *vtime.Sim, be storage.Backend, meta *metadb.DB, cfg Config) (Report, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = DefaultSizes()
+	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 3
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = "ptool"
+	}
+	resource := be.Kind().String()
+	rep := Report{Resource: resource, Backend: be.Name(), Constants: make(map[string]float64)}
+	p := sim.NewProc("ptool")
+
+	// Connection constants.
+	t0 := p.Now()
+	sess, err := be.Connect(p)
+	if err != nil {
+		return rep, fmt.Errorf("ptool %s: %w", be.Name(), err)
+	}
+	rep.Constants["conn"] = (p.Now() - t0).Seconds()
+
+	// Warm up the device (mount the tape cartridge, etc.) so the size
+	// sweep measures steady-state transfer times; the readiness latency
+	// is what the conn/open constants and the mount are for.
+	warm, err := sess.Open(p, cfg.Dir+"/warmup", storage.ModeCreate)
+	if err != nil {
+		return rep, fmt.Errorf("ptool %s: warmup: %w", be.Name(), err)
+	}
+	if _, err := warm.WriteAt(p, make([]byte, 64<<10), 0); err != nil {
+		return rep, fmt.Errorf("ptool %s: warmup: %w", be.Name(), err)
+	}
+	if err := warm.Close(p); err != nil {
+		return rep, err
+	}
+
+	// Size sweep.
+	for _, size := range cfg.Sizes {
+		var wSum, rSum float64
+		for trial := 0; trial < cfg.Repeats; trial++ {
+			path := fmt.Sprintf("%s/s%d-t%d", cfg.Dir, size, trial)
+			h, err := sess.Open(p, path, storage.ModeCreate)
+			if err != nil {
+				return rep, fmt.Errorf("ptool %s: %w", be.Name(), err)
+			}
+			buf := make([]byte, size)
+			t0 = p.Now()
+			if _, err := h.WriteAt(p, buf, 0); err != nil {
+				return rep, fmt.Errorf("ptool %s: write %d: %w", be.Name(), size, err)
+			}
+			wSum += (p.Now() - t0).Seconds()
+			if err := h.Close(p); err != nil {
+				return rep, err
+			}
+			r, err := sess.Open(p, path, storage.ModeRead)
+			if err != nil {
+				return rep, fmt.Errorf("ptool %s: %w", be.Name(), err)
+			}
+			t0 = p.Now()
+			if _, err := r.ReadAt(p, buf, 0); err != nil && !errors.Is(err, io.EOF) {
+				return rep, fmt.Errorf("ptool %s: read %d: %w", be.Name(), size, err)
+			}
+			rSum += (p.Now() - t0).Seconds()
+			if err := r.Close(p); err != nil {
+				return rep, err
+			}
+			if err := sess.Remove(p, path); err != nil {
+				return rep, err
+			}
+		}
+		w := wSum / float64(cfg.Repeats)
+		r := rSum / float64(cfg.Repeats)
+		rep.Write = append(rep.Write, Point{Size: size, Seconds: w})
+		rep.Read = append(rep.Read, Point{Size: size, Seconds: r})
+		meta.AddSample(nil, metadb.PerfSample{Resource: resource, Op: "write", Size: size, Seconds: w})
+		meta.AddSample(nil, metadb.PerfSample{Resource: resource, Op: "read", Size: size, Seconds: r})
+	}
+
+	// Open/close constants per op, measured on a small file.
+	smallPath := cfg.Dir + "/const"
+	h, err := sess.Open(p, smallPath, storage.ModeCreate)
+	if err != nil {
+		return rep, err
+	}
+	if _, err := h.WriteAt(p, make([]byte, 1024), 0); err != nil {
+		return rep, err
+	}
+	t0 = p.Now()
+	if err := h.Close(p); err != nil {
+		return rep, err
+	}
+	rep.Constants["fileclose/write"] = (p.Now() - t0).Seconds()
+
+	t0 = p.Now()
+	h2, err := sess.Open(p, smallPath+"2", storage.ModeCreate)
+	if err != nil {
+		return rep, err
+	}
+	rep.Constants["fileopen/write"] = (p.Now() - t0).Seconds()
+	h2.WriteAt(p, []byte{1}, 0)
+	h2.Close(p)
+
+	t0 = p.Now()
+	r, err := sess.Open(p, smallPath, storage.ModeRead)
+	if err != nil {
+		return rep, err
+	}
+	rep.Constants["fileopen/read"] = (p.Now() - t0).Seconds()
+	// Seek constant: a discontiguous read minus a sequential one.
+	buf := make([]byte, 64)
+	if _, err := r.ReadAt(p, buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		return rep, err
+	}
+	t0 = p.Now()
+	if _, err := r.ReadAt(p, buf, 64); err != nil && !errors.Is(err, io.EOF) { // sequential
+		return rep, err
+	}
+	seq := p.Now() - t0
+	t0 = p.Now()
+	if _, err := r.ReadAt(p, buf, 512); err != nil && !errors.Is(err, io.EOF) { // jump
+		return rep, err
+	}
+	jump := p.Now() - t0
+	if jump > seq {
+		rep.Constants["fileseek/read"] = (jump - seq).Seconds()
+	}
+	t0 = p.Now()
+	if err := r.Close(p); err != nil {
+		return rep, err
+	}
+	rep.Constants["fileclose/read"] = (p.Now() - t0).Seconds()
+
+	t0 = p.Now()
+	if err := sess.Close(p); err != nil {
+		return rep, err
+	}
+	rep.Constants["connclose"] = (p.Now() - t0).Seconds()
+
+	// Store the Table 1 constants for both ops.
+	store := func(op string) {
+		meta.SetConstant(nil, metadb.PerfConstant{Resource: resource, Op: op, Component: metadb.CompConn, Seconds: rep.Constants["conn"]})
+		meta.SetConstant(nil, metadb.PerfConstant{Resource: resource, Op: op, Component: metadb.CompConnClose, Seconds: rep.Constants["connclose"]})
+		meta.SetConstant(nil, metadb.PerfConstant{Resource: resource, Op: op, Component: metadb.CompOpen, Seconds: rep.Constants["fileopen/"+op]})
+		meta.SetConstant(nil, metadb.PerfConstant{Resource: resource, Op: op, Component: metadb.CompClose, Seconds: rep.Constants["fileclose/"+op]})
+	}
+	store("write")
+	store("read")
+	if v, ok := rep.Constants["fileseek/read"]; ok {
+		meta.SetConstant(nil, metadb.PerfConstant{Resource: resource, Op: "read", Component: metadb.CompSeek, Seconds: v})
+	}
+	return rep, nil
+}
+
+// MeasureAll sweeps several backends into one database.
+func MeasureAll(sim *vtime.Sim, meta *metadb.DB, cfg Config, backends ...storage.Backend) ([]Report, error) {
+	var reports []Report
+	for _, be := range backends {
+		rep, err := Measure(sim, be, meta, cfg)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// CurveString renders a report's size sweep as the paper's figures 6–8:
+// one row per size with read and write seconds.
+func (r Report) CurveString() string {
+	s := fmt.Sprintf("%s (%s)\n%12s %12s %12s\n", r.Resource, r.Backend, "size(bytes)", "read(s)", "write(s)")
+	for i := range r.Write {
+		var rd float64
+		if i < len(r.Read) {
+			rd = r.Read[i].Seconds
+		}
+		s += fmt.Sprintf("%12d %12.4f %12.4f\n", r.Write[i].Size, rd, r.Write[i].Seconds)
+	}
+	return s
+}
+
+// EffectiveBW returns the measured effective bandwidth (bytes/second)
+// at the largest sampled size, a convenient scalar for reports.
+func (r Report) EffectiveBW(op model.Op) float64 {
+	pts := r.Write
+	if op == model.Read {
+		pts = r.Read
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	last := pts[len(pts)-1]
+	if last.Seconds <= 0 {
+		return 0
+	}
+	return float64(last.Size) / last.Seconds
+}

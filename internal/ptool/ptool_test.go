@@ -1,0 +1,138 @@
+package ptool
+
+import (
+	"testing"
+
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/remotedisk"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+func backends(t *testing.T) (storage.Backend, storage.Backend, *tape.Library) {
+	t.Helper()
+	local, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return local, rdisk, rtape
+}
+
+func TestDefaultSizes(t *testing.T) {
+	sizes := DefaultSizes()
+	if sizes[0] != 64<<10 || sizes[len(sizes)-1] != 16<<20 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] != sizes[i-1]*2 {
+			t.Fatalf("not powers of two: %v", sizes)
+		}
+	}
+}
+
+func TestMeasureLocalDisk(t *testing.T) {
+	local, _, _ := backends(t)
+	meta := metadb.New()
+	sim := vtime.NewVirtual()
+	rep, err := Measure(sim, local, meta, Config{Sizes: []int64{1 << 20, 2 << 20}, Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Resource != "localdisk" {
+		t.Fatalf("resource = %q", rep.Resource)
+	}
+	if len(rep.Write) != 2 || len(rep.Read) != 2 {
+		t.Fatalf("points = %d/%d", len(rep.Write), len(rep.Read))
+	}
+	// Calibration: 2 MiB write ≈ 0.118 s.
+	w2 := rep.Write[1].Seconds
+	if w2 < 0.10 || w2 > 0.14 {
+		t.Fatalf("2 MiB write = %v s, want ≈0.118", w2)
+	}
+	// Constants recorded (Table 1): local disk open ≈ 0.21 write.
+	if got := meta.Constant(nil, "localdisk", "write", metadb.CompOpen); got < 0.20 || got > 0.22 {
+		t.Fatalf("fileopen/write = %v", got)
+	}
+	if got := meta.Constant(nil, "localdisk", "write", metadb.CompConn); got != 0 {
+		t.Fatalf("local disk conn = %v, want 0", got)
+	}
+	// Samples queryable.
+	if s := meta.Samples(nil, "localdisk", "write"); len(s) != 2 {
+		t.Fatalf("samples = %v", s)
+	}
+}
+
+func TestMeasureAllThreeResources(t *testing.T) {
+	local, rdisk, rtape := backends(t)
+	meta := metadb.New()
+	sim := vtime.NewVirtual()
+	reports, err := MeasureAll(sim, meta, Config{Sizes: []int64{1 << 20}, Repeats: 1}, local, rdisk, rtape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	// The Table 1 ordering must hold in the measured constants.
+	openL := meta.Constant(nil, "localdisk", "write", metadb.CompOpen)
+	openR := meta.Constant(nil, "remotedisk", "write", metadb.CompOpen)
+	openT := meta.Constant(nil, "remotetape", "write", metadb.CompOpen)
+	if !(openL < openR && openR < openT) {
+		t.Fatalf("open ordering violated: %v %v %v", openL, openR, openT)
+	}
+	connR := meta.Constant(nil, "remotedisk", "write", metadb.CompConn)
+	if connR < 0.4 || connR > 0.5 {
+		t.Fatalf("remote disk conn = %v, want ≈0.44", connR)
+	}
+	// Measured bandwidth ordering (figures 6–8 shape).
+	bwL := reports[0].EffectiveBW(model.Write)
+	bwR := reports[1].EffectiveBW(model.Write)
+	bwT := reports[2].EffectiveBW(model.Write)
+	if !(bwL > bwR && bwR > bwT) {
+		t.Fatalf("bandwidth ordering violated: %v %v %v", bwL, bwR, bwT)
+	}
+}
+
+func TestSeekConstantMeasured(t *testing.T) {
+	_, rdisk, _ := backends(t)
+	meta := metadb.New()
+	if _, err := Measure(vtime.NewVirtual(), rdisk, meta, Config{Sizes: []int64{1 << 16}, Repeats: 1}); err != nil {
+		t.Fatal(err)
+	}
+	seek := meta.Constant(nil, "remotedisk", "read", metadb.CompSeek)
+	if seek < 0.35 || seek > 0.45 {
+		t.Fatalf("measured seek = %v, want ≈0.40 (Table 1)", seek)
+	}
+}
+
+func TestCurveString(t *testing.T) {
+	local, _, _ := backends(t)
+	rep, err := Measure(vtime.NewVirtual(), local, metadb.New(), Config{Sizes: []int64{1 << 20}, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.CurveString()
+	if len(s) == 0 || s[:9] != "localdisk" {
+		t.Fatalf("CurveString = %q", s)
+	}
+}
+
+func TestMeasureDownBackend(t *testing.T) {
+	_, _, rtape := backends(t)
+	rtape.SetDown(true)
+	if _, err := Measure(vtime.NewVirtual(), rtape, metadb.New(), Config{Sizes: []int64{1024}, Repeats: 1}); err == nil {
+		t.Fatal("measuring a down backend succeeded")
+	}
+}

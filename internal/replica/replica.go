@@ -1,0 +1,400 @@
+// Package replica adds dataset replication across storage resources —
+// the capability the paper's native interface advertises ("SRB …
+// provides a uniform interface for connecting to heterogeneous data
+// resources over a network and accessing replicated datasets") and a
+// natural extension of the reliability argument in §5.
+//
+// A replica.Backend mirrors every write to all member resources and
+// serves each read from the first healthy member, in member order (the
+// caller lists members fastest-first).  A member outage therefore
+// degrades performance, not availability: writes continue on the
+// surviving members and reads fail over transparently.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// Backend replicates across member backends.  It implements
+// storage.Backend.
+type Backend struct {
+	name    string
+	kind    storage.Kind
+	members []storage.Backend
+}
+
+var _ storage.Backend = (*Backend)(nil)
+
+// New returns a replicating backend over the given members (fastest
+// first).  The advertised kind is the first member's.
+func New(name string, members ...storage.Backend) (*Backend, error) {
+	if len(members) < 2 {
+		return nil, fmt.Errorf("replica %q: need at least 2 members, got %d", name, len(members))
+	}
+	return &Backend{name: name, kind: members[0].Kind(), members: members}, nil
+}
+
+// Name implements storage.Backend.
+func (b *Backend) Name() string { return b.name }
+
+// Kind implements storage.Backend.
+func (b *Backend) Kind() storage.Kind { return b.kind }
+
+// Capacity implements storage.Backend: the tightest member constraint,
+// since every byte lands on every member.
+func (b *Backend) Capacity() (total, used int64) {
+	for i, m := range b.members {
+		t, u := m.Capacity()
+		if i == 0 || (t > 0 && (total <= 0 || t-u < total-used)) {
+			total, used = t, u
+		}
+	}
+	return total, used
+}
+
+func up(m storage.Backend) bool {
+	o, ok := m.(storage.Outage)
+	return !ok || !o.Down()
+}
+
+// Connect implements storage.Backend: sessions open on every healthy
+// member (at least one required).
+func (b *Backend) Connect(p *vtime.Proc) (storage.Session, error) {
+	s := &session{b: b, sim: p.Sim(), members: make([]storage.Session, len(b.members))}
+	healthy := 0
+	var errs []error
+	for i, m := range b.members {
+		if !up(m) {
+			continue
+		}
+		sess, err := m.Connect(p)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		s.members[i] = sess
+		healthy++
+	}
+	if healthy == 0 {
+		errs = append(errs, storage.ErrDown)
+		return nil, fmt.Errorf("replica %q connect: %w", b.name, errors.Join(errs...))
+	}
+	return s, nil
+}
+
+type session struct {
+	b       *Backend
+	sim     *vtime.Sim
+	mu      sync.Mutex
+	members []storage.Session // index-aligned with b.members; nil = down at connect
+	closed  bool
+}
+
+// live returns the usable member sessions, index-aligned (nil entries
+// skipped by callers).
+func (s *session) live() ([]storage.Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, storage.ErrClosed
+	}
+	return append([]storage.Session(nil), s.members...), nil
+}
+
+// forEachLive applies f to every connected, healthy member in parallel
+// and fails if no member succeeded.
+func (s *session) forEachLive(f func(i int, m storage.Session) error) error {
+	members, err := s.live()
+	if err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(members))
+	ok := false
+	for i, m := range members {
+		if m == nil || !up(s.b.members[i]) {
+			errs[i] = storage.ErrDown
+			continue
+		}
+		ok = true
+		wg.Add(1)
+		go func(i int, m storage.Session) {
+			defer wg.Done()
+			errs[i] = f(i, m)
+		}(i, m)
+	}
+	wg.Wait()
+	if !ok {
+		return fmt.Errorf("replica %q: %w", s.b.name, storage.ErrDown)
+	}
+	// Writes must reach every live member; surface the first failure
+	// that is not a down-member skip.
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, storage.ErrDown) {
+			return err
+		}
+	}
+	return nil
+}
+
+// firstLive applies f to members in order until one succeeds.
+func (s *session) firstLive(f func(i int, m storage.Session) error) error {
+	members, err := s.live()
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for i, m := range members {
+		if m == nil || !up(s.b.members[i]) {
+			continue
+		}
+		if err := f(i, m); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		return nil
+	}
+	if errs == nil {
+		errs = append(errs, storage.ErrDown)
+	}
+	return fmt.Errorf("replica %q: %w", s.b.name, errors.Join(errs...))
+}
+
+// Open implements storage.Session.  Writable opens reach all live
+// members; read opens bind to the first member that has the file.
+func (s *session) Open(p *vtime.Proc, name string, mode storage.AMode) (storage.Handle, error) {
+	h := &handle{s: s, path: name, mode: mode, members: make([]storage.Handle, len(s.members))}
+	if mode.Writable() {
+		var mu sync.Mutex
+		err := s.forEachLive(func(i int, m storage.Session) error {
+			mh, err := m.Open(p, name, mode)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			h.members[i] = mh
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			h.closeAll(p)
+			return nil, err
+		}
+		return h, nil
+	}
+	err := s.firstLive(func(i int, m storage.Session) error {
+		mh, err := m.Open(p, name, mode)
+		if err != nil {
+			return err
+		}
+		h.members[i] = mh
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Remove implements storage.Session.
+func (s *session) Remove(p *vtime.Proc, name string) error {
+	return s.forEachLive(func(i int, m storage.Session) error {
+		err := m.Remove(p, name)
+		if errors.Is(err, storage.ErrNotExist) {
+			return nil // replica may predate the member
+		}
+		return err
+	})
+}
+
+// Stat implements storage.Session.
+func (s *session) Stat(p *vtime.Proc, name string) (fi storage.FileInfo, err error) {
+	err = s.firstLive(func(i int, m storage.Session) error {
+		fi, err = m.Stat(p, name)
+		return err
+	})
+	return fi, err
+}
+
+// List implements storage.Session.
+func (s *session) List(p *vtime.Proc, prefix string) (fis []storage.FileInfo, err error) {
+	err = s.firstLive(func(i int, m storage.Session) error {
+		fis, err = m.List(p, prefix)
+		return err
+	})
+	return fis, err
+}
+
+// Close implements storage.Session.
+func (s *session) Close(p *vtime.Proc) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("replica %q close: %w", s.b.name, storage.ErrClosed)
+	}
+	s.closed = true
+	members := append([]storage.Session(nil), s.members...)
+	s.mu.Unlock()
+	var errs []error
+	for i, m := range members {
+		if m == nil || !up(s.b.members[i]) {
+			continue
+		}
+		if err := m.Close(p); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+type handle struct {
+	s       *session
+	path    string
+	mode    storage.AMode
+	mu      sync.Mutex
+	members []storage.Handle
+	closed  bool
+}
+
+var _ storage.Handle = (*handle)(nil)
+
+func (h *handle) Path() string { return h.path }
+
+// Size reports the first live member's size.
+func (h *handle) Size() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, m := range h.members {
+		if m != nil && up(h.s.b.members[i]) {
+			return m.Size()
+		}
+	}
+	return 0
+}
+
+// WriteAt mirrors to every live member in parallel; the caller's clock
+// advances to the slowest replica (a synchronous-replication model).
+// Each mirror stream runs on its own agent clock starting at the
+// caller's instant, so a slow member never inflates the fast member's
+// device occupancy.
+func (h *handle) WriteAt(p *vtime.Proc, b []byte, off int64) (int, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return 0, storage.ErrClosed
+	}
+	members := append([]storage.Handle(nil), h.members...)
+	h.mu.Unlock()
+	var wg sync.WaitGroup
+	errs := make([]error, len(members))
+	agents := make([]*vtime.Proc, len(members))
+	wrote := false
+	for i, m := range members {
+		if m == nil || !up(h.s.b.members[i]) {
+			continue
+		}
+		wrote = true
+		agent := h.s.sim.NewProc(p.Name() + "/replica")
+		agent.AdvanceTo(p.Now())
+		agents[i] = agent
+		wg.Add(1)
+		go func(i int, m storage.Handle, agent *vtime.Proc) {
+			defer wg.Done()
+			_, errs[i] = m.WriteAt(agent, b, off)
+		}(i, m, agent)
+	}
+	wg.Wait()
+	if !wrote {
+		return 0, fmt.Errorf("replica %q write %q: %w", h.s.b.name, h.path, storage.ErrDown)
+	}
+	for _, agent := range agents {
+		if agent != nil {
+			p.AdvanceTo(agent.Now())
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return len(b), nil
+}
+
+// ReadAt serves from the first live member with an open handle, opening
+// lazily on a later member if the preferred one went down.
+func (h *handle) ReadAt(p *vtime.Proc, b []byte, off int64) (int, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return 0, storage.ErrClosed
+	}
+	members := append([]storage.Handle(nil), h.members...)
+	h.mu.Unlock()
+	var errs []error
+	for i, m := range members {
+		if !up(h.s.b.members[i]) {
+			continue
+		}
+		if m == nil {
+			// Fail over: open this member's copy on demand.
+			sess := h.s.members[i]
+			if sess == nil {
+				continue
+			}
+			nm, err := sess.Open(p, h.path, storage.ModeRead)
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			h.mu.Lock()
+			h.members[i] = nm
+			h.mu.Unlock()
+			m = nm
+		}
+		n, err := m.ReadAt(p, b, off)
+		if err == nil || n > 0 {
+			return n, err
+		}
+		errs = append(errs, err)
+	}
+	if errs == nil {
+		errs = append(errs, storage.ErrDown)
+	}
+	return 0, fmt.Errorf("replica %q read %q: %w", h.s.b.name, h.path, errors.Join(errs...))
+}
+
+func (h *handle) closeAll(p *vtime.Proc) {
+	for i, m := range h.members {
+		if m != nil && up(h.s.b.members[i]) {
+			m.Close(p)
+		}
+		h.members[i] = nil
+	}
+}
+
+// Close implements storage.Handle.
+func (h *handle) Close(p *vtime.Proc) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return storage.ErrClosed
+	}
+	h.closed = true
+	members := append([]storage.Handle(nil), h.members...)
+	h.mu.Unlock()
+	var errs []error
+	for i, m := range members {
+		if m == nil || !up(h.s.b.members[i]) {
+			continue
+		}
+		if err := m.Close(p); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,291 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/remotedisk"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// pair builds a replica over a fast local disk and a slow remote disk.
+func pair(t *testing.T) (*Backend, *vtime.Sim, storage.Backend, storage.Backend) {
+	t.Helper()
+	fast, err := localdisk.New("fast", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := remotedisk.New("slow", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New("mirror", fast, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, vtime.NewVirtual(), fast, slow
+}
+
+func TestNeedsTwoMembers(t *testing.T) {
+	one, _ := localdisk.New("x", memfs.New())
+	if _, err := New("r", one); err == nil {
+		t.Fatal("single-member replica accepted")
+	}
+}
+
+func TestWriteMirrorsToAllMembers(t *testing.T) {
+	r, sim, fast, slow := pair(t)
+	p := sim.NewProc("p")
+	sess, err := r.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Open(p, "d/f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("replicated")
+	if _, err := h.WriteAt(p, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	// Both members must hold the bytes, independently.
+	for _, m := range []storage.Backend{fast, slow} {
+		q := sim.NewProc("check")
+		ms, _ := m.Connect(q)
+		mh, err := ms.Open(q, "d/f", storage.ModeRead)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		got := make([]byte, len(payload))
+		if _, err := mh.ReadAt(q, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("%s holds %q", m.Name(), got)
+		}
+	}
+}
+
+func TestWriteCostIsSlowestMember(t *testing.T) {
+	r, sim, _, _ := pair(t)
+	p := sim.NewProc("p")
+	sess, _ := r.Connect(p)
+	h, _ := sess.Open(p, "f", storage.ModeCreate)
+	before := p.Now()
+	if _, err := h.WriteAt(p, make([]byte, model.MiB), 0); err != nil {
+		t.Fatal(err)
+	}
+	cost := p.Now() - before
+	slowXfer := model.RemoteDisk2000().Xfer(model.Write, model.MiB)
+	if cost < slowXfer {
+		t.Fatalf("synchronous replication cost %v < slow member %v", cost, slowXfer)
+	}
+}
+
+func TestReadPrefersFirstMember(t *testing.T) {
+	r, sim, _, _ := pair(t)
+	p := sim.NewProc("p")
+	sess, _ := r.Connect(p)
+	h, _ := sess.Open(p, "f", storage.ModeCreate)
+	h.WriteAt(p, make([]byte, model.MiB), 0)
+	h.Close(p)
+
+	rd := sim.NewProc("rd")
+	sess2, _ := r.Connect(rd)
+	rh, err := sess2.Open(rd, "f", storage.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := rd.Now()
+	buf := make([]byte, model.MiB)
+	if _, err := rh.ReadAt(rd, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	cost := rd.Now() - before
+	// Served from the local member: far below the remote transfer time.
+	if cost > time.Second {
+		t.Fatalf("read served by slow member: %v", cost)
+	}
+}
+
+func TestReadFailsOverWhenPreferredDown(t *testing.T) {
+	r, sim, fast, _ := pair(t)
+	p := sim.NewProc("p")
+	sess, _ := r.Connect(p)
+	h, _ := sess.Open(p, "f", storage.ModeCreate)
+	payload := []byte("survives outages")
+	h.WriteAt(p, payload, 0)
+	h.Close(p)
+
+	fast.(storage.Outage).SetDown(true)
+	rd := sim.NewProc("rd")
+	sess2, err := r.Connect(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := sess2.Open(rd, "f", storage.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := rh.ReadAt(rd, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("failover read = %q", got)
+	}
+}
+
+func TestReadFailsOverMidStream(t *testing.T) {
+	// The preferred member dies after the handle is open: the next read
+	// lazily opens the surviving member's copy.
+	r, sim, fast, _ := pair(t)
+	p := sim.NewProc("p")
+	sess, _ := r.Connect(p)
+	h, _ := sess.Open(p, "f", storage.ModeCreate)
+	h.WriteAt(p, []byte("abcdefgh"), 0)
+	h.Close(p)
+
+	rd := sim.NewProc("rd")
+	sess2, _ := r.Connect(rd)
+	rh, _ := sess2.Open(rd, "f", storage.ModeRead)
+	buf := make([]byte, 4)
+	if _, err := rh.ReadAt(rd, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	fast.(storage.Outage).SetDown(true)
+	if _, err := rh.ReadAt(rd, buf, 4); err != nil {
+		t.Fatalf("mid-stream failover: %v", err)
+	}
+	if string(buf) != "efgh" {
+		t.Fatalf("read %q after failover", buf)
+	}
+}
+
+func TestWriteContinuesWithMemberDown(t *testing.T) {
+	r, sim, fast, slow := pair(t)
+	fast.(storage.Outage).SetDown(true)
+	p := sim.NewProc("p")
+	sess, err := r.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(p, []byte("degraded"), 0); err != nil {
+		t.Fatal(err)
+	}
+	h.Close(p)
+	// Data must be on the surviving member.
+	q := sim.NewProc("q")
+	ms, _ := slow.Connect(q)
+	if _, err := ms.Stat(q, "f"); err != nil {
+		t.Fatalf("surviving member missing data: %v", err)
+	}
+}
+
+func TestAllMembersDown(t *testing.T) {
+	r, sim, fast, slow := pair(t)
+	fast.(storage.Outage).SetDown(true)
+	slow.(storage.Outage).SetDown(true)
+	p := sim.NewProc("p")
+	if _, err := r.Connect(p); !errors.Is(err, storage.ErrDown) {
+		t.Fatalf("connect with all members down = %v", err)
+	}
+}
+
+func TestCapacityIsTightestMember(t *testing.T) {
+	a, _ := localdisk.New("a", memfs.New(), localdisk.WithCapacity(100))
+	b, _ := localdisk.New("b", memfs.New(), localdisk.WithCapacity(1000))
+	r, err := New("m", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := r.Capacity()
+	if total != 100 {
+		t.Fatalf("capacity = %d, want tightest member 100", total)
+	}
+}
+
+func TestStatListRemove(t *testing.T) {
+	r, sim, _, _ := pair(t)
+	p := sim.NewProc("p")
+	sess, _ := r.Connect(p)
+	h, _ := sess.Open(p, "d/f", storage.ModeCreate)
+	h.WriteAt(p, []byte{1, 2, 3}, 0)
+	h.Close(p)
+	fi, err := sess.Stat(p, "d/f")
+	if err != nil || fi.Size != 3 {
+		t.Fatalf("Stat = %+v, %v", fi, err)
+	}
+	ls, err := sess.List(p, "d/")
+	if err != nil || len(ls) != 1 {
+		t.Fatalf("List = %v, %v", ls, err)
+	}
+	if err := sess.Remove(p, "d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Stat(p, "d/f"); err == nil {
+		t.Fatal("stat after remove succeeded")
+	}
+}
+
+func TestClosedSessionAndHandle(t *testing.T) {
+	r, sim, _, _ := pair(t)
+	p := sim.NewProc("p")
+	sess, _ := r.Connect(p)
+	h, _ := sess.Open(p, "f", storage.ModeCreate)
+	if err := h.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(p, []byte{1}, 0); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("write on closed handle = %v", err)
+	}
+	if _, err := h.ReadAt(p, make([]byte, 1), 0); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("read on closed handle = %v", err)
+	}
+	if err := h.Close(p); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("double handle close = %v", err)
+	}
+	if err := sess.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(p); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("double session close = %v", err)
+	}
+	if _, err := sess.Open(p, "g", storage.ModeCreate); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("open on closed session = %v", err)
+	}
+}
+
+func TestSizeFallsBackToHealthyMember(t *testing.T) {
+	r, sim, fast, _ := pair(t)
+	p := sim.NewProc("p")
+	sess, _ := r.Connect(p)
+	h, _ := sess.Open(p, "f", storage.ModeCreate)
+	h.WriteAt(p, make([]byte, 77), 0)
+	fast.(storage.Outage).SetDown(true)
+	if got := h.Size(); got != 77 {
+		t.Fatalf("Size with preferred member down = %d", got)
+	}
+}
+
+func TestReadMissingFile(t *testing.T) {
+	r, sim, _, _ := pair(t)
+	p := sim.NewProc("p")
+	sess, _ := r.Connect(p)
+	if _, err := sess.Open(p, "absent", storage.ModeRead); err == nil {
+		t.Fatal("open of missing replica succeeded")
+	}
+}

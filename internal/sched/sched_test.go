@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdersByDeclaration(t *testing.T) {
+	jobs := []Job{
+		{ID: "long", MaxRunTime: 10 * time.Hour, Actual: time.Hour},
+		{ID: "short", MaxRunTime: time.Hour, Actual: 30 * time.Minute},
+		{ID: "mid", MaxRunTime: 2 * time.Hour, Actual: time.Hour},
+	}
+	out, makespan, err := Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Job.ID != "short" || out[1].Job.ID != "mid" || out[2].Job.ID != "long" {
+		t.Fatalf("order = %v %v %v", out[0].Job.ID, out[1].Job.ID, out[2].Job.ID)
+	}
+	if out[0].Wait() != 0 {
+		t.Fatalf("highest priority waited %v", out[0].Wait())
+	}
+	if makespan != 2*time.Hour+30*time.Minute {
+		t.Fatalf("makespan = %v", makespan)
+	}
+}
+
+func TestScheduleKillsOverrun(t *testing.T) {
+	jobs := []Job{{ID: "optimist", MaxRunTime: time.Hour, Actual: 2 * time.Hour}}
+	out, _, err := Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Killed {
+		t.Fatal("overrunning job not killed")
+	}
+	if out[0].End != time.Hour {
+		t.Fatalf("killed at %v, want the declared limit", out[0].End)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, _, err := Schedule([]Job{{ID: "x", MaxRunTime: 0, Actual: time.Hour}}); err == nil {
+		t.Fatal("zero declaration accepted")
+	}
+	if _, _, err := Schedule([]Job{{ID: "x", MaxRunTime: time.Hour, Actual: 0}}); err == nil {
+		t.Fatal("zero actual accepted")
+	}
+}
+
+// The paper's scenario end to end: a predictor-derived declaration
+// survives while an optimistic guess is killed and a pessimistic guess
+// waits behind everyone.
+func TestPredictorDerivedDeclarationWins(t *testing.T) {
+	predictedIO := 180 * time.Second // the worked example's lower bound
+	actualIO := 197 * time.Second    // what the run really costs
+	compute := 300 * time.Second
+
+	suggested, err := SuggestMaxRunTime(predictedIO, compute, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		{ID: "optimist", MaxRunTime: predictedIO + compute, Actual: actualIO + compute},
+		{ID: "planned", MaxRunTime: suggested, Actual: actualIO + compute},
+		{ID: "pessimist", MaxRunTime: 10 * (actualIO + compute), Actual: actualIO + compute},
+	}
+	out, _, err := Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]Outcome{}
+	for _, o := range out {
+		byID[o.Job.ID] = o
+	}
+	if !byID["optimist"].Killed {
+		t.Fatal("optimist (declared exactly the lower bound) should be killed")
+	}
+	if byID["planned"].Killed {
+		t.Fatal("planned declaration killed despite margin")
+	}
+	if byID["planned"].Wait() >= byID["pessimist"].Wait() {
+		t.Fatalf("planned waited %v, pessimist %v — priority inverted",
+			byID["planned"].Wait(), byID["pessimist"].Wait())
+	}
+}
+
+func TestSuggestValidation(t *testing.T) {
+	if _, err := SuggestMaxRunTime(-1, 0, 0.1); err == nil {
+		t.Fatal("negative io accepted")
+	}
+	if _, err := SuggestMaxRunTime(time.Second, time.Second, -0.1); err == nil {
+		t.Fatal("negative margin accepted")
+	}
+	got, err := SuggestMaxRunTime(100*time.Second, 100*time.Second, 0.5)
+	if err != nil || got != 300*time.Second {
+		t.Fatalf("Suggest = %v, %v", got, err)
+	}
+}
+
+// Property: the machine is never idle between jobs and never runs two at
+// once — outcomes tile [0, makespan].
+func TestQuickScheduleTiles(t *testing.T) {
+	f := func(durs []uint16) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		jobs := make([]Job, len(durs))
+		for i, d := range durs {
+			dur := time.Duration(int(d)+1) * time.Second
+			jobs[i] = Job{ID: string(rune('a' + i%26)), MaxRunTime: dur, Actual: dur}
+		}
+		out, makespan, err := Schedule(jobs)
+		if err != nil {
+			return false
+		}
+		var cursor time.Duration
+		for _, o := range out {
+			if o.Start != cursor || o.End < o.Start {
+				return false
+			}
+			cursor = o.End
+		}
+		return cursor == makespan
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package sieve implements data sieving, the run-time library
+// optimization for strided access: instead of one native call per file
+// run, a single large call covers the whole extent and the wanted bytes
+// are copied in memory.  Writes are read-modify-write over the covering
+// extent, which trades bandwidth for call count — exactly the trade-off
+// that pays off on high-latency storage.
+package sieve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/pattern"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// extent returns the covering byte range of the runs.
+func extent(runs []pattern.Run) (lo, hi int64) {
+	if len(runs) == 0 {
+		return 0, 0
+	}
+	lo, hi = runs[0].Off, runs[0].End()
+	for _, r := range runs[1:] {
+		if r.Off < lo {
+			lo = r.Off
+		}
+		if r.End() > hi {
+			hi = r.End()
+		}
+	}
+	return lo, hi
+}
+
+func packedLen(runs []pattern.Run) int64 {
+	var n int64
+	for _, r := range runs {
+		n += r.Len
+	}
+	return n
+}
+
+// Read fills dst (packed run order) using one covering native read.
+func Read(p *vtime.Proc, h storage.Handle, runs []pattern.Run, dst []byte) error {
+	need := packedLen(runs)
+	if int64(len(dst)) != need {
+		return fmt.Errorf("sieve read: dst is %d bytes, runs pack to %d", len(dst), need)
+	}
+	if need == 0 {
+		return nil
+	}
+	lo, hi := extent(runs)
+	scratch := make([]byte, hi-lo)
+	if _, err := h.ReadAt(p, scratch, lo); err != nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("sieve read: %w", err)
+	}
+	var pos int64
+	for _, r := range runs {
+		copy(dst[pos:pos+r.Len], scratch[r.Off-lo:r.End()-lo])
+		pos += r.Len
+	}
+	return nil
+}
+
+// Write stores src (packed run order) using a read-modify-write of the
+// covering extent: one native read (skipped when the extent lies wholly
+// beyond the current end of file) and one native write.
+//
+// Concurrent sieved writes to overlapping extents race just as they do
+// in real data sieving without file locking: the pattern layer's
+// decompositions are disjoint by construction, but covering extents may
+// interleave, so parallel writers of interleaved patterns must serialize
+// or use collective I/O instead.
+func Write(p *vtime.Proc, h storage.Handle, runs []pattern.Run, src []byte) error {
+	need := packedLen(runs)
+	if int64(len(src)) != need {
+		return fmt.Errorf("sieve write: src is %d bytes, runs pack to %d", len(src), need)
+	}
+	if need == 0 {
+		return nil
+	}
+	lo, hi := extent(runs)
+	scratch := make([]byte, hi-lo)
+	if lo < h.Size() {
+		if _, err := h.ReadAt(p, scratch, lo); err != nil && !errors.Is(err, io.EOF) {
+			return fmt.Errorf("sieve write (rmw read): %w", err)
+		}
+	}
+	var pos int64
+	for _, r := range runs {
+		copy(scratch[r.Off-lo:r.End()-lo], src[pos:pos+r.Len])
+		pos += r.Len
+	}
+	if _, err := h.WriteAt(p, scratch, lo); err != nil {
+		return fmt.Errorf("sieve write: %w", err)
+	}
+	return nil
+}

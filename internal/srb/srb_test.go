@@ -1,0 +1,90 @@
+package srb
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+func newBroker(t *testing.T) *Broker {
+	t.Helper()
+	b := NewBroker()
+	be, err := localdisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(be); err != nil {
+		t.Fatal(err)
+	}
+	b.AddUser("shen", "nwu")
+	return b
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	b := newBroker(t)
+	be, _ := localdisk.New("sdsc-disk", memfs.New())
+	if err := b.Register(be); err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+}
+
+func TestResources(t *testing.T) {
+	b := newBroker(t)
+	be, _ := localdisk.New("another", memfs.New())
+	b.Register(be)
+	got := b.Resources()
+	if len(got) != 2 || got[0] != "another" || got[1] != "sdsc-disk" {
+		t.Fatalf("Resources = %v", got)
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	b := newBroker(t)
+	if err := b.Authenticate("shen", "nwu"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Authenticate("shen", "wrong"); !errors.Is(err, ErrAuth) {
+		t.Fatalf("bad secret err = %v", err)
+	}
+	if err := b.Authenticate("nobody", "x"); !errors.Is(err, ErrAuth) {
+		t.Fatalf("unknown user err = %v", err)
+	}
+}
+
+func TestConnectAndIO(t *testing.T) {
+	b := newBroker(t)
+	p := vtime.NewVirtual().NewProc("p")
+	s, err := b.Connect(p, "shen", "nwu", "sdsc-disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(p, []byte("via broker"), 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := h.ReadAt(p, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "via broker" {
+		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	b := newBroker(t)
+	p := vtime.NewVirtual().NewProc("p")
+	if _, err := b.Connect(p, "shen", "bad", "sdsc-disk"); !errors.Is(err, ErrAuth) {
+		t.Fatalf("bad auth connect = %v", err)
+	}
+	if _, err := b.Connect(p, "shen", "nwu", "nowhere"); !errors.Is(err, ErrNoResource) {
+		t.Fatalf("missing resource connect = %v", err)
+	}
+}

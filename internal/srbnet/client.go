@@ -1,0 +1,207 @@
+package srbnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// Client reaches a remote srbnet server.  It implements storage.Backend:
+// Connect dials a fresh TCP connection, so each session maps to one
+// server-side broker session.
+type Client struct {
+	addr     string
+	user     string
+	secret   string
+	resource string
+	kind     storage.Kind
+	name     string
+}
+
+var _ storage.Backend = (*Client)(nil)
+
+// NewClient returns a backend that connects to the named broker resource
+// at addr with the given credentials.  kind should mirror the remote
+// resource's class so the placement layer treats it correctly.
+func NewClient(addr, user, secret, resource string, kind storage.Kind) *Client {
+	return &Client{
+		addr:     addr,
+		user:     user,
+		secret:   secret,
+		resource: resource,
+		kind:     kind,
+		name:     "srb://" + addr + "/" + resource,
+	}
+}
+
+// Name implements storage.Backend.
+func (c *Client) Name() string { return c.name }
+
+// Kind implements storage.Backend.
+func (c *Client) Kind() storage.Kind { return c.kind }
+
+// Capacity implements storage.Backend.  The wire protocol does not carry
+// capacity queries; remote archives are treated as unlimited, matching
+// the paper's assumption for the large remote stores.
+func (c *Client) Capacity() (total, used int64) { return 0, 0 }
+
+// Connect implements storage.Backend.
+func (c *Client) Connect(p *vtime.Proc) (storage.Session, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("srbnet client: dial %s: %w", c.addr, err)
+	}
+	s := &clientSession{
+		conn: conn,
+		dec:  gob.NewDecoder(conn),
+		enc:  gob.NewEncoder(conn),
+	}
+	_, err = s.call(p, &request{
+		Op:       opConnect,
+		User:     c.user,
+		Secret:   c.secret,
+		Resource: c.resource,
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// clientSession is one wire session.  A mutex serializes frames; the
+// virtual clock still charges concurrent callers correctly because the
+// server replays each operation at the caller's logical instant.
+type clientSession struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	dec    *gob.Decoder
+	enc    *gob.Encoder
+	closed bool
+}
+
+// call sends one request and decodes one response, advancing p's clock
+// to the server-side completion time.
+func (s *clientSession) call(p *vtime.Proc, req *request) (*response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("srbnet client: %w", storage.ErrClosed)
+	}
+	req.Now = p.Now()
+	if err := s.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("srbnet client: send: %w", err)
+	}
+	var resp response
+	if err := s.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("srbnet client: recv: %w", err)
+	}
+	p.AdvanceTo(resp.Now)
+	if resp.Err != errNone {
+		return &resp, decodeErr(resp.Err, resp.ErrMsg)
+	}
+	return &resp, nil
+}
+
+// Open implements storage.Session.
+func (s *clientSession) Open(p *vtime.Proc, name string, mode storage.AMode) (storage.Handle, error) {
+	resp, err := s.call(p, &request{Op: opOpen, Path: name, Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	return &clientHandle{s: s, id: resp.Handle, path: name, size: resp.Size}, nil
+}
+
+// Remove implements storage.Session.
+func (s *clientSession) Remove(p *vtime.Proc, name string) error {
+	_, err := s.call(p, &request{Op: opRemove, Path: name})
+	return err
+}
+
+// Stat implements storage.Session.
+func (s *clientSession) Stat(p *vtime.Proc, name string) (storage.FileInfo, error) {
+	resp, err := s.call(p, &request{Op: opStat, Path: name})
+	if err != nil {
+		return storage.FileInfo{}, err
+	}
+	return resp.Info, nil
+}
+
+// List implements storage.Session.
+func (s *clientSession) List(p *vtime.Proc, prefix string) ([]storage.FileInfo, error) {
+	resp, err := s.call(p, &request{Op: opList, Path: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Infos, nil
+}
+
+// Close implements storage.Session and tears down the TCP connection.
+func (s *clientSession) Close(p *vtime.Proc) error {
+	_, err := s.call(p, &request{Op: opCloseSession})
+	s.mu.Lock()
+	s.closed = true
+	s.conn.Close()
+	s.mu.Unlock()
+	return err
+}
+
+type clientHandle struct {
+	s    *clientSession
+	id   uint64
+	path string
+
+	mu   sync.Mutex
+	size int64
+}
+
+var _ storage.Handle = (*clientHandle)(nil)
+
+func (h *clientHandle) Path() string { return h.path }
+
+// Size returns the last size observed from the server.
+func (h *clientHandle) Size() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.size
+}
+
+func (h *clientHandle) setSize(n int64) {
+	h.mu.Lock()
+	h.size = n
+	h.mu.Unlock()
+}
+
+// ReadAt implements storage.Handle.
+func (h *clientHandle) ReadAt(p *vtime.Proc, b []byte, off int64) (int, error) {
+	resp, err := h.s.call(p, &request{Op: opRead, Handle: h.id, Off: off, N: len(b)})
+	if err != nil {
+		return 0, err
+	}
+	h.setSize(resp.Size)
+	n := copy(b, resp.Data)
+	if n < len(b) {
+		return n, fmt.Errorf("srbnet client: short read of %q at %d: n=%d", h.path, off, n)
+	}
+	return n, nil
+}
+
+// WriteAt implements storage.Handle.
+func (h *clientHandle) WriteAt(p *vtime.Proc, b []byte, off int64) (int, error) {
+	resp, err := h.s.call(p, &request{Op: opWrite, Handle: h.id, Off: off, Data: b})
+	if err != nil {
+		return 0, err
+	}
+	h.setSize(resp.Size)
+	return resp.N, nil
+}
+
+// Close implements storage.Handle.
+func (h *clientHandle) Close(p *vtime.Proc) error {
+	_, err := h.s.call(p, &request{Op: opCloseHandle, Handle: h.id})
+	return err
+}

@@ -1,0 +1,155 @@
+// Package srbnet carries the SRB middleware protocol over real TCP.
+//
+// The paper reaches SDSC's remote disks and HPSS through the SRB
+// client-server middleware across the wide-area network.  This package
+// provides that network path: a Server exposes an srb.Broker on a TCP
+// listener, and Client implements storage.Backend by speaking the
+// protocol, so applications are oblivious to whether a resource is wired
+// in-process or across a socket.
+//
+// Frames are gob-encoded request/response structs.  Virtual time crosses
+// the wire explicitly: each request carries the client process's logical
+// clock, the server replays the operation against its shared device
+// resources starting at that instant, and the response returns the
+// completion time which the client clock advances to.  Device contention
+// between clients is therefore preserved even over TCP.
+package srbnet
+
+import (
+	"errors"
+
+	"repro/internal/srb"
+	"repro/internal/storage"
+	"time"
+)
+
+// opCode identifies a request type.
+type opCode uint8
+
+const (
+	opConnect opCode = iota + 1
+	opOpen
+	opRead
+	opWrite
+	opStat
+	opList
+	opRemove
+	opCloseHandle
+	opCloseSession
+)
+
+// request is one client→server frame.
+type request struct {
+	Op     opCode
+	Now    time.Duration // client's logical clock at issue time
+	User   string
+	Secret string
+	// Resource names the broker resource (connect only).
+	Resource string
+	Path     string
+	Mode     storage.AMode
+	Handle   uint64
+	Off      int64
+	N        int // read length
+	Data     []byte
+}
+
+// errCode classifies failures across the wire so errors.Is keeps working
+// on the client side.
+type errCode uint8
+
+const (
+	errNone errCode = iota
+	errNotExist
+	errExist
+	errReadOnly
+	errClosed
+	errDown
+	errCapacity
+	errBadPath
+	errAuth
+	errNoResource
+	errOther
+)
+
+func encodeErr(err error) (errCode, string) {
+	switch {
+	case err == nil:
+		return errNone, ""
+	case errors.Is(err, storage.ErrNotExist):
+		return errNotExist, err.Error()
+	case errors.Is(err, storage.ErrExist):
+		return errExist, err.Error()
+	case errors.Is(err, storage.ErrReadOnly):
+		return errReadOnly, err.Error()
+	case errors.Is(err, storage.ErrClosed):
+		return errClosed, err.Error()
+	case errors.Is(err, storage.ErrDown):
+		return errDown, err.Error()
+	case errors.Is(err, storage.ErrCapacity):
+		return errCapacity, err.Error()
+	case errors.Is(err, storage.ErrBadPath):
+		return errBadPath, err.Error()
+	case errors.Is(err, srb.ErrAuth):
+		return errAuth, err.Error()
+	case errors.Is(err, srb.ErrNoResource):
+		return errNoResource, err.Error()
+	default:
+		return errOther, err.Error()
+	}
+}
+
+// wireError reconstructs a client-side error carrying both the sentinel
+// and the server's message.
+type wireError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
+func decodeErr(code errCode, msg string) error {
+	var sentinel error
+	switch code {
+	case errNone:
+		return nil
+	case errNotExist:
+		sentinel = storage.ErrNotExist
+	case errExist:
+		sentinel = storage.ErrExist
+	case errReadOnly:
+		sentinel = storage.ErrReadOnly
+	case errClosed:
+		sentinel = storage.ErrClosed
+	case errDown:
+		sentinel = storage.ErrDown
+	case errCapacity:
+		sentinel = storage.ErrCapacity
+	case errBadPath:
+		sentinel = storage.ErrBadPath
+	case errAuth:
+		sentinel = srb.ErrAuth
+	case errNoResource:
+		sentinel = srb.ErrNoResource
+	default:
+		sentinel = errors.New("srbnet: remote error")
+	}
+	if msg == "" {
+		msg = sentinel.Error()
+	}
+	return &wireError{sentinel: sentinel, msg: msg}
+}
+
+// response is one server→client frame.
+type response struct {
+	Err    errCode
+	ErrMsg string
+	Now    time.Duration // server-side completion time
+	Handle uint64
+	N      int
+	Size   int64
+	Data   []byte
+	Info   storage.FileInfo
+	Infos  []storage.FileInfo
+}

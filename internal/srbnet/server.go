@@ -1,0 +1,244 @@
+package srbnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/srb"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// Server exposes an srb.Broker over TCP.  One goroutine serves each
+// connection; a connection carries at most one broker session.
+type Server struct {
+	broker *srb.Broker
+	sim    *vtime.Sim
+	lis    net.Listener
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" picks a free port) using
+// the given Sim for server-side clocks.  It returns once the listener is
+// ready; Close stops it.
+func Serve(addr string, broker *srb.Broker, sim *vtime.Sim) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("srbnet: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		broker: broker,
+		sim:    sim,
+		lis:    lis,
+		logf:   log.Printf,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener address (useful with port 0).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// SetLogf replaces the server's log function (tests silence it).
+func (s *Server) SetLogf(f func(format string, args ...any)) { s.logf = f }
+
+// Close stops the listener and all connections, then waits for the
+// per-connection goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// connState is the per-connection session state.
+type connState struct {
+	proc    *vtime.Proc
+	session storage.Session
+	handles map[uint64]storage.Handle
+	nextID  uint64
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	st := &connState{
+		proc:    s.sim.NewProc("srbnet-" + conn.RemoteAddr().String()),
+		handles: make(map[uint64]storage.Handle),
+	}
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("srbnet: decode from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.handle(st, &req)
+		if err := enc.Encode(resp); err != nil {
+			s.logf("srbnet: encode to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if req.Op == opCloseSession {
+			return
+		}
+	}
+}
+
+// handle executes one request.  The server proc's clock is first pushed
+// forward to the client's clock so device contention is charged at the
+// right instant.
+func (s *Server) handle(st *connState, req *request) *response {
+	st.proc.AdvanceTo(req.Now)
+	resp := &response{}
+	fail := func(err error) *response {
+		resp.Err, resp.ErrMsg = encodeErr(err)
+		resp.Now = st.proc.Now()
+		return resp
+	}
+	switch req.Op {
+	case opConnect:
+		if st.session != nil {
+			return fail(fmt.Errorf("srbnet: connection already has a session"))
+		}
+		sess, err := s.broker.Connect(st.proc, req.User, req.Secret, req.Resource)
+		if err != nil {
+			return fail(err)
+		}
+		st.session = sess
+	case opCloseSession:
+		if st.session == nil {
+			return fail(storage.ErrClosed)
+		}
+		if err := st.session.Close(st.proc); err != nil {
+			return fail(err)
+		}
+		st.session = nil
+	case opOpen:
+		if st.session == nil {
+			return fail(storage.ErrClosed)
+		}
+		h, err := st.session.Open(st.proc, req.Path, req.Mode)
+		if err != nil {
+			return fail(err)
+		}
+		st.nextID++
+		st.handles[st.nextID] = h
+		resp.Handle = st.nextID
+		resp.Size = h.Size()
+	case opRead:
+		h, ok := st.handles[req.Handle]
+		if !ok {
+			return fail(storage.ErrClosed)
+		}
+		buf := make([]byte, req.N)
+		n, err := h.ReadAt(st.proc, buf, req.Off)
+		resp.N = n
+		resp.Data = buf[:n]
+		resp.Size = h.Size()
+		if err != nil && !errors.Is(err, io.EOF) {
+			return fail(err)
+		}
+		if errors.Is(err, io.EOF) {
+			// Signal EOF in-band: N < requested with no error code.
+			resp.N = n
+		}
+	case opWrite:
+		h, ok := st.handles[req.Handle]
+		if !ok {
+			return fail(storage.ErrClosed)
+		}
+		n, err := h.WriteAt(st.proc, req.Data, req.Off)
+		resp.N = n
+		resp.Size = h.Size()
+		if err != nil {
+			return fail(err)
+		}
+	case opStat:
+		if st.session == nil {
+			return fail(storage.ErrClosed)
+		}
+		fi, err := st.session.Stat(st.proc, req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Info = fi
+	case opList:
+		if st.session == nil {
+			return fail(storage.ErrClosed)
+		}
+		fis, err := st.session.List(st.proc, req.Path)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Infos = fis
+	case opRemove:
+		if st.session == nil {
+			return fail(storage.ErrClosed)
+		}
+		if err := st.session.Remove(st.proc, req.Path); err != nil {
+			return fail(err)
+		}
+	case opCloseHandle:
+		h, ok := st.handles[req.Handle]
+		if !ok {
+			return fail(storage.ErrClosed)
+		}
+		delete(st.handles, req.Handle)
+		if err := h.Close(st.proc); err != nil {
+			return fail(err)
+		}
+	default:
+		return fail(fmt.Errorf("srbnet: unknown op %d", req.Op))
+	}
+	resp.Now = st.proc.Now()
+	return resp
+}

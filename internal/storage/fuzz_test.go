@@ -1,0 +1,24 @@
+package storage
+
+import "testing"
+
+// FuzzCleanPath: arbitrary paths either normalize to a safe relative
+// path or are rejected — never an escape.
+func FuzzCleanPath(f *testing.F) {
+	f.Add("a/b/c")
+	f.Add("../../etc/passwd")
+	f.Add("a/../b")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		out, err := CleanPath(in)
+		if err != nil {
+			return
+		}
+		if out == "" || out == ".." || out[0] == '/' {
+			t.Fatalf("CleanPath(%q) = %q", in, out)
+		}
+		if len(out) >= 3 && out[:3] == "../" {
+			t.Fatalf("CleanPath(%q) escaped: %q", in, out)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package storage defines the native-storage-interface layer of the
+// multi-storage resource architecture: the uniform Backend / Session /
+// Handle contract that every physical storage resource (local disk,
+// SRB-served remote disk, HPSS-like tape, in-memory test store)
+// implements.
+//
+// This corresponds to the paper's second layer.  The layer is
+// deliberately performance-insensitive: it exposes plain open / seek /
+// read / write / close operations, and all optimization lives above it in
+// the run-time library packages (collective, sieve, subfile, superfile,
+// aio).  Every operation takes the calling process's virtual clock so the
+// backend can charge its eq. (1) cost components.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"strings"
+
+	"repro/internal/vtime"
+)
+
+// Kind classifies storage resources the way the paper's 'location'
+// attribute does.
+type Kind int
+
+const (
+	KindMemory Kind = iota
+	KindLocalDisk
+	KindRemoteDisk
+	KindRemoteTape
+	KindLocalDB
+	KindMetaDB
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindMemory:
+		return "memory"
+	case KindLocalDisk:
+		return "localdisk"
+	case KindRemoteDisk:
+		return "remotedisk"
+	case KindRemoteTape:
+		return "remotetape"
+	case KindLocalDB:
+		return "localdb"
+	case KindMetaDB:
+		return "metadb"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// AMode is the dataset access mode from the paper's API (figure 11 lists
+// amode values "create" and "over_write"; reads use "read").
+type AMode int
+
+const (
+	// ModeRead opens an existing file read-only.
+	ModeRead AMode = iota
+	// ModeCreate creates a new file; it is an error if the file exists.
+	ModeCreate
+	// ModeOverWrite opens an existing file for writing, truncating it, or
+	// creates it if absent (used by the checkpoint/restart datasets).
+	ModeOverWrite
+	// ModeWrite opens a file for writing without truncation, creating it
+	// if absent.  The run-time library uses it for shared handles where a
+	// truncating reopen would destroy other processes' data.
+	ModeWrite
+)
+
+func (m AMode) String() string {
+	switch m {
+	case ModeRead:
+		return "read"
+	case ModeCreate:
+		return "create"
+	case ModeOverWrite:
+		return "over_write"
+	case ModeWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("AMode(%d)", int(m))
+	}
+}
+
+// Writable reports whether the mode permits writes.
+func (m AMode) Writable() bool {
+	return m == ModeCreate || m == ModeOverWrite || m == ModeWrite
+}
+
+// Errors shared by all backends.  Backends wrap them with context; test
+// with errors.Is.
+var (
+	ErrNotExist = errors.New("storage: file does not exist")
+	ErrExist    = errors.New("storage: file already exists")
+	ErrReadOnly = errors.New("storage: handle is read-only")
+	ErrClosed   = errors.New("storage: closed")
+	ErrDown     = errors.New("storage: resource is down")
+	ErrCapacity = errors.New("storage: capacity exceeded")
+	ErrBadPath  = errors.New("storage: invalid path")
+)
+
+// FileInfo describes a stored file.
+type FileInfo struct {
+	Path string
+	Size int64
+}
+
+// Handle is an open file on some storage resource.  Handles are safe for
+// concurrent use by multiple processes: collective I/O issues overlapping
+// calls against one logical file.
+type Handle interface {
+	// ReadAt reads len(b) bytes at offset off, charging the calling
+	// process for the native call.  Short reads at end-of-file return the
+	// count with io.EOF semantics folded into err == nil when n == len(b).
+	ReadAt(p *vtime.Proc, b []byte, off int64) (n int, err error)
+	// WriteAt writes b at offset off, extending the file as needed.
+	WriteAt(p *vtime.Proc, b []byte, off int64) (n int, err error)
+	// Size returns the current file size.
+	Size() int64
+	// Path returns the path the handle was opened with.
+	Path() string
+	// Close releases the handle, charging the file-close constant.
+	Close(p *vtime.Proc) error
+}
+
+// Session is an authenticated connection to a storage resource.  For the
+// local filesystem it is free; for remote resources Connect charges the
+// communication-setup constant and Close the teardown constant.
+type Session interface {
+	Open(p *vtime.Proc, name string, mode AMode) (Handle, error)
+	Remove(p *vtime.Proc, name string) error
+	Stat(p *vtime.Proc, name string) (FileInfo, error)
+	// List returns files whose path begins with prefix, sorted by path.
+	List(p *vtime.Proc, prefix string) ([]FileInfo, error)
+	Close(p *vtime.Proc) error
+}
+
+// Backend is one physical storage resource in the architecture.
+type Backend interface {
+	// Name is the instance name ("sdsc-hpss", "argonne-ssa", ...).
+	Name() string
+	// Kind is the resource class.
+	Kind() Kind
+	// Connect establishes a session for the calling process.
+	Connect(p *vtime.Proc) (Session, error)
+	// Capacity reports total and used bytes.  Total <= 0 means unlimited
+	// (the paper assumes tapes "can hold any size of data").
+	Capacity() (total, used int64)
+}
+
+// Outage is implemented by backends that support failure injection, used
+// by the paper's final experiment (tape system down for maintenance).
+type Outage interface {
+	SetDown(down bool)
+	Down() bool
+}
+
+// CleanPath normalizes and validates a storage path: slash-separated,
+// no leading slash, no "." or ".." escapes, non-empty.
+func CleanPath(name string) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("%w: empty", ErrBadPath)
+	}
+	c := path.Clean(strings.TrimLeft(name, "/"))
+	if c == "" || c == "." || c == ".." || strings.HasPrefix(c, "../") || strings.HasPrefix(c, "/") {
+		return "", fmt.Errorf("%w: %q", ErrBadPath, name)
+	}
+	return c, nil
+}

@@ -1,0 +1,62 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindMemory:     "memory",
+		KindLocalDisk:  "localdisk",
+		KindRemoteDisk: "remotedisk",
+		KindRemoteTape: "remotetape",
+		KindLocalDB:    "localdb",
+		KindMetaDB:     "metadb",
+		Kind(99):       "Kind(99)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("Kind %d String = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestAModeString(t *testing.T) {
+	if ModeRead.String() != "read" || ModeCreate.String() != "create" || ModeOverWrite.String() != "over_write" {
+		t.Fatalf("mode strings: %q %q %q", ModeRead, ModeCreate, ModeOverWrite)
+	}
+	if AMode(7).String() != "AMode(7)" {
+		t.Fatalf("unknown mode: %q", AMode(7))
+	}
+}
+
+func TestAModeWritable(t *testing.T) {
+	if ModeRead.Writable() {
+		t.Fatal("read mode must not be writable")
+	}
+	if !ModeCreate.Writable() || !ModeOverWrite.Writable() {
+		t.Fatal("create/over_write must be writable")
+	}
+}
+
+func TestCleanPath(t *testing.T) {
+	good := map[string]string{
+		"a/b/c":    "a/b/c",
+		"/a/b":     "a/b",
+		"a//b":     "a/b",
+		"a/./b":    "a/b",
+		"a/b/../c": "a/c",
+	}
+	for in, want := range good {
+		got, err := CleanPath(in)
+		if err != nil || got != want {
+			t.Errorf("CleanPath(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", "../x", "a/../../x"} {
+		if _, err := CleanPath(bad); !errors.Is(err, ErrBadPath) {
+			t.Errorf("CleanPath(%q) err = %v, want ErrBadPath", bad, err)
+		}
+	}
+}

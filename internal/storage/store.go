@@ -1,0 +1,26 @@
+package storage
+
+// Store is the raw, untimed byte layer a Backend builds on.  Two
+// implementations exist: memfs (in-memory, hermetic, used by the emulated
+// remote resources and tests) and osfs (a real directory, used by the
+// local-disk backend and the srbd server).  Store implementations carry
+// no virtual-time cost; Backends charge costs around Store calls.
+type Store interface {
+	// Open opens name; with create true the file is created if absent and
+	// truncated if trunc is also true.
+	Open(name string, create, trunc bool) (File, error)
+	Remove(name string) error
+	Stat(name string) (FileInfo, error)
+	List(prefix string) ([]FileInfo, error)
+	// UsedBytes reports total stored bytes, for capacity accounting.
+	UsedBytes() int64
+}
+
+// File is a raw open file within a Store.
+type File interface {
+	ReadAt(b []byte, off int64) (int, error)
+	WriteAt(b []byte, off int64) (int, error)
+	Size() int64
+	Truncate(size int64) error
+	Close() error
+}

@@ -1,0 +1,23 @@
+package storetest
+
+import (
+	"testing"
+
+	"repro/internal/memfs"
+	"repro/internal/osfs"
+	"repro/internal/storage"
+)
+
+func TestMemFSConformance(t *testing.T) {
+	Run(t, func(t *testing.T) storage.Store { return memfs.New() })
+}
+
+func TestOSFSConformance(t *testing.T) {
+	Run(t, func(t *testing.T) storage.Store {
+		fs, err := osfs.New(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+}

@@ -1,0 +1,225 @@
+// Package storetest is a conformance suite for storage.Store
+// implementations: every byte store (memfs, osfs, future media) must
+// satisfy exactly the same contract, since backends are built
+// indiscriminately over either.
+package storetest
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// Factory creates a fresh empty store for one subtest.
+type Factory func(t *testing.T) storage.Store
+
+// Run executes the full conformance suite against the factory.
+func Run(t *testing.T, newStore Factory) {
+	t.Helper()
+	tests := []struct {
+		name string
+		fn   func(*testing.T, storage.Store)
+	}{
+		{"CreateWriteRead", testCreateWriteRead},
+		{"OpenMissing", testOpenMissing},
+		{"SparseZeroFill", testSparseZeroFill},
+		{"ShortReadAtEOF", testShortReadAtEOF},
+		{"TruncateOnOpen", testTruncateOnOpen},
+		{"GrowViaTruncate", testGrowViaTruncate},
+		{"RemoveAndStat", testRemoveAndStat},
+		{"ListPrefixSorted", testListPrefixSorted},
+		{"UsedBytes", testUsedBytes},
+		{"PathValidation", testPathValidation},
+		{"OverwriteInPlace", testOverwriteInPlace},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.fn(t, newStore(t))
+		})
+	}
+}
+
+func mustOpen(t *testing.T, s storage.Store, name string, create, trunc bool) storage.File {
+	t.Helper()
+	f, err := s.Open(name, create, trunc)
+	if err != nil {
+		t.Fatalf("Open(%q): %v", name, err)
+	}
+	return f
+}
+
+func testCreateWriteRead(t *testing.T, s storage.Store) {
+	f := mustOpen(t, s, "a/b/c", true, false)
+	defer f.Close()
+	payload := []byte("conformance")
+	if n, err := f.WriteAt(payload, 0); n != len(payload) || err != nil {
+		t.Fatalf("WriteAt = (%d, %v)", n, err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read %q", got)
+	}
+	if f.Size() != int64(len(payload)) {
+		t.Fatalf("Size = %d", f.Size())
+	}
+}
+
+func testOpenMissing(t *testing.T, s storage.Store) {
+	if _, err := s.Open("missing", false, false); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func testSparseZeroFill(t *testing.T, s storage.Store) {
+	f := mustOpen(t, s, "sparse", true, false)
+	defer f.Close()
+	if _, err := f.WriteAt([]byte{0xFF}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 101 {
+		t.Fatalf("Size = %d", f.Size())
+	}
+	buf := make([]byte, 100)
+	if _, err := f.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("gap byte %d = %#x", i, b)
+		}
+	}
+}
+
+func testShortReadAtEOF(t *testing.T, s storage.Store) {
+	f := mustOpen(t, s, "short", true, false)
+	defer f.Close()
+	f.WriteAt([]byte("abc"), 0)
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 1)
+	if n != 2 || !errors.Is(err, io.EOF) {
+		t.Fatalf("short read = (%d, %v), want (2, EOF)", n, err)
+	}
+}
+
+func testTruncateOnOpen(t *testing.T, s storage.Store) {
+	f := mustOpen(t, s, "t", true, false)
+	f.WriteAt([]byte("0123456789"), 0)
+	f.Close()
+	g := mustOpen(t, s, "t", true, true)
+	defer g.Close()
+	if g.Size() != 0 {
+		t.Fatalf("size after trunc = %d", g.Size())
+	}
+}
+
+func testGrowViaTruncate(t *testing.T, s storage.Store) {
+	f := mustOpen(t, s, "g", true, false)
+	defer f.Close()
+	f.WriteAt([]byte{1, 2, 3}, 0)
+	if err := f.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 10 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	buf := make([]byte, 7)
+	if _, err := f.ReadAt(buf, 3); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("grown byte %d = %#x", i, b)
+		}
+	}
+	if err := f.Truncate(2); err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 2 {
+		t.Fatalf("size after shrink = %d", f.Size())
+	}
+}
+
+func testRemoveAndStat(t *testing.T, s storage.Store) {
+	f := mustOpen(t, s, "r", true, false)
+	f.WriteAt([]byte{1}, 0)
+	f.Close()
+	fi, err := s.Stat("r")
+	if err != nil || fi.Size != 1 || fi.Path != "r" {
+		t.Fatalf("Stat = %+v, %v", fi, err)
+	}
+	if err := s.Remove("r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stat("r"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("stat removed = %v", err)
+	}
+	if err := s.Remove("r"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("double remove = %v", err)
+	}
+}
+
+func testListPrefixSorted(t *testing.T, s storage.Store) {
+	for _, name := range []string{"x/2", "x/1", "y/1"} {
+		f := mustOpen(t, s, name, true, false)
+		f.WriteAt([]byte{1}, 0)
+		f.Close()
+	}
+	ls, err := s.List("x/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 2 || ls[0].Path != "x/1" || ls[1].Path != "x/2" {
+		t.Fatalf("List = %v", ls)
+	}
+	all, err := s.List("")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("List all = %v, %v", all, err)
+	}
+}
+
+func testUsedBytes(t *testing.T, s storage.Store) {
+	if s.UsedBytes() != 0 {
+		t.Fatalf("fresh store used = %d", s.UsedBytes())
+	}
+	f := mustOpen(t, s, "u", true, false)
+	f.WriteAt(make([]byte, 4096), 0)
+	f.Close()
+	if got := s.UsedBytes(); got != 4096 {
+		t.Fatalf("used = %d", got)
+	}
+	s.Remove("u")
+	if got := s.UsedBytes(); got != 0 {
+		t.Fatalf("used after remove = %d", got)
+	}
+}
+
+func testPathValidation(t *testing.T, s storage.Store) {
+	for _, bad := range []string{"", "..", "../x", "a/../../y"} {
+		if _, err := s.Open(bad, true, false); !errors.Is(err, storage.ErrBadPath) {
+			t.Errorf("Open(%q) = %v, want ErrBadPath", bad, err)
+		}
+	}
+}
+
+func testOverwriteInPlace(t *testing.T, s storage.Store) {
+	f := mustOpen(t, s, "o", true, false)
+	defer f.Close()
+	f.WriteAt([]byte("AAAA"), 0)
+	f.WriteAt([]byte("BB"), 1)
+	got := make([]byte, 4)
+	if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	if string(got) != "ABBA" {
+		t.Fatalf("overwrite = %q", got)
+	}
+	if f.Size() != 4 {
+		t.Fatalf("size = %d", f.Size())
+	}
+}

@@ -1,0 +1,181 @@
+// Package subfile implements the SRB-OL subfile optimization: a large
+// distributed dataset is stored as one file per process rank instead of
+// a single shared file.  Each rank then writes (or reads) its packed
+// subarray with a single sequential native call and no exchange phase,
+// at the cost of fixing the decomposition in the stored layout.
+//
+// A small JSON meta file records the geometry so later readers (with the
+// same or a different process count) can reassemble the global array.
+package subfile
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/pattern"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// Meta describes a subfiled dataset.
+type Meta struct {
+	Dims  []int  `json:"dims"`
+	Etype int    `json:"etype"`
+	Pat   string `json:"pattern"`
+	Grid  []int  `json:"grid"`
+}
+
+// metaPath and partPath name the on-storage layout.
+func metaPath(base string) string { return base + ".submeta" }
+
+// PartPath returns the subfile path of one rank.
+func PartPath(base string, rank int) string {
+	return fmt.Sprintf("%s.sub.%04d", base, rank)
+}
+
+// Write stores each rank's packed subarray into its own subfile plus the
+// meta file.  bufs[r] must be rank r's packed local buffer.
+func Write(sess storage.Session, base string, dims []int, etype int, pat pattern.Pattern, grid pattern.Grid, procs []*vtime.Proc, bufs [][]byte) error {
+	n := grid.Procs()
+	if len(procs) != n || len(bufs) != n {
+		return fmt.Errorf("subfile write: grid %v wants %d procs, got %d/%d", grid, n, len(procs), len(bufs))
+	}
+	meta := Meta{Dims: dims, Etype: etype, Pat: pat.String(), Grid: grid}
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("subfile write: %w", err)
+	}
+	mh, err := sess.Open(procs[0], metaPath(base), storage.ModeOverWrite)
+	if err != nil {
+		return fmt.Errorf("subfile write meta: %w", err)
+	}
+	if _, err := mh.WriteAt(procs[0], mb, 0); err != nil {
+		return fmt.Errorf("subfile write meta: %w", err)
+	}
+	if err := mh.Close(procs[0]); err != nil {
+		return fmt.Errorf("subfile write meta: %w", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h, err := sess.Open(procs[r], PartPath(base, r), storage.ModeOverWrite)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if _, err := h.WriteAt(procs[r], bufs[r], 0); err != nil {
+				errs[r] = err
+				return
+			}
+			errs[r] = h.Close(procs[r])
+		}(r)
+	}
+	wg.Wait()
+	vtime.Barrier(procs...)
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("subfile write: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadMeta fetches a subfiled dataset's geometry.
+func ReadMeta(p *vtime.Proc, sess storage.Session, base string) (Meta, error) {
+	h, err := sess.Open(p, metaPath(base), storage.ModeRead)
+	if err != nil {
+		return Meta{}, fmt.Errorf("subfile meta: %w", err)
+	}
+	defer h.Close(p)
+	buf := make([]byte, h.Size())
+	if _, err := h.ReadAt(p, buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		return Meta{}, fmt.Errorf("subfile meta: %w", err)
+	}
+	var m Meta
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return Meta{}, fmt.Errorf("subfile meta decode: %w", err)
+	}
+	return m, nil
+}
+
+// Read loads each rank's packed subarray back, assuming the same
+// geometry the dataset was written with.  bufs[r] receives rank r's
+// packed bytes and must be pre-sized.
+func Read(sess storage.Session, base string, grid pattern.Grid, procs []*vtime.Proc, bufs [][]byte) error {
+	n := grid.Procs()
+	if len(procs) != n || len(bufs) != n {
+		return fmt.Errorf("subfile read: grid %v wants %d procs, got %d/%d", grid, n, len(procs), len(bufs))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h, err := sess.Open(procs[r], PartPath(base, r), storage.ModeRead)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if _, err := h.ReadAt(procs[r], bufs[r], 0); err != nil && !errors.Is(err, io.EOF) {
+				errs[r] = err
+				return
+			}
+			errs[r] = h.Close(procs[r])
+		}(r)
+	}
+	wg.Wait()
+	vtime.Barrier(procs...)
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("subfile read: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadGlobal reassembles the full global array from a subfiled dataset,
+// whatever decomposition it was written with (the post-processing tools'
+// path: a sequential consumer reading a parallel producer's output).
+func ReadGlobal(p *vtime.Proc, sess storage.Session, base string) ([]byte, Meta, error) {
+	m, err := ReadMeta(p, sess, base)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	pat, err := pattern.Parse(m.Pat)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("subfile global: %w", err)
+	}
+	grid := pattern.Grid(m.Grid)
+	global := make([]byte, pattern.TotalBytes(m.Dims, m.Etype))
+	for r := 0; r < grid.Procs(); r++ {
+		sets, err := pattern.IndexSets(m.Dims, pat, grid, r)
+		if err != nil {
+			return nil, Meta{}, err
+		}
+		runs := pattern.FileRuns(m.Dims, m.Etype, sets)
+		h, err := sess.Open(p, PartPath(base, r), storage.ModeRead)
+		if err != nil {
+			return nil, Meta{}, fmt.Errorf("subfile global: %w", err)
+		}
+		local := make([]byte, h.Size())
+		if _, err := h.ReadAt(p, local, 0); err != nil && !errors.Is(err, io.EOF) {
+			h.Close(p)
+			return nil, Meta{}, fmt.Errorf("subfile global: %w", err)
+		}
+		if err := h.Close(p); err != nil {
+			return nil, Meta{}, err
+		}
+		if err := pattern.Unpack(global, runs, local); err != nil {
+			return nil, Meta{}, err
+		}
+	}
+	return global, m, nil
+}

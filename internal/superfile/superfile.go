@@ -1,0 +1,203 @@
+// Package superfile implements the paper's superfile optimization for
+// "efficiently accessing large numbers of small files from remote
+// systems": many small files are transparently packed into one large
+// container when created, and "when the user reads this data, the first
+// read will bring all the data into memory.  Then the subsequent reads
+// can be satisfied by copying data directly from main memory."
+//
+// Layout: data segments back to back, then a JSON index, then an 8-byte
+// little-endian index length and the 8-byte magic trailer.  Appending
+// and footer placement keep writes sequential, which tape loves.
+package superfile
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+const magic = "SUPRFIL1"
+
+// ErrNoEntry is returned by Get for names missing from the container.
+var ErrNoEntry = errors.New("superfile: no such entry")
+
+type entry struct {
+	Off int64 `json:"off"`
+	Len int64 `json:"len"`
+}
+
+// Container is an open superfile.  A container is created write-only
+// (Create + Put… + Close) or opened read-only (Open + Get…), matching
+// the paper's write-once post-processing flow.
+type Container struct {
+	mu      sync.Mutex
+	h       storage.Handle
+	index   map[string]entry
+	tail    int64
+	writing bool
+	cache   []byte // whole-container cache, populated by the first Get
+	closed  bool
+}
+
+// Create starts a new container at path.
+func Create(p *vtime.Proc, sess storage.Session, path string) (*Container, error) {
+	h, err := sess.Open(p, path, storage.ModeCreate)
+	if err != nil {
+		return nil, fmt.Errorf("superfile create: %w", err)
+	}
+	return &Container{h: h, index: make(map[string]entry), writing: true}, nil
+}
+
+// Open opens an existing container read-only and loads its index (one
+// small footer read; the data body is fetched lazily by the first Get).
+func Open(p *vtime.Proc, sess storage.Session, path string) (*Container, error) {
+	h, err := sess.Open(p, path, storage.ModeRead)
+	if err != nil {
+		return nil, fmt.Errorf("superfile open: %w", err)
+	}
+	size := h.Size()
+	if size < 16 {
+		h.Close(p)
+		return nil, fmt.Errorf("superfile open %s: truncated container", path)
+	}
+	footer := make([]byte, 16)
+	if _, err := h.ReadAt(p, footer, size-16); err != nil && !errors.Is(err, io.EOF) {
+		h.Close(p)
+		return nil, fmt.Errorf("superfile open %s: %w", path, err)
+	}
+	if string(footer[8:]) != magic {
+		h.Close(p)
+		return nil, fmt.Errorf("superfile open %s: bad magic", path)
+	}
+	idxLen := int64(binary.LittleEndian.Uint64(footer[:8]))
+	if idxLen < 0 || idxLen > size-16 {
+		h.Close(p)
+		return nil, fmt.Errorf("superfile open %s: corrupt index length %d", path, idxLen)
+	}
+	idxBytes := make([]byte, idxLen)
+	if _, err := h.ReadAt(p, idxBytes, size-16-idxLen); err != nil && !errors.Is(err, io.EOF) {
+		h.Close(p)
+		return nil, fmt.Errorf("superfile open %s: %w", path, err)
+	}
+	var index map[string]entry
+	if err := json.Unmarshal(idxBytes, &index); err != nil {
+		h.Close(p)
+		return nil, fmt.Errorf("superfile open %s: index decode: %w", path, err)
+	}
+	tail := size - 16 - idxLen
+	for name, e := range index {
+		if e.Off < 0 || e.Len < 0 || e.Off+e.Len > tail {
+			h.Close(p)
+			return nil, fmt.Errorf("superfile open %s: entry %q [%d,%d) outside data body of %d bytes",
+				path, name, e.Off, e.Off+e.Len, tail)
+		}
+	}
+	return &Container{h: h, index: index, tail: tail}, nil
+}
+
+// Put appends one small file to the container.
+func (c *Container) Put(p *vtime.Proc, name string, data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return storage.ErrClosed
+	}
+	if !c.writing {
+		return fmt.Errorf("superfile put %q: %w", name, storage.ErrReadOnly)
+	}
+	if _, dup := c.index[name]; dup {
+		return fmt.Errorf("superfile put %q: %w", name, storage.ErrExist)
+	}
+	if _, err := c.h.WriteAt(p, data, c.tail); err != nil {
+		return fmt.Errorf("superfile put %q: %w", name, err)
+	}
+	c.index[name] = entry{Off: c.tail, Len: int64(len(data))}
+	c.tail += int64(len(data))
+	return nil
+}
+
+// Get returns one member's bytes.  The first Get on a read-only
+// container issues a single large native read of the whole data body;
+// every later Get is served from memory.
+func (c *Container) Get(p *vtime.Proc, name string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, storage.ErrClosed
+	}
+	e, ok := c.index[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoEntry, name)
+	}
+	if c.writing {
+		// Writers read back what they just appended without a fetch.
+		out := make([]byte, e.Len)
+		if _, err := c.h.ReadAt(p, out, e.Off); err != nil && !errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("superfile get %q: %w", name, err)
+		}
+		return out, nil
+	}
+	if c.cache == nil {
+		c.cache = make([]byte, c.tail)
+		if _, err := c.h.ReadAt(p, c.cache, 0); err != nil && !errors.Is(err, io.EOF) {
+			c.cache = nil
+			return nil, fmt.Errorf("superfile get %q: %w", name, err)
+		}
+	}
+	out := make([]byte, e.Len)
+	copy(out, c.cache[e.Off:e.Off+e.Len])
+	return out, nil
+}
+
+// Names lists the container members, sorted.
+func (c *Container) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.index))
+	for n := range c.index {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of members.
+func (c *Container) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}
+
+// Close finishes the container: writers flush the index and footer with
+// one final sequential write.
+func (c *Container) Close(p *vtime.Proc) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return storage.ErrClosed
+	}
+	c.closed = true
+	if c.writing {
+		idxBytes, err := json.Marshal(c.index)
+		if err != nil {
+			c.h.Close(p)
+			return fmt.Errorf("superfile close: %w", err)
+		}
+		footer := make([]byte, len(idxBytes)+16)
+		copy(footer, idxBytes)
+		binary.LittleEndian.PutUint64(footer[len(idxBytes):], uint64(len(idxBytes)))
+		copy(footer[len(idxBytes)+8:], magic)
+		if _, err := c.h.WriteAt(p, footer, c.tail); err != nil {
+			c.h.Close(p)
+			return fmt.Errorf("superfile close: %w", err)
+		}
+	}
+	return c.h.Close(p)
+}

@@ -1,0 +1,84 @@
+package tape
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/vtime"
+)
+
+// Reclaim compacts the library: live segments are copied, cartridge by
+// cartridge, onto fresh media and the old cartridges are retired.  This
+// is the reclamation pass real archives run to recover the dead space
+// that over_write and Remove leave behind (HPSS calls it repack).
+//
+// The pass is charged to p like any other tape client: each source
+// cartridge is mounted, wound across its live segments, and streamed to
+// the staging cartridge at tape bandwidth.  Reclaim returns the number
+// of bytes recovered.
+func (l *Library) Reclaim(p *vtime.Proc) (reclaimed int64, err error) {
+	l.mu.Lock()
+	wasted := l.wasted
+	if wasted == 0 {
+		l.mu.Unlock()
+		return 0, nil
+	}
+	// Snapshot the catalog ordered by (cartridge, offset) so the copy
+	// pass winds forward monotonically.
+	type liveSeg struct {
+		path string
+		seg  *segment
+	}
+	var live []liveSeg
+	for path, seg := range l.catalog {
+		live = append(live, liveSeg{path, seg})
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].seg.cart != live[j].seg.cart {
+			return live[i].seg.cart.id < live[j].seg.cart.id
+		}
+		return live[i].seg.offset < live[j].seg.offset
+	})
+	oldCarts := l.carts
+	// Fresh staging cartridge for the compacted layout.
+	l.carts = nil
+	l.current = l.newCartridgeLocked()
+	dest := l.current
+
+	// Copy each live segment: mount source, wind, read at tape speed,
+	// append to dest.  Source data already lives in the byte store, so
+	// only the catalog and the clocks move.
+	for _, ls := range live {
+		src := ls.seg
+		d := l.mountLocked(p, src.cart)
+		dist := d.headPos - src.offset
+		if dist < 0 {
+			dist = -dist
+		}
+		wind := time.Duration(dist) * l.cfg.Params.WindPerByte
+		d.headPos = src.offset + src.length
+		cost := wind + l.cfg.Params.Xfer(model.Read, src.length) + l.cfg.Params.Xfer(model.Write, src.length)
+		l.mu.Unlock()
+		d.res.Acquire(p, cost)
+		l.mu.Lock()
+		if dest.used+src.length > l.cfg.CartridgeCapacity && dest.used > 0 {
+			dest.sealed = true
+			dest = l.newCartridgeLocked()
+			l.current = dest
+		}
+		l.catalog[ls.path] = &segment{cart: dest, offset: dest.used, length: src.length}
+		dest.used += src.length
+	}
+	// Retire the old cartridges (unmount any that are on drives).
+	for _, c := range oldCarts {
+		if c.drive != nil {
+			c.drive.mounted = nil
+			c.drive = nil
+			l.robot.Acquire(p, l.cfg.UnmountLatency)
+		}
+	}
+	l.wasted = 0
+	l.mu.Unlock()
+	return wasted, nil
+}

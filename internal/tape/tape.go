@@ -1,0 +1,472 @@
+// Package tape emulates the remote tape resource of the paper's
+// environment (HPSS at SDSC, reached through SRB): a robotic tape
+// library with a fixed set of drives, removable cartridges, a mount
+// robot, and sequential media.
+//
+// The emulation reproduces the physics the paper's argument rests on:
+//
+//   - a cartridge must be mounted before data moves, and "a tape system
+//     such as HPSS requires a minimum of 20 to 40 seconds to be ready";
+//   - the medium is sequential: reads wind the head from its current
+//     position to the segment, charged per byte of distance;
+//   - transfer bandwidth is far below disk;
+//   - drives are scarce shared devices, so concurrent readers queue.
+//
+// Bytes are stored verbatim in a storage.Store keyed by path, so data
+// round-trips exactly; cartridge geometry only drives the timing model.
+// Files are laid out as append-only segments: a file's segment is
+// allocated on the cartridge when the written file is closed (HPSS-like
+// staging), and over_write allocates a fresh segment, leaving the old
+// one as dead space (tape cannot rewrite in place).
+package tape
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Config describes a tape library.
+type Config struct {
+	// Name is the backend instance name, e.g. "sdsc-hpss".
+	Name string
+	// Params is the eq. (1) cost model; MountLatency and WindPerByte
+	// drive the tape-specific terms.
+	Params model.Params
+	// Store holds file bytes.
+	Store storage.Store
+	// Drives is the number of tape drives (default 2).
+	Drives int
+	// CartridgeCapacity is bytes per cartridge (default 10 GB).
+	CartridgeCapacity int64
+	// UnmountLatency is the robot cost to put a cartridge back on the
+	// shelf before mounting another (default 15 s).
+	UnmountLatency time.Duration
+	// Trace, when non-nil, records every native call served.
+	Trace *trace.Recorder
+}
+
+// Library is a tape backend.  It implements storage.Backend and
+// storage.Outage.
+type Library struct {
+	cfg   Config
+	robot *vtime.Resource
+
+	mu      sync.Mutex
+	drives  []*drive
+	carts   []*cartridge
+	catalog map[string]*segment
+	current *cartridge // cartridge receiving newly closed files
+	wasted  int64      // dead bytes from over_write
+	mounts  int64
+	down    atomic.Bool
+}
+
+type drive struct {
+	id      int
+	res     *vtime.Resource
+	mounted *cartridge
+	headPos int64
+	lastUse time.Duration // most recent completion, for LRU eviction
+}
+
+type cartridge struct {
+	id     int
+	used   int64
+	drive  *drive // nil when shelved
+	sealed bool
+}
+
+type segment struct {
+	cart   *cartridge
+	offset int64
+	length int64
+}
+
+var (
+	_ storage.Backend = (*Library)(nil)
+	_ storage.Outage  = (*Library)(nil)
+)
+
+// New returns a tape library.
+func New(cfg Config) (*Library, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("tape %q: nil store", cfg.Name)
+	}
+	if cfg.Drives <= 0 {
+		cfg.Drives = 2
+	}
+	if cfg.CartridgeCapacity <= 0 {
+		cfg.CartridgeCapacity = 10 * 1000 * 1000 * 1000
+	}
+	if cfg.UnmountLatency <= 0 {
+		cfg.UnmountLatency = 15 * time.Second
+	}
+	lib := &Library{
+		cfg:     cfg,
+		robot:   vtime.NewResource(cfg.Name + "/robot"),
+		catalog: make(map[string]*segment),
+	}
+	for i := 0; i < cfg.Drives; i++ {
+		lib.drives = append(lib.drives, &drive{id: i, res: vtime.NewResource(fmt.Sprintf("%s/drive%d", cfg.Name, i))})
+	}
+	lib.current = lib.newCartridgeLocked()
+	return lib, nil
+}
+
+// Name implements storage.Backend.
+func (l *Library) Name() string { return l.cfg.Name }
+
+// Kind implements storage.Backend.
+func (l *Library) Kind() storage.Kind { return storage.KindRemoteTape }
+
+// Model returns the library's cost model.
+func (l *Library) Model() model.Params { return l.cfg.Params }
+
+// Capacity implements storage.Backend.  The paper assumes tapes "can
+// hold any size of data", so total is unlimited.
+func (l *Library) Capacity() (total, used int64) {
+	return 0, l.cfg.Store.UsedBytes()
+}
+
+// SetDown implements storage.Outage.
+func (l *Library) SetDown(down bool) { l.down.Store(down) }
+
+// Down implements storage.Outage.
+func (l *Library) Down() bool { return l.down.Load() }
+
+// Stats reports operational counters: robot mounts performed, cartridges
+// in the library, and dead bytes left behind by over_write.
+func (l *Library) Stats() (mounts int64, cartridges int, wasted int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mounts, len(l.carts), l.wasted
+}
+
+// segmentsDisjoint verifies the catalog invariant: live segments on a
+// cartridge never overlap and never extend past the cartridge's used
+// extent.  Exposed for the property tests and the tape fsck path.
+func (l *Library) segmentsDisjoint() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	type span struct{ lo, hi int64 }
+	byCart := make(map[*cartridge][]span)
+	for _, seg := range l.catalog {
+		if seg.offset < 0 || seg.offset+seg.length > seg.cart.used {
+			return false
+		}
+		byCart[seg.cart] = append(byCart[seg.cart], span{seg.offset, seg.offset + seg.length})
+	}
+	for _, spans := range byCart {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].lo < spans[i-1].hi {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ResetClocks returns the robot and drives to idle (benchmark reuse).
+func (l *Library) ResetClocks() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.robot.Reset()
+	for _, d := range l.drives {
+		d.res.Reset()
+		d.lastUse = 0
+	}
+}
+
+func (l *Library) newCartridgeLocked() *cartridge {
+	c := &cartridge{id: len(l.carts)}
+	l.carts = append(l.carts, c)
+	return c
+}
+
+// record emits one trace event covering [start, now] on p's clock.
+func (l *Library) record(p *vtime.Proc, op trace.Op, path string, bytes int64, start time.Duration) {
+	l.cfg.Trace.Record(trace.Event{
+		At: p.Now(), Proc: p.Name(), Backend: l.cfg.Name,
+		Op: op, Path: path, Bytes: bytes, Cost: p.Now() - start,
+	})
+}
+
+// mountLocked ensures c is on a drive, charging robot and drive time to
+// p.  Caller holds l.mu.
+func (l *Library) mountLocked(p *vtime.Proc, c *cartridge) *drive {
+	if c.drive != nil {
+		return c.drive
+	}
+	mountStart := p.Now()
+	// Pick a free drive, else evict the least recently used.
+	var target *drive
+	for _, d := range l.drives {
+		if d.mounted == nil {
+			target = d
+			break
+		}
+	}
+	if target == nil {
+		target = l.drives[0]
+		for _, d := range l.drives[1:] {
+			if d.lastUse < target.lastUse {
+				target = d
+			}
+		}
+		target.mounted.drive = nil
+		target.mounted = nil
+		l.robot.Acquire(p, l.cfg.UnmountLatency)
+	}
+	l.robot.Acquire(p, l.cfg.Params.MountLatency)
+	target.res.Acquire(p, 0) // serialize with in-flight transfers on the drive
+	target.mounted = c
+	target.headPos = 0
+	c.drive = target
+	l.mounts++
+	target.lastUse = p.Now()
+	l.record(p, trace.OpMount, fmt.Sprintf("cartridge%d", c.id), 0, mountStart)
+	return target
+}
+
+// Connect implements storage.Backend.
+func (l *Library) Connect(p *vtime.Proc) (storage.Session, error) {
+	if l.Down() {
+		return nil, fmt.Errorf("tape %q connect: %w", l.cfg.Name, storage.ErrDown)
+	}
+	p.Advance(l.cfg.Params.Conn)
+	return &session{l: l}, nil
+}
+
+type session struct {
+	l      *Library
+	closed atomic.Bool
+}
+
+func (s *session) guard(op string) error {
+	if s.closed.Load() {
+		return fmt.Errorf("tape %q %s: %w", s.l.cfg.Name, op, storage.ErrClosed)
+	}
+	if s.l.Down() {
+		return fmt.Errorf("tape %q %s: %w", s.l.cfg.Name, op, storage.ErrDown)
+	}
+	return nil
+}
+
+// Open implements storage.Session.
+func (s *session) Open(p *vtime.Proc, name string, mode storage.AMode) (storage.Handle, error) {
+	if err := s.guard("open"); err != nil {
+		return nil, err
+	}
+	name, err := storage.CleanPath(name)
+	if err != nil {
+		return nil, err
+	}
+	op := model.Read
+	if mode.Writable() {
+		op = model.Write
+	}
+	s.l.mu.Lock()
+	seg, exists := s.l.catalog[name]
+	s.l.mu.Unlock()
+	if mode == storage.ModeCreate && exists {
+		return nil, fmt.Errorf("tape %q create %q: %w", s.l.cfg.Name, name, storage.ErrExist)
+	}
+	if mode == storage.ModeRead && !exists {
+		return nil, fmt.Errorf("tape %q open %q: %w", s.l.cfg.Name, name, storage.ErrNotExist)
+	}
+	f, err := s.l.cfg.Store.Open(name, mode.Writable(), mode == storage.ModeOverWrite)
+	if err != nil {
+		return nil, err
+	}
+	start := p.Now()
+	p.Advance(s.l.cfg.Params.Open(op))
+	s.l.record(p, trace.OpOpen, name, 0, start)
+	return &handle{s: s, f: f, path: name, mode: mode, seg: seg}, nil
+}
+
+// Remove implements storage.Session: the catalog entry disappears but
+// the tape space remains dead until reclaimed.
+func (s *session) Remove(p *vtime.Proc, name string) error {
+	if err := s.guard("remove"); err != nil {
+		return err
+	}
+	name, err := storage.CleanPath(name)
+	if err != nil {
+		return err
+	}
+	p.Advance(s.l.cfg.Params.PerCall(model.Write))
+	s.l.mu.Lock()
+	if seg, ok := s.l.catalog[name]; ok {
+		s.l.wasted += seg.length
+		delete(s.l.catalog, name)
+	}
+	s.l.mu.Unlock()
+	return s.l.cfg.Store.Remove(name)
+}
+
+// Stat implements storage.Session.
+func (s *session) Stat(p *vtime.Proc, name string) (storage.FileInfo, error) {
+	if err := s.guard("stat"); err != nil {
+		return storage.FileInfo{}, err
+	}
+	p.Advance(s.l.cfg.Params.PerCall(model.Read))
+	return s.l.cfg.Store.Stat(name)
+}
+
+// List implements storage.Session.
+func (s *session) List(p *vtime.Proc, prefix string) ([]storage.FileInfo, error) {
+	if err := s.guard("list"); err != nil {
+		return nil, err
+	}
+	p.Advance(s.l.cfg.Params.PerCall(model.Read))
+	return s.l.cfg.Store.List(prefix)
+}
+
+// Close implements storage.Session.
+func (s *session) Close(p *vtime.Proc) error {
+	if s.closed.Swap(true) {
+		return fmt.Errorf("tape %q session close: %w", s.l.cfg.Name, storage.ErrClosed)
+	}
+	p.Advance(s.l.cfg.Params.ConnClose)
+	return nil
+}
+
+type handle struct {
+	s    *session
+	f    storage.File
+	path string
+	mode storage.AMode
+	seg  *segment // nil until a written file is closed
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ storage.Handle = (*handle)(nil)
+
+func (h *handle) Path() string { return h.path }
+func (h *handle) Size() int64  { return h.f.Size() }
+
+func (h *handle) guard(op string) error {
+	h.mu.Lock()
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		return fmt.Errorf("tape %q %s %q: %w", h.s.l.cfg.Name, op, h.path, storage.ErrClosed)
+	}
+	return h.s.guard(op)
+}
+
+// ReadAt implements storage.Handle: mount (if needed), wind, transfer.
+func (h *handle) ReadAt(p *vtime.Proc, b []byte, off int64) (int, error) {
+	if err := h.guard("read"); err != nil {
+		return 0, err
+	}
+	start := p.Now()
+	n, err := h.f.ReadAt(b, off)
+	if n > 0 || err == nil {
+		h.chargeRead(p, off, int64(n))
+	}
+	h.s.l.record(p, trace.OpRead, h.path, int64(n), start)
+	return n, err
+}
+
+func (h *handle) chargeRead(p *vtime.Proc, off, n int64) {
+	l := h.s.l
+	l.mu.Lock()
+	seg := h.seg
+	if seg == nil {
+		// Reading a file that was never sealed onto a cartridge (written
+		// and read within one open): data is still in the disk cache of
+		// the emulated archive; charge transfer only, on no drive.
+		l.mu.Unlock()
+		p.Advance(l.cfg.Params.Xfer(model.Read, n))
+		return
+	}
+	d := l.mountLocked(p, seg.cart)
+	target := seg.offset + off
+	dist := target - d.headPos
+	if dist < 0 {
+		dist = -dist
+	}
+	wind := time.Duration(dist) * l.cfg.Params.WindPerByte
+	d.headPos = target + n
+	l.mu.Unlock()
+	d.res.Acquire(p, wind+l.cfg.Params.Xfer(model.Read, n))
+	l.mu.Lock()
+	if d.lastUse < p.Now() {
+		d.lastUse = p.Now()
+	}
+	l.mu.Unlock()
+}
+
+// WriteAt implements storage.Handle: appends stream to the staging
+// cartridge's drive at tape bandwidth.
+func (h *handle) WriteAt(p *vtime.Proc, b []byte, off int64) (int, error) {
+	if err := h.guard("write"); err != nil {
+		return 0, err
+	}
+	if !h.mode.Writable() {
+		return 0, fmt.Errorf("tape %q write %q: %w", h.s.l.cfg.Name, h.path, storage.ErrReadOnly)
+	}
+	start := p.Now()
+	n, err := h.f.WriteAt(b, off)
+	l := h.s.l
+	l.mu.Lock()
+	d := l.mountLocked(p, l.current)
+	l.mu.Unlock()
+	d.res.Acquire(p, l.cfg.Params.Xfer(model.Write, int64(n)))
+	l.mu.Lock()
+	if d.lastUse < p.Now() {
+		d.lastUse = p.Now()
+	}
+	l.mu.Unlock()
+	l.record(p, trace.OpWrite, h.path, int64(n), start)
+	return n, err
+}
+
+// Close implements storage.Handle.  Closing a written file seals it onto
+// the staging cartridge: the segment is allocated at the cartridge tail
+// (rolling to a fresh cartridge when full), and an over_write of an
+// existing file abandons its old segment as dead space.
+func (h *handle) Close(p *vtime.Proc) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return fmt.Errorf("tape %q close %q: %w", h.s.l.cfg.Name, h.path, storage.ErrClosed)
+	}
+	h.closed = true
+	h.mu.Unlock()
+
+	op := model.Read
+	if h.mode.Writable() {
+		op = model.Write
+		l := h.s.l
+		length := h.f.Size()
+		l.mu.Lock()
+		if old, ok := l.catalog[h.path]; ok {
+			l.wasted += old.length
+		}
+		if l.current.used+length > l.cfg.CartridgeCapacity && l.current.used > 0 {
+			l.current.sealed = true
+			l.current = l.newCartridgeLocked()
+		}
+		seg := &segment{cart: l.current, offset: l.current.used, length: length}
+		l.current.used += length
+		l.catalog[h.path] = seg
+		l.mu.Unlock()
+	}
+	start := p.Now()
+	p.Advance(h.s.l.cfg.Params.Close(op))
+	h.s.l.record(p, trace.OpClose, h.path, 0, start)
+	return h.f.Close()
+}

@@ -1,0 +1,178 @@
+// Package trace records the native I/O calls a storage backend served,
+// with their simulated completion times and costs.  The paper's
+// predictor reasons about "the number of 'native' I/O calls … and the
+// data size of each 'native' I/O unit"; the trace makes those exact
+// quantities observable, which the tests use to verify that each
+// run-time optimization issues the call pattern eq. (2) assumes, and
+// which `cmd/astro3d -trace` exposes for users.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Op labels one traced operation type.
+type Op string
+
+// Operation labels recorded by the backends.
+const (
+	OpConnect   Op = "connect"
+	OpOpen      Op = "open"
+	OpRead      Op = "read"
+	OpWrite     Op = "write"
+	OpClose     Op = "close"
+	OpConnClose Op = "connclose"
+	OpMount     Op = "mount"
+	OpStat      Op = "stat"
+	OpList      Op = "list"
+	OpRemove    Op = "remove"
+)
+
+// Event is one native call.
+type Event struct {
+	// At is the simulated completion time on the calling process clock.
+	At time.Duration
+	// Proc names the calling process.
+	Proc string
+	// Backend names the storage resource instance.
+	Backend string
+	// Op is the operation type.
+	Op Op
+	// Path is the file acted on (empty for connection events).
+	Path string
+	// Bytes moved (reads/writes only).
+	Bytes int64
+	// Cost is the simulated duration charged for the call.
+	Cost time.Duration
+}
+
+// Recorder collects events.  A nil *Recorder is valid and records
+// nothing, so backends can hold one unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	limit  int
+}
+
+// New returns a recorder; limit > 0 caps the number of retained events
+// (oldest dropped), limit <= 0 retains everything.
+func New(limit int) *Recorder { return &Recorder{limit: limit} }
+
+// Record appends one event.  Safe for concurrent use; no-op on nil.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+	if r.limit > 0 && len(r.events) > r.limit {
+		r.events = r.events[len(r.events)-r.limit:]
+	}
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset discards all events.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// Count returns the number of events matching backend and op (empty
+// strings match everything).
+func (r *Recorder) Count(backend string, op Op) int {
+	n := 0
+	for _, e := range r.Events() {
+		if (backend == "" || e.Backend == backend) && (op == "" || e.Op == op) {
+			n++
+		}
+	}
+	return n
+}
+
+// Line is one row of a per-(backend, op) summary.
+type Line struct {
+	Backend string
+	Op      Op
+	Calls   int
+	Bytes   int64
+	Cost    time.Duration
+}
+
+// Summary aggregates events per (backend, op), sorted.
+func (r *Recorder) Summary() []Line {
+	agg := make(map[string]*Line)
+	for _, e := range r.Events() {
+		key := e.Backend + "\x00" + string(e.Op)
+		l, ok := agg[key]
+		if !ok {
+			l = &Line{Backend: e.Backend, Op: e.Op}
+			agg[key] = l
+		}
+		l.Calls++
+		l.Bytes += e.Bytes
+		l.Cost += e.Cost
+	}
+	out := make([]Line, 0, len(agg))
+	for _, l := range agg {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Backend != out[j].Backend {
+			return out[i].Backend < out[j].Backend
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// SummaryString renders the summary as a table.
+func (r *Recorder) SummaryString() string {
+	s := fmt.Sprintf("%-16s %-10s %8s %14s %12s\n", "backend", "op", "calls", "bytes", "cost(s)")
+	for _, l := range r.Summary() {
+		s += fmt.Sprintf("%-16s %-10s %8d %14d %12.3f\n", l.Backend, l.Op, l.Calls, l.Bytes, l.Cost.Seconds())
+	}
+	return s
+}
+
+// WriteCSV emits the raw events as CSV (header + one row per event).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "at_s,proc,backend,op,path,bytes,cost_s"); err != nil {
+		return fmt.Errorf("trace csv: %w", err)
+	}
+	for _, e := range r.Events() {
+		_, err := fmt.Fprintf(w, "%.6f,%s,%s,%s,%s,%d,%.6f\n",
+			e.At.Seconds(), e.Proc, e.Backend, e.Op, e.Path, e.Bytes, e.Cost.Seconds())
+		if err != nil {
+			return fmt.Errorf("trace csv: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func ev(backend string, op Op, bytes int64, cost time.Duration) Event {
+	return Event{Backend: backend, Op: op, Bytes: bytes, Cost: cost, Proc: "p"}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(ev("b", OpRead, 1, time.Second)) // must not panic
+	if r.Events() != nil || r.Len() != 0 {
+		t.Fatal("nil recorder returned data")
+	}
+	r.Reset()
+}
+
+func TestRecordAndEvents(t *testing.T) {
+	r := New(0)
+	r.Record(ev("disk", OpWrite, 100, time.Second))
+	r.Record(ev("disk", OpRead, 50, 2*time.Second))
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Op != OpWrite || evs[1].Op != OpRead {
+		t.Fatalf("order lost: %v", evs)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestLimitDropsOldest(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Backend: "b", Op: OpRead, Bytes: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].Bytes != 7 || evs[2].Bytes != 9 {
+		t.Fatalf("limit window = %v", evs)
+	}
+}
+
+func TestCount(t *testing.T) {
+	r := New(0)
+	r.Record(ev("tape", OpRead, 1, 0))
+	r.Record(ev("tape", OpMount, 0, 0))
+	r.Record(ev("disk", OpRead, 1, 0))
+	if r.Count("tape", OpRead) != 1 || r.Count("", OpRead) != 2 || r.Count("tape", "") != 2 {
+		t.Fatalf("counts: %d %d %d", r.Count("tape", OpRead), r.Count("", OpRead), r.Count("tape", ""))
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	r := New(0)
+	r.Record(ev("disk", OpWrite, 100, time.Second))
+	r.Record(ev("disk", OpWrite, 200, 2*time.Second))
+	r.Record(ev("disk", OpRead, 10, time.Second))
+	r.Record(ev("tape", OpWrite, 5, time.Second))
+	sum := r.Summary()
+	if len(sum) != 3 {
+		t.Fatalf("summary rows = %d", len(sum))
+	}
+	// Sorted by backend then op: disk/read, disk/write, tape/write.
+	if sum[1].Backend != "disk" || sum[1].Op != OpWrite || sum[1].Calls != 2 || sum[1].Bytes != 300 || sum[1].Cost != 3*time.Second {
+		t.Fatalf("disk/write line = %+v", sum[1])
+	}
+	s := r.SummaryString()
+	if !strings.Contains(s, "disk") || !strings.Contains(s, "tape") {
+		t.Fatalf("summary string:\n%s", s)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := New(0)
+	r.Record(Event{At: time.Second, Proc: "p0", Backend: "disk", Op: OpWrite, Path: "a/b", Bytes: 42, Cost: time.Millisecond})
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "at_s,proc,backend,op,path,bytes,cost_s\n") {
+		t.Fatalf("csv header: %q", out)
+	}
+	if !strings.Contains(out, "1.000000,p0,disk,write,a/b,42,0.001000") {
+		t.Fatalf("csv row: %q", out)
+	}
+}

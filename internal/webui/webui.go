@@ -1,0 +1,159 @@
+// Package webui is the reproduction's analog of the paper's IJ-GUI:
+// "a Java graphical environment that can help the user submit her job,
+// carry out visualization, perform data analysis and so on … It is
+// very easy for the user to change parameters directly in the Java
+// window to get other prediction results" (figure 11).
+//
+// Handler serves an HTML form of the Astro3D parameter set and renders
+// the per-dataset prediction table for any placement the user picks —
+// the same interaction loop as the paper's prediction window, over
+// net/http instead of Java.
+package webui
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/apps/astro3d"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/predict"
+	"repro/internal/sched"
+)
+
+// Handler renders the prediction window.
+type Handler struct {
+	pdb  *predict.DB
+	tmpl *template.Template
+}
+
+// New returns a handler over a measured predictor database.
+func New(pdb *predict.DB) *Handler {
+	return &Handler{
+		pdb:  pdb,
+		tmpl: template.Must(template.New("page").Parse(pageTemplate)),
+	}
+}
+
+// pageData feeds the template.
+type pageData struct {
+	N, Iter, Freq, Procs int
+	TempLoc, DefaultLoc  string
+	Locations            []string
+	Rows                 []predict.DatasetPrediction
+	Total                string
+	Suggested            string
+	Error                string
+}
+
+// locations offered by the form, in the paper's vocabulary.
+var locations = []string{"LOCALDISK", "REMOTEDISK", "SDSCHPSS", "DISABLE"}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	data := pageData{
+		N: 128, Iter: 120, Freq: 6, Procs: 8,
+		TempLoc: "REMOTEDISK", DefaultLoc: "SDSCHPSS",
+		Locations: locations,
+	}
+	q := r.URL.Query()
+	getInt := func(key string, dst *int) {
+		if v := q.Get(key); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				data.Error = fmt.Sprintf("bad %s: %q", key, v)
+				return
+			}
+			*dst = n
+		}
+	}
+	getInt("n", &data.N)
+	getInt("iter", &data.Iter)
+	getInt("freq", &data.Freq)
+	getInt("procs", &data.Procs)
+	if v := q.Get("temp"); v != "" {
+		data.TempLoc = v
+	}
+	if v := q.Get("default"); v != "" {
+		data.DefaultLoc = v
+	}
+	if data.Error == "" {
+		if err := h.predictInto(&data); err != nil {
+			data.Error = err.Error()
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := h.tmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (h *Handler) predictInto(data *pageData) error {
+	tempLoc, err := core.ParseLocation(data.TempLoc)
+	if err != nil {
+		return err
+	}
+	defLoc, err := core.ParseLocation(data.DefaultLoc)
+	if err != nil {
+		return err
+	}
+	if data.N < data.Procs {
+		return fmt.Errorf("problem size %d smaller than %d procs", data.N, data.Procs)
+	}
+	scale := experiments.Scale{N: data.N, MaxIter: data.Iter, Freq: data.Freq, Procs: data.Procs}
+	locs := map[string]core.Location{"temp": tempLoc}
+	rp, err := experiments.PredictAstro3D(h.pdb, scale, locs, defLoc)
+	if err != nil {
+		return err
+	}
+	data.Rows = rp.Datasets
+	data.Total = fmt.Sprintf("%.2f", rp.Total.Seconds())
+	if suggest, err := sched.SuggestMaxRunTime(rp.Total, 0, 0.15); err == nil {
+		data.Suggested = suggest.Round(time.Second).String()
+	}
+	// Guard: the form's dataset names must stay in sync with astro3d.
+	if len(rp.Datasets) != len(astro3d.AllNames()) {
+		return fmt.Errorf("internal: %d rows for %d datasets", len(rp.Datasets), len(astro3d.AllNames()))
+	}
+	return nil
+}
+
+const pageTemplate = `<!DOCTYPE html>
+<html><head><title>astro3d — I/O performance prediction</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; margin-top: 1em; }
+td, th { border: 1px solid #999; padding: 2px 10px; text-align: right; }
+th, td:first-child { text-align: left; }
+.err { color: #b00; }
+</style></head>
+<body>
+<h1>astro3d — I/O performance prediction</h1>
+<form method="get" action="/">
+  problem size <input name="n" value="{{.N}}" size="4">³
+  iterations <input name="iter" value="{{.Iter}}" size="4">
+  frequency <input name="freq" value="{{.Freq}}" size="3">
+  procs <input name="procs" value="{{.Procs}}" size="3">
+  temp → <select name="temp">{{range .Locations}}<option{{if eq . $.TempLoc}} selected{{end}}>{{.}}</option>{{end}}</select>
+  others → <select name="default">{{range .Locations}}<option{{if eq . $.DefaultLoc}} selected{{end}}>{{.}}</option>{{end}}</select>
+  <input type="submit" value="Predict">
+</form>
+{{if .Error}}<p class="err">{{.Error}}</p>{{end}}
+{{if .Rows}}
+<table>
+<tr><th>NAME</th><th>EXPECTEDLOC</th><th>DUMPS</th><th>n(j)</th><th>UNIT (bytes)</th><th>VIRTUALTIME (s)</th></tr>
+{{range .Rows}}
+<tr><td>{{.Name}}</td><td>{{.Resource}}</td><td>{{.Dumps}}</td><td>{{.NativeCalls}}</td><td>{{.UnitBytes}}</td><td>{{printf "%.4f" .VirtualTime.Seconds}}</td></tr>
+{{end}}
+<tr><th>TOTAL</th><td></td><td></td><td></td><td></td><th>{{.Total}}</th></tr>
+</table>
+<p>suggested batch max run time (I/O only, +15%): {{.Suggested}}</p>
+{{end}}
+</body></html>`

@@ -1,0 +1,106 @@
+package webui
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/predict"
+	"repro/internal/ptool"
+	"repro/internal/remotedisk"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+func newHandler(t *testing.T) *Handler {
+	t.Helper()
+	meta := metadb.New()
+	local, err := localdisk.New("l", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("r", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "t", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ptool.MeasureAll(vtime.NewVirtual(), meta, ptool.Config{Repeats: 1}, local, rdisk, rtape); err != nil {
+		t.Fatal(err)
+	}
+	return New(predict.NewDB(meta))
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, string) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDefaultPage(t *testing.T) {
+	code, body := get(t, newHandler(t), "/")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"vr_logrho", "restart_uz", "TOTAL", "VIRTUALTIME"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("page missing %q", want)
+		}
+	}
+	// The figure 11 default: temp on remote disk, rest on tape; total
+	// ≈40789 s must appear.
+	if !strings.Contains(body, "40788.99") && !strings.Contains(body, "40789.00") {
+		t.Fatalf("expected full-scale total in page")
+	}
+}
+
+func TestParameterChanges(t *testing.T) {
+	_, body := get(t, newHandler(t), "/?n=32&iter=24&freq=6&procs=8&temp=LOCALDISK&default=DISABLE")
+	if !strings.Contains(body, "localdisk") {
+		t.Fatal("temp location not applied")
+	}
+	// Every other dataset disabled renders "-" resources.
+	if strings.Contains(body, "remotetape") {
+		t.Fatal("DISABLE default not applied")
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	code, body := get(t, newHandler(t), "/?n=potato")
+	if code != http.StatusOK || !strings.Contains(body, "bad n") {
+		t.Fatalf("bad input page: %d %q", code, body[:min(len(body), 200)])
+	}
+	_, body = get(t, newHandler(t), "/?temp=FLOPPY")
+	if !strings.Contains(body, "unknown location") {
+		t.Fatal("bad hint not reported")
+	}
+	_, body = get(t, newHandler(t), "/?n=4&procs=8")
+	if !strings.Contains(body, "smaller than") {
+		t.Fatal("n < procs not reported")
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	code, _ := get(t, newHandler(t), "/elsewhere")
+	if code != http.StatusNotFound {
+		t.Fatalf("status = %d", code)
+	}
+}

@@ -1,0 +1,285 @@
+package msra_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	msra "repro"
+	"repro/internal/storage"
+)
+
+// newPublicSystem assembles a system purely through the facade.
+func newPublicSystem(t *testing.T) (*msra.System, *msra.Sim) {
+	t.Helper()
+	sim := msra.NewVirtualTime()
+	local, err := msra.NewLocalDisk("local", msra.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := msra.NewRemoteDisk("rdisk", msra.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := msra.NewTapeLibrary(msra.TapeConfig{Name: "rtape", Store: msra.NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := msra.NewSystem(msra.SystemConfig{
+		Sim: sim, Meta: msra.NewMetaDB(),
+		LocalDisk: local, RemoteDisk: rdisk, RemoteTape: rtape,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, sim
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys, sim := newPublicSystem(t)
+	run, err := sys.Initialize(msra.RunConfig{ID: "pub", App: "demo", Iterations: 12, Procs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, err := msra.ParsePattern("B**")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := run.OpenDataset(msra.DatasetSpec{
+		Name: "temp", AMode: msra.ModeCreate,
+		Dims: []int{16, 16, 16}, Etype: 4,
+		Pattern: pat, Location: msra.LocalDisk, Frequency: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([][]byte, 4)
+	for r := range bufs {
+		n, err := ds.LocalSize(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs[r] = bytes.Repeat([]byte{byte(r + 1)}, int(n))
+	}
+	for iter := 0; iter <= 12; iter += 6 {
+		if err := ds.WriteIter(iter, bufs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	viewer := sim.NewProc("viewer")
+	global, err := ds.ReadGlobal(viewer, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(global) != 16*16*16*4 {
+		t.Fatalf("global = %d bytes", len(global))
+	}
+	if run.IOTime() <= 0 {
+		t.Fatal("no I/O time accrued")
+	}
+	if err := run.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadePredictorFlow(t *testing.T) {
+	sys, _ := newPublicSystem(t)
+	sim := msra.NewVirtualTime()
+	meta := msra.NewMetaDB()
+	local, _ := sys.Backend(storage.KindLocalDisk)
+	rdisk, _ := sys.Backend(storage.KindRemoteDisk)
+	reports, err := msra.MeasurePerformance(sim, meta, msra.PToolConfig{Repeats: 1}, local, rdisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	pdb := msra.NewPredictor(meta)
+	rp, err := pdb.Predict(msra.PredictRunReq{
+		Iterations: 120, Op: "write",
+		Datasets: []msra.PredictDatasetReq{{
+			Name: "temp", AMode: "create", Dims: []int{128, 128, 128}, Etype: 4,
+			Pattern: "BBB", Location: "remotedisk", Frequency: 6, Procs: 8,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Total <= 0 {
+		t.Fatal("zero prediction")
+	}
+}
+
+func TestFacadePredictivePlacement(t *testing.T) {
+	sim := msra.NewVirtualTime()
+	meta := msra.NewMetaDB()
+	local, err := msra.NewLocalDisk("local", msra.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := msra.NewRemoteDisk("rdisk", msra.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := msra.NewTapeLibrary(msra.TapeConfig{Name: "rtape", Store: msra.NewMemStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := msra.MeasurePerformance(msra.NewVirtualTime(), meta, msra.PToolConfig{Repeats: 1}, local, rdisk, rtape); err != nil {
+		t.Fatal(err)
+	}
+	pdb := msra.NewPredictor(meta)
+	sys, err := msra.NewSystem(msra.SystemConfig{
+		Sim: sim, Meta: msra.NewMetaDB(),
+		LocalDisk: local, RemoteDisk: rdisk, RemoteTape: rtape,
+		Placer: msra.PredictivePlacer(pdb, 120, 8, msra.WithRequirement(60*time.Second)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.Initialize(msra.RunConfig{ID: "r", Iterations: 120, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := run.OpenDataset(msra.DatasetSpec{
+		Name: "temp", AMode: msra.ModeCreate,
+		Dims: []int{64, 64, 64}, Etype: 4, Location: msra.Auto, Frequency: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Backend().Kind() != storage.KindLocalDisk {
+		t.Fatalf("tight requirement placed on %v", ds.Backend().Kind())
+	}
+}
+
+func TestFacadeSRBOverTCP(t *testing.T) {
+	sim := msra.NewVirtualTime()
+	broker := msra.NewBroker()
+	rdisk, err := msra.NewRemoteDisk("wan-disk", msra.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.Register(rdisk); err != nil {
+		t.Fatal(err)
+	}
+	broker.AddUser("u", "s")
+	srv, err := msra.ServeSRB("127.0.0.1:0", broker, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := msra.NewSRBClient(srv.Addr(), "u", "s", "wan-disk", storage.KindRemoteDisk)
+	p := sim.NewProc("c")
+	sess, err := client.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Open(p, "f", msra.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(p, []byte("over tcp"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if _, err := h.ReadAt(p, got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "over tcp" {
+		t.Fatalf("read %q", got)
+	}
+	if err := h.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeGenericBackendExtension(t *testing.T) {
+	// The paper's "other storage resources can be easily added": a
+	// hypothetical MO-jukebox-class device via the generic constructor.
+	be, err := msra.NewGenericBackend(msra.GenericConfig{
+		Name: "mo-jukebox", Kind: storage.KindRemoteDisk,
+		Params: msra.CostModel{
+			Name: "mo", OpenRead: 900 * time.Millisecond, OpenWrite: 900 * time.Millisecond,
+			ReadBW: 1 << 20, WriteBW: 1 << 20,
+		},
+		Store: msra.NewMemStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := msra.NewVirtualTime()
+	p := sim.NewProc("p")
+	sess, err := be.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Open(p, "x", msra.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Now() != 900*time.Millisecond {
+		t.Fatalf("custom open cost = %v", p.Now())
+	}
+	h.Close(p)
+}
+
+func TestFacadeDirStore(t *testing.T) {
+	dir := t.TempDir()
+	store, err := msra.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := msra.NewLocalDisk("disk", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := msra.NewVirtualTime()
+	p := sim.NewProc("p")
+	sess, _ := local.Connect(p)
+	h, err := sess.Open(p, "real/bytes", msra.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(p, []byte("disk"), 0); err != nil {
+		t.Fatal(err)
+	}
+	h.Close(p)
+	fi, err := sess.Stat(p, "real/bytes")
+	if err != nil || fi.Size != 4 {
+		t.Fatalf("Stat = %+v, %v", fi, err)
+	}
+}
+
+func TestFacadeLocationParsing(t *testing.T) {
+	loc, err := msra.ParseLocation("SDSCHPSS")
+	if err != nil || loc != msra.RemoteTape {
+		t.Fatalf("SDSCHPSS = %v, %v", loc, err)
+	}
+	if _, err := msra.ParseLocation("NOWHERE"); err == nil {
+		t.Fatal("bad hint parsed")
+	}
+}
+
+func TestFacadeDisabledDatasetErrors(t *testing.T) {
+	sys, _ := newPublicSystem(t)
+	run, _ := sys.Initialize(msra.RunConfig{ID: "r", Iterations: 6, Procs: 1})
+	ds, err := run.OpenDataset(msra.DatasetSpec{
+		Name: "junk", AMode: msra.ModeCreate, Dims: []int{8}, Etype: 1,
+		Location: msra.Disable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Disabled() {
+		t.Fatal("not disabled")
+	}
+	if err := ds.ReadIter(0, [][]byte{make([]byte, 8)}); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("read disabled = %v", err)
+	}
+}
