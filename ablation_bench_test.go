@@ -9,11 +9,13 @@ package msra_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/aio"
 	"repro/internal/collective"
+	"repro/internal/device"
 	"repro/internal/ioopt"
 	"repro/internal/localdisk"
 	"repro/internal/memfs"
@@ -21,6 +23,8 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/remotedisk"
 	"repro/internal/sieve"
+	"repro/internal/srb"
+	"repro/internal/srbnet"
 	"repro/internal/storage"
 	"repro/internal/subfile"
 	"repro/internal/superfile"
@@ -381,4 +385,119 @@ func BenchmarkAblationSuperfileFiles(b *testing.B) {
 			})
 		}
 	}
+}
+
+// benchSRBNet measures the WALL-clock cost of 8 ranks doing chunked
+// writes and reads through one shared wire session — the core.Run
+// arrangement over TCP.  Virtual-time results are identical between the
+// serialized and pipelined wire disciplines (the Now/AdvanceTo
+// handshake replays every op at its logical instant either way); what
+// the pair of benchmarks exposes is the real-time concurrency win of
+// the multiplexed protocol.
+//
+// The sim runs in scaled mode, so the eq. (1) costs of the served disk
+// array become real wall-clock waits — the regime the wire layer
+// actually operates in.  The array has many independent channels: with
+// one request in flight the channels idle while ranks take turns on the
+// wire; multiplexed, the ranks' operations overlap across them.
+func benchSRBNet(b *testing.B, opts ...srbnet.Option) {
+	// 1 virtual second = 1 wall millisecond: a 4 KiB remote call
+	// (~45 ms virtual) waits ~45 µs of real time.
+	sim := vtime.NewScaled(1e-3)
+	broker := srb.NewBroker()
+	be, err := device.New(device.Config{
+		Name: "sdsc-array", Kind: storage.KindRemoteDisk,
+		Params: model.RemoteDisk2000(), Store: memfs.New(), Channels: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := broker.Register(be); err != nil {
+		b.Fatal(err)
+	}
+	broker.AddUser("shen", "nwu")
+	srv, err := srbnet.Serve("127.0.0.1:0", broker, sim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetLogf(func(string, ...any) {})
+	client := srbnet.NewClient(srv.Addr(), "shen", "nwu", "sdsc-array", storage.KindRemoteDisk, opts...)
+	defer client.Close()
+
+	const ranks = 8
+	const chunk = 4096
+	const chunksPerRank = 8
+	p0 := sim.NewProc("rank0")
+	sess, err := client.Connect(p0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	procs := make([]*vtime.Proc, ranks)
+	handles := make([]storage.Handle, ranks)
+	payloads := make([][]byte, ranks)
+	for r := 0; r < ranks; r++ {
+		procs[r] = sim.NewProc(fmt.Sprintf("rank%d-io", r))
+		h, err := sess.Open(procs[r], fmt.Sprintf("bench/rank%d", r), storage.ModeCreate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handles[r] = h
+		payloads[r] = make([]byte, chunk)
+		for i := range payloads[r] {
+			payloads[r][i] = byte(r + i)
+		}
+	}
+	b.SetBytes(2 * ranks * chunksPerRank * chunk) // written + read back
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make([]error, ranks)
+		for r := 0; r < ranks; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				got := make([]byte, chunk)
+				for k := 0; k < chunksPerRank; k++ {
+					off := int64(k * chunk)
+					if _, err := handles[r].WriteAt(procs[r], payloads[r], off); err != nil {
+						errs[r] = err
+						return
+					}
+					if _, err := handles[r].ReadAt(procs[r], got, off); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	for r := 0; r < ranks; r++ {
+		if err := handles[r].Close(procs[r]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sess.Close(p0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSRBNetSerialized is the wire-protocol-v1 baseline: one
+// private connection with one request in flight, so the 8 ranks take
+// turns on the wire.
+func BenchmarkSRBNetSerialized(b *testing.B) {
+	benchSRBNet(b, srbnet.WithSerialized())
+}
+
+// BenchmarkSRBNetPipelined is the v2 default: tagged frames from all 8
+// ranks multiplexed over the pooled connections simultaneously.
+func BenchmarkSRBNetPipelined(b *testing.B) {
+	benchSRBNet(b)
 }

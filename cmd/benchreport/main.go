@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchreport [-scale test|bench|paper]
-//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|failover]
+//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|failover|srbnet]
 //
 // The paper scale (128³, N=120) runs the real solver and moves ≈2.2 GB
 // per figure-9 scenario; expect minutes.  The bench scale keeps the
@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchreport: ")
 	scaleName := flag.String("scale", "bench", "problem scale: test, bench or paper")
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig6, fig7, fig8, fig9, fig10a, fig10b, fig10c, fig11, worked, failover)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig6, fig7, fig8, fig9, fig10a, fig10b, fig10c, fig11, worked, failover, srbnet)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -125,6 +125,15 @@ func run(scale experiments.Scale, exp string) error {
 		}
 		fmt.Fprintf(out, "== Collective I/O ablation (strided temp dataset on remote disks) ==\ncollective %.2f s   naive %.2f s   (%.0f× slower without collective I/O)\n\n",
 			coll.Seconds(), naive.Seconds(), naive.Seconds()/coll.Seconds())
+	}
+	if all || exp == "srbnet" {
+		res, err := experiments.SRBNetConcurrency()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Wire protocol v2: pipelined vs serialized (%d ranks × %d chunks of %d B) ==\nserialized %8.1f ms   pipelined %8.1f ms   (%.1f× wall-clock win; virtual costs identical)\n\n",
+			res.Ranks, res.ChunksPerRank, res.ChunkBytes,
+			float64(res.Serialized.Microseconds())/1000, float64(res.Pipelined.Microseconds())/1000, res.Speedup())
 	}
 	if all || exp == "failover" {
 		res, err := experiments.Failover(scale)

@@ -250,6 +250,11 @@ type Run struct {
 	cfg  RunConfig
 	proc []*vtime.Proc
 
+	// connMu serializes session establishment separately from mu, so
+	// the connect round trip (a wire exchange on srbnet backends) is
+	// never made while holding the run's bookkeeping lock.
+	connMu sync.Mutex
+
 	mu       sync.Mutex
 	sessions map[storage.Kind]storage.Session
 	datasets map[string]*Dataset
@@ -304,16 +309,21 @@ func (r *Run) IOTime() time.Duration {
 // The communication-setup constant is charged to rank 0, as the
 // connection is established once per run.
 func (r *Run) session(be storage.Backend) (storage.Session, error) {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if sess, ok := r.sessions[be.Kind()]; ok {
+	sess, ok := r.sessions[be.Kind()]
+	r.mu.Unlock()
+	if ok {
 		return sess, nil
 	}
 	sess, err := be.Connect(r.proc[0])
 	if err != nil {
 		return nil, err
 	}
+	r.mu.Lock()
 	r.sessions[be.Kind()] = sess
+	r.mu.Unlock()
 	return sess, nil
 }
 
@@ -742,13 +752,15 @@ func (d *Dataset) ReadGlobal(p *vtime.Proc, iter int) ([]byte, error) {
 		}
 		return c.Get(p, fmt.Sprintf("iter%06d", iter))
 	}
-	h, err := sess.Open(p, d.InstancePath(iter), storage.ModeRead)
-	if err != nil {
-		return nil, fmt.Errorf("core: read %q iter %d: %w", d.spec.Name, iter, err)
+	if d.spec.Opt == ioopt.Subfile {
+		global, _, err := subfile.ReadGlobal(p, sess, d.InstancePath(iter))
+		if err != nil {
+			return nil, fmt.Errorf("core: read %q iter %d: %w", d.spec.Name, iter, err)
+		}
+		return global, nil
 	}
-	defer h.Close(p)
-	buf := make([]byte, h.Size())
-	if _, err := h.ReadAt(p, buf, 0); err != nil {
+	buf, err := storage.GetFile(p, sess, d.InstancePath(iter))
+	if err != nil {
 		return nil, fmt.Errorf("core: read %q iter %d: %w", d.spec.Name, iter, err)
 	}
 	return buf, nil

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/srb"
+	"repro/internal/srbnet"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// SRBNetResult compares the wall-clock cost of the serialized (wire
+// protocol v1) and pipelined (v2) disciplines for the same multi-rank
+// workload.  The virtual-time cost is identical under both: the
+// Now/AdvanceTo handshake replays every operation at its logical
+// instant regardless of how frames share the TCP stream.
+type SRBNetResult struct {
+	Ranks         int
+	ChunksPerRank int
+	ChunkBytes    int
+	Serialized    time.Duration // wall clock, one request in flight
+	Pipelined     time.Duration // wall clock, tagged multiplexing
+}
+
+// Speedup is the pipelined wall-clock win.
+func (r SRBNetResult) Speedup() float64 {
+	if r.Pipelined <= 0 {
+		return 0
+	}
+	return r.Serialized.Seconds() / r.Pipelined.Seconds()
+}
+
+// SRBNetConcurrency runs 8 ranks of chunked writes and reads through
+// one shared srbnet session against a multi-channel remote-disk array,
+// once with the serialized v1 discipline and once with v2 multiplexing,
+// and reports the wall time of each.  The sim runs in scaled mode so
+// the eq. (1) costs become real waits — the regime the wire layer
+// operates in; with one request in flight the array's channels idle
+// while ranks take turns on the wire.
+func SRBNetConcurrency() (SRBNetResult, error) {
+	res := SRBNetResult{Ranks: 8, ChunksPerRank: 8, ChunkBytes: 4096}
+	runOne := func(opts ...srbnet.Option) (time.Duration, error) {
+		// 1 virtual second = 1 wall millisecond: a 4 KiB remote call
+		// (~45 ms virtual) waits ~45 µs of real time.
+		sim := vtime.NewScaled(1e-3)
+		broker := srb.NewBroker()
+		be, err := device.New(device.Config{
+			Name: "sdsc-array", Kind: storage.KindRemoteDisk,
+			Params: model.RemoteDisk2000(), Store: memfs.New(), Channels: 64,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if err := broker.Register(be); err != nil {
+			return 0, err
+		}
+		broker.AddUser("shen", "nwu")
+		srv, err := srbnet.Serve("127.0.0.1:0", broker, sim)
+		if err != nil {
+			return 0, err
+		}
+		defer srv.Close()
+		srv.SetLogf(func(string, ...any) {})
+		client := srbnet.NewClient(srv.Addr(), "shen", "nwu", "sdsc-array", storage.KindRemoteDisk, opts...)
+		defer client.Close()
+
+		p0 := sim.NewProc("rank0")
+		sess, err := client.Connect(p0)
+		if err != nil {
+			return 0, err
+		}
+		procs := make([]*vtime.Proc, res.Ranks)
+		handles := make([]storage.Handle, res.Ranks)
+		for r := range procs {
+			procs[r] = sim.NewProc(fmt.Sprintf("rank%d-io", r))
+			h, err := sess.Open(procs[r], fmt.Sprintf("exp/rank%d", r), storage.ModeCreate)
+			if err != nil {
+				return 0, err
+			}
+			handles[r] = h
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, res.Ranks)
+		for r := range procs {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				buf := make([]byte, res.ChunkBytes)
+				for k := 0; k < res.ChunksPerRank; k++ {
+					off := int64(k * res.ChunkBytes)
+					if _, err := handles[r].WriteAt(procs[r], buf, off); err != nil {
+						errs[r] = err
+						return
+					}
+					if _, err := handles[r].ReadAt(procs[r], buf, off); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		for r := range handles {
+			if err := handles[r].Close(procs[r]); err != nil {
+				return 0, err
+			}
+		}
+		if err := sess.Close(p0); err != nil {
+			return 0, err
+		}
+		return elapsed, nil
+	}
+	var err error
+	if res.Serialized, err = runOne(srbnet.WithSerialized()); err != nil {
+		return res, err
+	}
+	if res.Pipelined, err = runOne(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

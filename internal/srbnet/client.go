@@ -1,18 +1,73 @@
 package srbnet
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/storage"
 	"repro/internal/vtime"
 )
 
-// Client reaches a remote srbnet server.  It implements storage.Backend:
-// Connect dials a fresh TCP connection, so each session maps to one
-// server-side broker session.
+// Defaults for the client knobs; see the Option constructors.
+const (
+	DefaultPoolSize    = 4
+	DefaultDialTimeout = 5 * time.Second
+)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithPoolSize bounds the client's connection pool.  Sessions share the
+// pooled connections; requests pick the least-busy one and dial a new
+// connection only while the pool has room and every member is occupied.
+func WithPoolSize(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.poolSize = n
+		}
+	}
+}
+
+// WithDialTimeout bounds how long Connect waits for the TCP dial.
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.dialTimeout = d
+		}
+	}
+}
+
+// WithReadAhead makes every remote read request n extra bytes and cache
+// the surplus per handle, so a sequential scan is served from memory
+// between wire round trips.  The cache is invalidated by writes through
+// the same handle.  Read-ahead changes the charged virtual-time costs
+// (fewer, larger device reads), so it defaults to off; enable it only
+// when wall-clock wire throughput matters more than cost fidelity.
+func WithReadAhead(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.readAhead = n
+		}
+	}
+}
+
+// WithSerialized restores the protocol-v1 discipline for ablation: each
+// session dials a private connection and allows one request in flight
+// at a time.  Virtual-time results are identical to the pipelined path;
+// only wall-clock concurrency differs.
+func WithSerialized() Option {
+	return func(c *Client) { c.serialized = true }
+}
+
+// Client reaches a remote srbnet server.  It implements storage.Backend.
+// Sessions share a pool of multiplexed TCP connections: every request
+// carries a tag, a writer goroutine per connection encodes frames, and
+// a reader goroutine routes responses back to per-tag waiters, so many
+// ranks keep RPCs in flight simultaneously.
 type Client struct {
 	addr     string
 	user     string
@@ -20,6 +75,19 @@ type Client struct {
 	resource string
 	kind     storage.Kind
 	name     string
+
+	poolSize    int
+	dialTimeout time.Duration
+	readAhead   int
+	serialized  bool
+
+	pidMu   sync.Mutex
+	pids    map[*vtime.Proc]uint64
+	nextPID uint64
+
+	mu     sync.Mutex
+	conns  []*mux
+	closed bool
 }
 
 var _ storage.Backend = (*Client)(nil)
@@ -27,15 +95,22 @@ var _ storage.Backend = (*Client)(nil)
 // NewClient returns a backend that connects to the named broker resource
 // at addr with the given credentials.  kind should mirror the remote
 // resource's class so the placement layer treats it correctly.
-func NewClient(addr, user, secret, resource string, kind storage.Kind) *Client {
-	return &Client{
-		addr:     addr,
-		user:     user,
-		secret:   secret,
-		resource: resource,
-		kind:     kind,
-		name:     "srb://" + addr + "/" + resource,
+func NewClient(addr, user, secret, resource string, kind storage.Kind, opts ...Option) *Client {
+	c := &Client{
+		addr:        addr,
+		user:        user,
+		secret:      secret,
+		resource:    resource,
+		kind:        kind,
+		name:        "srb://" + addr + "/" + resource,
+		poolSize:    DefaultPoolSize,
+		dialTimeout: DefaultDialTimeout,
+		pids:        make(map[*vtime.Proc]uint64),
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Name implements storage.Backend.
@@ -49,62 +124,349 @@ func (c *Client) Kind() storage.Kind { return c.kind }
 // the paper's assumption for the large remote stores.
 func (c *Client) Capacity() (total, used int64) { return 0, 0 }
 
-// Connect implements storage.Backend.
-func (c *Client) Connect(p *vtime.Proc) (storage.Session, error) {
-	conn, err := net.Dial("tcp", c.addr)
+// pid returns the stable wire id for a client rank, so the server can
+// replay its operations on a per-rank clock.
+func (c *Client) pid(p *vtime.Proc) uint64 {
+	c.pidMu.Lock()
+	defer c.pidMu.Unlock()
+	id, ok := c.pids[p]
+	if !ok {
+		c.nextPID++
+		id = c.nextPID
+		c.pids[p] = id
+	}
+	return id
+}
+
+// dial opens and starts one multiplexed connection.
+func (c *Client) dial() (*mux, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("srbnet client: dial %s: %w", c.addr, err)
 	}
-	s := &clientSession{
-		conn: conn,
-		dec:  gob.NewDecoder(conn),
-		enc:  gob.NewEncoder(conn),
+	bw := bufio.NewWriter(conn)
+	m := &mux{
+		c:       c,
+		conn:    conn,
+		bw:      bw,
+		enc:     gob.NewEncoder(bw),
+		dec:     gob.NewDecoder(bufio.NewReader(conn)),
+		sendq:   make(chan *request, 64),
+		stop:    make(chan struct{}),
+		waiters: make(map[uint64]chan *response),
 	}
-	_, err = s.call(p, &request{
+	go m.writeLoop()
+	go m.readLoop()
+	return m, nil
+}
+
+// pickMux returns a pooled connection for one request: an idle member
+// if any, a freshly dialed one while the pool has room, otherwise the
+// least-busy member (pipelining on it is the point).
+func (c *Client) pickMux() (*mux, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("srbnet client: %w", storage.ErrClosed)
+	}
+	var best *mux
+	bestLoad := -1
+	for _, m := range c.conns {
+		l := m.load()
+		if l < 0 {
+			continue // failed, being dropped
+		}
+		if l == 0 {
+			c.mu.Unlock()
+			return m, nil
+		}
+		if bestLoad < 0 || l < bestLoad {
+			best, bestLoad = m, l
+		}
+	}
+	room := len(c.conns) < c.poolSize
+	c.mu.Unlock()
+	if !room {
+		if best == nil {
+			return nil, fmt.Errorf("srbnet client: %w", storage.ErrClosed)
+		}
+		return best, nil
+	}
+	m, err := c.dial()
+	if err != nil {
+		if best != nil {
+			return best, nil // degrade onto a live connection
+		}
+		return nil, err
+	}
+	c.mu.Lock()
+	if !c.closed && len(c.conns) < c.poolSize {
+		c.conns = append(c.conns, m)
+		c.mu.Unlock()
+		return m, nil
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	m.fail(fmt.Errorf("srbnet client: %w", storage.ErrClosed))
+	if closed {
+		return nil, fmt.Errorf("srbnet client: %w", storage.ErrClosed)
+	}
+	return c.pickMux() // lost the race to fill the pool; pick again
+}
+
+// drop removes a failed connection from the pool.
+func (c *Client) drop(m *mux) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, x := range c.conns {
+		if x == m {
+			c.conns = append(c.conns[:i], c.conns[i+1:]...)
+			return
+		}
+	}
+}
+
+// Close tears down the connection pool.  Sessions cannot be used after
+// the client closes.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := c.conns
+	c.conns = nil
+	c.mu.Unlock()
+	for _, m := range conns {
+		m.fail(fmt.Errorf("srbnet client: %w", storage.ErrClosed))
+	}
+	return nil
+}
+
+// Connect implements storage.Backend.
+func (c *Client) Connect(p *vtime.Proc) (storage.Session, error) {
+	req := &request{
 		Op:       opConnect,
+		PID:      c.pid(p),
 		User:     c.user,
 		Secret:   c.secret,
 		Resource: c.resource,
-	})
+	}
+	if c.serialized {
+		m, err := c.dial()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := m.call(p, req)
+		if err != nil {
+			m.fail(fmt.Errorf("srbnet client: %w", storage.ErrClosed))
+			return nil, err
+		}
+		return &clientSession{c: c, sid: resp.Sess, own: m}, nil
+	}
+	m, err := c.pickMux()
 	if err != nil {
-		conn.Close()
 		return nil, err
 	}
-	return s, nil
-}
-
-// clientSession is one wire session.  A mutex serializes frames; the
-// virtual clock still charges concurrent callers correctly because the
-// server replays each operation at the caller's logical instant.
-type clientSession struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	dec    *gob.Decoder
-	enc    *gob.Encoder
-	closed bool
-}
-
-// call sends one request and decodes one response, advancing p's clock
-// to the server-side completion time.
-func (s *clientSession) call(p *vtime.Proc, req *request) (*response, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, fmt.Errorf("srbnet client: %w", storage.ErrClosed)
+	resp, err := m.call(p, req)
+	if err != nil {
+		return nil, err
 	}
+	return &clientSession{c: c, sid: resp.Sess}, nil
+}
+
+// mux is one multiplexed TCP connection.  callers register a per-tag
+// waiter, hand the frame to the writer goroutine, and block on the
+// waiter until the reader goroutine routes the matching response back.
+// Any stream error poisons the whole connection: every outstanding
+// waiter is woken with the error and the connection leaves the pool, so
+// a desynced gob stream can never serve another request.
+type mux struct {
+	c     *Client
+	conn  net.Conn
+	bw    *bufio.Writer
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	sendq chan *request
+	stop  chan struct{}
+
+	mu      sync.Mutex
+	waiters map[uint64]chan *response
+	nextTag uint64
+	stopped bool
+	err     error
+}
+
+// load reports how many requests are outstanding, or -1 once failed.
+func (m *mux) load() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return -1
+	}
+	return len(m.waiters)
+}
+
+// fail poisons the connection exactly once: marks it stopped, closes
+// the socket, wakes every outstanding waiter and leaves the pool.
+func (m *mux) fail(err error) {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	m.err = err
+	ws := m.waiters
+	m.waiters = nil
+	close(m.stop)
+	m.mu.Unlock()
+	m.conn.Close()
+	for _, ch := range ws {
+		close(ch)
+	}
+	m.c.drop(m)
+}
+
+func (m *mux) failErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	return fmt.Errorf("srbnet client: %w", storage.ErrClosed)
+}
+
+// writeLoop is the connection's only encoder.  It drains bursts of
+// queued frames before flushing, so pipelined ranks share syscalls,
+// while a lone frame is flushed immediately.
+func (m *mux) writeLoop() {
+	for {
+		var req *request
+		select {
+		case req = <-m.sendq:
+		case <-m.stop:
+			return
+		}
+		for req != nil {
+			if err := m.enc.Encode(req); err != nil {
+				m.fail(fmt.Errorf("srbnet client: send: %w", err))
+				return
+			}
+			select {
+			case req = <-m.sendq:
+			default:
+				req = nil
+			}
+		}
+		if err := m.bw.Flush(); err != nil {
+			m.fail(fmt.Errorf("srbnet client: send: %w", err))
+			return
+		}
+	}
+}
+
+// readLoop is the connection's only decoder, routing responses to their
+// tag's waiter.  A decode error or an unknown tag means the stream is
+// desynced and poisons the connection.
+func (m *mux) readLoop() {
+	for {
+		resp := new(response)
+		if err := m.dec.Decode(resp); err != nil {
+			m.fail(fmt.Errorf("srbnet client: recv: %w", err))
+			return
+		}
+		m.mu.Lock()
+		ch, ok := m.waiters[resp.Tag]
+		if ok {
+			delete(m.waiters, resp.Tag)
+		}
+		stopped := m.stopped
+		m.mu.Unlock()
+		if stopped {
+			return
+		}
+		if !ok {
+			m.fail(fmt.Errorf("srbnet client: recv: stream desync (unknown tag %d)", resp.Tag))
+			return
+		}
+		ch <- resp
+	}
+}
+
+// call sends one tagged request and blocks for its response, advancing
+// p's clock to the server-side completion time.
+func (m *mux) call(p *vtime.Proc, req *request) (*response, error) {
+	m.mu.Lock()
+	if m.stopped {
+		err := m.err
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.nextTag++
+	req.Tag = m.nextTag
+	ch := make(chan *response, 1)
+	m.waiters[req.Tag] = ch
+	m.mu.Unlock()
+
 	req.Now = p.Now()
-	if err := s.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("srbnet client: send: %w", err)
+	select {
+	case m.sendq <- req:
+	case <-m.stop:
+		return nil, m.failErr()
 	}
-	var resp response
-	if err := s.dec.Decode(&resp); err != nil {
-		return nil, fmt.Errorf("srbnet client: recv: %w", err)
+	resp, ok := <-ch
+	if !ok {
+		return nil, m.failErr()
 	}
 	p.AdvanceTo(resp.Now)
 	if resp.Err != errNone {
-		return &resp, decodeErr(resp.Err, resp.ErrMsg)
+		return resp, decodeErr(resp.Err, resp.ErrMsg)
 	}
-	return &resp, nil
+	return resp, nil
+}
+
+// clientSession is one wire session.  It is addressed by a server-side
+// id, so its requests travel over whichever pooled connection is least
+// busy — except in serialized mode, where it owns a private connection
+// and one call is in flight at a time.
+type clientSession struct {
+	c   *Client
+	sid uint64
+
+	own    *mux       // serialized mode only
+	callMu sync.Mutex // serialized mode only
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ storage.WholeFiler = (*clientSession)(nil)
+
+// call routes one request for this session, stamping the session id and
+// the calling rank's wire pid.
+func (s *clientSession) call(p *vtime.Proc, req *request) (*response, error) {
+	if req.Op != opCloseSession {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil, fmt.Errorf("srbnet client: %w", storage.ErrClosed)
+		}
+	}
+	req.Sess = s.sid
+	req.PID = s.c.pid(p)
+	if s.own != nil {
+		s.callMu.Lock()
+		defer s.callMu.Unlock()
+		return s.own.call(p, req)
+	}
+	m, err := s.c.pickMux()
+	if err != nil {
+		return nil, err
+	}
+	return m.call(p, req)
 }
 
 // Open implements storage.Session.
@@ -140,26 +502,58 @@ func (s *clientSession) List(p *vtime.Proc, prefix string) ([]storage.FileInfo, 
 	return resp.Infos, nil
 }
 
-// Close implements storage.Session and tears down the TCP connection.
-func (s *clientSession) Close(p *vtime.Proc) error {
-	_, err := s.call(p, &request{Op: opCloseSession})
-	s.mu.Lock()
-	s.closed = true
-	s.conn.Close()
-	s.mu.Unlock()
+// PutFile implements storage.WholeFiler: one round trip for
+// open + write + close.
+func (s *clientSession) PutFile(p *vtime.Proc, name string, mode storage.AMode, data []byte) error {
+	_, err := s.call(p, &request{Op: opPutFile, Path: name, Mode: mode, Data: data})
 	return err
 }
 
+// GetFile implements storage.WholeFiler: one round trip for
+// open + read + close.
+func (s *clientSession) GetFile(p *vtime.Proc, name string) ([]byte, error) {
+	resp, err := s.call(p, &request{Op: opGetFile, Path: name})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Close implements storage.Session.  A serialized-mode session tears
+// its private connection down; pooled connections stay warm for other
+// sessions.
+func (s *clientSession) Close(p *vtime.Proc) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("srbnet client: %w", storage.ErrClosed)
+	}
+	s.closed = true
+	s.mu.Unlock()
+	_, err := s.call(p, &request{Op: opCloseSession})
+	if s.own != nil {
+		s.own.fail(fmt.Errorf("srbnet client: %w", storage.ErrClosed))
+	}
+	return err
+}
+
+// clientHandle is one remote file handle, with an optional per-handle
+// read-ahead window for sequential scans.
 type clientHandle struct {
 	s    *clientSession
 	id   uint64
 	path string
 
-	mu   sync.Mutex
-	size int64
+	mu    sync.Mutex
+	size  int64
+	raOff int64
+	ra    []byte
 }
 
-var _ storage.Handle = (*clientHandle)(nil)
+var (
+	_ storage.Handle       = (*clientHandle)(nil)
+	_ storage.VectorHandle = (*clientHandle)(nil)
+)
 
 func (h *clientHandle) Path() string { return h.path }
 
@@ -176,14 +570,46 @@ func (h *clientHandle) setSize(n int64) {
 	h.mu.Unlock()
 }
 
-// ReadAt implements storage.Handle.
+// invalidate drops the read-ahead window (any write through the handle
+// may overlap it).
+func (h *clientHandle) invalidate() {
+	h.mu.Lock()
+	h.ra = nil
+	h.mu.Unlock()
+}
+
+// ReadAt implements storage.Handle.  With read-ahead enabled, a request
+// fully inside the cached window is served locally with no wire round
+// trip (and no virtual-time charge — the surplus bytes were charged to
+// the read that fetched them); otherwise the wire read is extended by
+// the read-ahead amount and the surplus cached.
 func (h *clientHandle) ReadAt(p *vtime.Proc, b []byte, off int64) (int, error) {
-	resp, err := h.s.call(p, &request{Op: opRead, Handle: h.id, Off: off, N: len(b)})
+	ra := h.s.c.readAhead
+	if ra > 0 {
+		h.mu.Lock()
+		if h.ra != nil && off >= h.raOff && off+int64(len(b)) <= h.raOff+int64(len(h.ra)) {
+			copy(b, h.ra[off-h.raOff:])
+			h.mu.Unlock()
+			return len(b), nil
+		}
+		h.mu.Unlock()
+	}
+	want := len(b)
+	if ra > 0 {
+		want += ra
+	}
+	resp, err := h.s.call(p, &request{Op: opRead, Handle: h.id, Off: off, N: want})
 	if err != nil {
 		return 0, err
 	}
 	h.setSize(resp.Size)
 	n := copy(b, resp.Data)
+	if ra > 0 && len(resp.Data) > len(b) {
+		h.mu.Lock()
+		h.raOff = off
+		h.ra = append([]byte(nil), resp.Data...)
+		h.mu.Unlock()
+	}
 	if n < len(b) {
 		return n, fmt.Errorf("srbnet client: short read of %q at %d: n=%d", h.path, off, n)
 	}
@@ -196,8 +622,51 @@ func (h *clientHandle) WriteAt(p *vtime.Proc, b []byte, off int64) (int, error) 
 	if err != nil {
 		return 0, err
 	}
+	h.invalidate()
 	h.setSize(resp.Size)
 	return resp.N, nil
+}
+
+// ReadAtV implements storage.VectorHandle: all chunks travel in one
+// round trip; the server still executes one native call per chunk, so
+// the virtual cost is identical to a loop of ReadAt.
+func (h *clientHandle) ReadAtV(p *vtime.Proc, vecs []storage.Vec) (int64, error) {
+	wv := make([]wireVec, len(vecs))
+	for i, v := range vecs {
+		wv[i] = wireVec{Off: v.Off, N: len(v.B)}
+	}
+	resp, err := h.s.call(p, &request{Op: opReadV, Handle: h.id, Vecs: wv})
+	if err != nil {
+		return 0, err
+	}
+	h.setSize(resp.Size)
+	if len(resp.Vecs) != len(vecs) {
+		return 0, fmt.Errorf("srbnet client: vectored read of %q: %d chunks for %d requested", h.path, len(resp.Vecs), len(vecs))
+	}
+	var total int64
+	for i, d := range resp.Vecs {
+		n := copy(vecs[i].B, d)
+		total += int64(n)
+		if n < len(vecs[i].B) {
+			return total, fmt.Errorf("srbnet client: short read of %q at %d: n=%d", h.path, vecs[i].Off, n)
+		}
+	}
+	return total, nil
+}
+
+// WriteAtV implements storage.VectorHandle.
+func (h *clientHandle) WriteAtV(p *vtime.Proc, vecs []storage.Vec) (int64, error) {
+	wv := make([]wireVec, len(vecs))
+	for i, v := range vecs {
+		wv[i] = wireVec{Off: v.Off, Data: v.B}
+	}
+	resp, err := h.s.call(p, &request{Op: opWriteV, Handle: h.id, Vecs: wv})
+	if err != nil {
+		return 0, err
+	}
+	h.invalidate()
+	h.setSize(resp.Size)
+	return int64(resp.N), nil
 }
 
 // Close implements storage.Handle.

@@ -1,0 +1,117 @@
+package srbnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// FuzzRequestRoundTrip gob-encodes a request built from fuzzed fields
+// and decodes it back: the wire codec must never panic and must
+// preserve every field, so protocol changes can't silently break
+// compatibility.
+func FuzzRequestRoundTrip(f *testing.F) {
+	f.Add(uint8(opConnect), uint64(1), uint64(1), uint64(0), int64(0), 0, "shen", "nwu", "sdsc-disk", "path", []byte(nil))
+	f.Add(uint8(opWrite), uint64(7), uint64(3), uint64(2), int64(4096), 0, "", "", "", "wire/file", []byte("payload"))
+	f.Add(uint8(opReadV), uint64(1<<40), uint64(9), uint64(8), int64(-1), 1<<20, "", "", "", "", []byte{0xff})
+	f.Fuzz(func(t *testing.T, op uint8, tag, sess, pid uint64, off int64, n int, user, secret, resource, path string, data []byte) {
+		in := request{
+			Op:       opCode(op),
+			Tag:      tag,
+			Sess:     sess,
+			PID:      pid,
+			Now:      time.Duration(off),
+			User:     user,
+			Secret:   secret,
+			Resource: resource,
+			Path:     path,
+			Mode:     storage.AMode(n),
+			Handle:   tag ^ sess,
+			Off:      off,
+			N:        n,
+			Data:     data,
+			Vecs:     []wireVec{{Off: off, N: n, Data: data}},
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var out request
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if out.Op != in.Op || out.Tag != in.Tag || out.Sess != in.Sess || out.PID != in.PID ||
+			out.Now != in.Now || out.User != in.User || out.Secret != in.Secret ||
+			out.Resource != in.Resource || out.Path != in.Path || out.Mode != in.Mode ||
+			out.Handle != in.Handle || out.Off != in.Off || out.N != in.N ||
+			!bytes.Equal(out.Data, in.Data) {
+			t.Fatalf("request round trip mismatch:\n in=%+v\nout=%+v", in, out)
+		}
+		if len(out.Vecs) != 1 || out.Vecs[0].Off != off || out.Vecs[0].N != n || !bytes.Equal(out.Vecs[0].Data, data) {
+			t.Fatalf("vec round trip mismatch: %+v", out.Vecs)
+		}
+	})
+}
+
+// FuzzResponseRoundTrip does the same for the server→client frame,
+// including the error-code channel that errors.Is depends on.
+func FuzzResponseRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(errNone), "", int64(0), 0, []byte(nil))
+	f.Add(uint64(42), uint8(errNotExist), "no such file", int64(1<<30), 9192, []byte("body"))
+	f.Add(uint64(0), uint8(250), "unknown code", int64(-5), -1, []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, tag uint64, code uint8, msg string, size int64, n int, data []byte) {
+		in := response{
+			Tag:    tag,
+			Err:    errCode(code),
+			ErrMsg: msg,
+			Now:    time.Duration(size),
+			Sess:   tag + 1,
+			Handle: tag ^ 3,
+			N:      n,
+			Size:   size,
+			Data:   data,
+			Vecs:   [][]byte{data, nil},
+			Info:   storage.FileInfo{Path: msg, Size: size},
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var out response
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if out.Tag != in.Tag || out.Err != in.Err || out.ErrMsg != in.ErrMsg ||
+			out.Now != in.Now || out.Sess != in.Sess || out.Handle != in.Handle ||
+			out.N != in.N || out.Size != in.Size || !bytes.Equal(out.Data, in.Data) ||
+			out.Info != in.Info {
+			t.Fatalf("response round trip mismatch:\n in=%+v\nout=%+v", in, out)
+		}
+		// The decoded error must keep its sentinel across the wire.
+		if in.Err != errNone {
+			err := decodeErr(out.Err, out.ErrMsg)
+			if err == nil {
+				t.Fatal("non-zero error code decoded to nil")
+			}
+		}
+	})
+}
+
+// FuzzDecodeArbitrary feeds arbitrary bytes to the frame decoder: a
+// hostile or corrupted stream must produce an error, never a panic.
+func FuzzDecodeArbitrary(f *testing.F) {
+	var seed bytes.Buffer
+	gob.NewEncoder(&seed).Encode(&request{Op: opRead, Tag: 5, N: 128})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0xff, 0x07})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req request
+		gob.NewDecoder(bytes.NewReader(data)).Decode(&req)
+		var resp response
+		gob.NewDecoder(bytes.NewReader(data)).Decode(&resp)
+	})
+}

@@ -13,6 +13,19 @@
 // resources starting at that instant, and the response returns the
 // completion time which the client clock advances to.  Device contention
 // between clients is therefore preserved even over TCP.
+//
+// Wire protocol v2 multiplexes: each request carries a client-assigned
+// Tag echoed by the response, so many RPCs are in flight on one
+// connection and responses return in completion order.  Because every
+// operation is replayed at the caller's logical instant, reordering on
+// the wire cannot change the simulated outcome.  Sessions are addressed
+// by a server-assigned Sess id rather than bound to a connection, which
+// lets pooled connections carry any session's traffic, and PID names the
+// calling rank so the server charges per-rank clocks (seek locality is
+// tracked per process at the device layer).  Vectored ops (opReadV /
+// opWriteV) and whole-file ops (opPutFile / opGetFile) coalesce
+// call sequences into single round trips without changing their
+// virtual-time cost.
 package srbnet
 
 import (
@@ -36,11 +49,31 @@ const (
 	opRemove
 	opCloseHandle
 	opCloseSession
+	opReadV
+	opWriteV
+	opPutFile
+	opGetFile
 )
+
+// wireVec is one chunk of a vectored transfer.  Writes carry Data;
+// reads carry N, the number of bytes wanted at Off.
+type wireVec struct {
+	Off  int64
+	N    int
+	Data []byte
+}
 
 // request is one client→server frame.
 type request struct {
-	Op     opCode
+	Op  opCode
+	Tag uint64 // client-assigned; echoed by the response
+
+	// Sess addresses a server-side session (all ops except connect).
+	// PID names the calling rank so the server replays the op on that
+	// rank's clock.
+	Sess uint64
+	PID  uint64
+
 	Now    time.Duration // client's logical clock at issue time
 	User   string
 	Secret string
@@ -52,6 +85,7 @@ type request struct {
 	Off      int64
 	N        int // read length
 	Data     []byte
+	Vecs     []wireVec // vectored ops
 }
 
 // errCode classifies failures across the wire so errors.Is keeps working
@@ -143,13 +177,16 @@ func decodeErr(code errCode, msg string) error {
 
 // response is one server→client frame.
 type response struct {
+	Tag    uint64 // echo of the request's tag
 	Err    errCode
 	ErrMsg string
 	Now    time.Duration // server-side completion time
+	Sess   uint64        // connect: the new session's wire id
 	Handle uint64
 	N      int
 	Size   int64
 	Data   []byte
+	Vecs   [][]byte // vectored reads: one buffer per chunk
 	Info   storage.FileInfo
 	Infos  []storage.FileInfo
 }

@@ -1,6 +1,7 @@
 package srbnet
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -14,8 +15,11 @@ import (
 	"repro/internal/vtime"
 )
 
-// Server exposes an srb.Broker over TCP.  One goroutine serves each
-// connection; a connection carries at most one broker session.
+// Server exposes an srb.Broker over TCP.  Connections are pure frame
+// carriers: requests on one connection are handled concurrently, each
+// response is routed back by its tag, and sessions live in a
+// server-wide registry addressed by wire id, so any pooled connection
+// can carry any session's traffic.
 type Server struct {
 	broker *srb.Broker
 	sim    *vtime.Sim
@@ -26,6 +30,10 @@ type Server struct {
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+
+	sessMu   sync.Mutex
+	sessions map[uint64]*srvSession
+	nextSess uint64
 }
 
 // Serve starts a server on addr ("127.0.0.1:0" picks a free port) using
@@ -37,11 +45,12 @@ func Serve(addr string, broker *srb.Broker, sim *vtime.Sim) (*Server, error) {
 		return nil, fmt.Errorf("srbnet: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		broker: broker,
-		sim:    sim,
-		lis:    lis,
-		logf:   log.Printf,
-		conns:  make(map[net.Conn]struct{}),
+		broker:   broker,
+		sim:      sim,
+		lis:      lis,
+		logf:     log.Printf,
+		conns:    make(map[net.Conn]struct{}),
+		sessions: make(map[uint64]*srvSession),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -92,14 +101,50 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// connState is the per-connection session state.
-type connState struct {
-	proc    *vtime.Proc
-	session storage.Session
+// srvSession is one broker session in the server-wide registry.  Each
+// client rank (wire PID) gets its own server-side Proc, mirroring the
+// in-process arrangement where every rank carries its own clock — this
+// keeps per-process device state (seek locality) faithful even when
+// many ranks share one wire session.
+type srvSession struct {
+	id uint64
+
+	mu      sync.Mutex
+	sess    storage.Session
 	handles map[uint64]storage.Handle
-	nextID  uint64
+	nextH   uint64
+	procs   map[uint64]*vtime.Proc
+	closed  bool
 }
 
+// proc returns the session's clock for the given rank, creating it on
+// first use.
+func (ss *srvSession) proc(sim *vtime.Sim, pid uint64) *vtime.Proc {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	p := ss.procs[pid]
+	if p == nil {
+		p = sim.NewProc(fmt.Sprintf("srbnet/s%d/p%d", ss.id, pid))
+		ss.procs[pid] = p
+	}
+	return p
+}
+
+func (ss *srvSession) handle(id uint64) (storage.Handle, bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.closed {
+		return nil, false
+	}
+	h, ok := ss.handles[id]
+	return h, ok
+}
+
+// serveConn owns one TCP connection.  A decode loop dispatches each
+// request to its own handler goroutine; a single writer goroutine
+// encodes responses in completion order, flushing the buffered writer
+// whenever the queue drains so that pipelined bursts coalesce into few
+// syscalls while a lone request still departs immediately.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -108,137 +153,258 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	st := &connState{
-		proc:    s.sim.NewProc("srbnet-" + conn.RemoteAddr().String()),
-		handles: make(map[uint64]storage.Handle),
-	}
+
+	respq := make(chan *response, 64)
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		bw := bufio.NewWriter(conn)
+		enc := gob.NewEncoder(bw)
+		broken := false
+		for resp := range respq {
+			if broken {
+				continue // drain so handlers never block
+			}
+			if err := enc.Encode(resp); err != nil {
+				s.logf("srbnet: encode to %s: %v", conn.RemoteAddr(), err)
+				broken = true
+				conn.Close()
+				continue
+			}
+			if len(respq) == 0 {
+				if err := bw.Flush(); err != nil {
+					broken = true
+					conn.Close()
+				}
+			}
+		}
+		if !broken {
+			bw.Flush()
+		}
+	}()
+
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+	var hwg sync.WaitGroup
 	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		req := new(request)
+		if err := dec.Decode(req); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("srbnet: decode from %s: %v", conn.RemoteAddr(), err)
 			}
-			return
+			break
 		}
-		resp := s.handle(st, &req)
-		if err := enc.Encode(resp); err != nil {
-			s.logf("srbnet: encode to %s: %v", conn.RemoteAddr(), err)
-			return
-		}
-		if req.Op == opCloseSession {
-			return
-		}
+		hwg.Add(1)
+		go func() {
+			defer hwg.Done()
+			respq <- s.handle(req)
+		}()
 	}
+	hwg.Wait()
+	close(respq)
+	wwg.Wait()
 }
 
-// handle executes one request.  The server proc's clock is first pushed
-// forward to the client's clock so device contention is charged at the
-// right instant.
-func (s *Server) handle(st *connState, req *request) *response {
-	st.proc.AdvanceTo(req.Now)
-	resp := &response{}
-	fail := func(err error) *response {
-		resp.Err, resp.ErrMsg = encodeErr(err)
-		resp.Now = st.proc.Now()
+// lookup finds the addressed session, or nil if it was never created or
+// is already closed.
+func (s *Server) lookup(id uint64) *srvSession {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return s.sessions[id]
+}
+
+// handle executes one request.  The serving rank's clock is first
+// pushed forward to the client's clock so device contention is charged
+// at the right instant.
+func (s *Server) handle(req *request) *response {
+	resp := &response{Tag: req.Tag}
+	if req.Op == opConnect {
+		return s.handleConnect(req, resp)
+	}
+	ss := s.lookup(req.Sess)
+	if ss == nil {
+		resp.Err, resp.ErrMsg = encodeErr(fmt.Errorf("srbnet: no session %d: %w", req.Sess, storage.ErrClosed))
+		resp.Now = req.Now
 		return resp
 	}
+	proc := ss.proc(s.sim, req.PID)
+	proc.AdvanceTo(req.Now)
+	fail := func(err error) *response {
+		resp.Err, resp.ErrMsg = encodeErr(err)
+		resp.Now = proc.Now()
+		return resp
+	}
+
 	switch req.Op {
-	case opConnect:
-		if st.session != nil {
-			return fail(fmt.Errorf("srbnet: connection already has a session"))
-		}
-		sess, err := s.broker.Connect(st.proc, req.User, req.Secret, req.Resource)
-		if err != nil {
-			return fail(err)
-		}
-		st.session = sess
 	case opCloseSession:
-		if st.session == nil {
+		ss.mu.Lock()
+		if ss.closed {
+			ss.mu.Unlock()
 			return fail(storage.ErrClosed)
 		}
-		if err := st.session.Close(st.proc); err != nil {
+		ss.closed = true
+		ss.mu.Unlock()
+		s.sessMu.Lock()
+		delete(s.sessions, ss.id)
+		s.sessMu.Unlock()
+		if err := ss.sess.Close(proc); err != nil {
 			return fail(err)
 		}
-		st.session = nil
 	case opOpen:
-		if st.session == nil {
-			return fail(storage.ErrClosed)
-		}
-		h, err := st.session.Open(st.proc, req.Path, req.Mode)
+		h, err := ss.sess.Open(proc, req.Path, req.Mode)
 		if err != nil {
 			return fail(err)
 		}
-		st.nextID++
-		st.handles[st.nextID] = h
-		resp.Handle = st.nextID
+		ss.mu.Lock()
+		ss.nextH++
+		id := ss.nextH
+		ss.handles[id] = h
+		ss.mu.Unlock()
+		resp.Handle = id
 		resp.Size = h.Size()
 	case opRead:
-		h, ok := st.handles[req.Handle]
+		h, ok := ss.handle(req.Handle)
 		if !ok {
 			return fail(storage.ErrClosed)
 		}
 		buf := make([]byte, req.N)
-		n, err := h.ReadAt(st.proc, buf, req.Off)
+		n, err := h.ReadAt(proc, buf, req.Off)
 		resp.N = n
 		resp.Data = buf[:n]
 		resp.Size = h.Size()
 		if err != nil && !errors.Is(err, io.EOF) {
 			return fail(err)
 		}
-		if errors.Is(err, io.EOF) {
-			// Signal EOF in-band: N < requested with no error code.
-			resp.N = n
-		}
+		// EOF is signalled in-band: N < requested with no error code.
 	case opWrite:
-		h, ok := st.handles[req.Handle]
+		h, ok := ss.handle(req.Handle)
 		if !ok {
 			return fail(storage.ErrClosed)
 		}
-		n, err := h.WriteAt(st.proc, req.Data, req.Off)
+		n, err := h.WriteAt(proc, req.Data, req.Off)
 		resp.N = n
 		resp.Size = h.Size()
 		if err != nil {
 			return fail(err)
 		}
-	case opStat:
-		if st.session == nil {
+	case opReadV:
+		h, ok := ss.handle(req.Handle)
+		if !ok {
 			return fail(storage.ErrClosed)
 		}
-		fi, err := st.session.Stat(st.proc, req.Path)
+		resp.Vecs = make([][]byte, len(req.Vecs))
+		for i, v := range req.Vecs {
+			buf := make([]byte, v.N)
+			n, err := h.ReadAt(proc, buf, v.Off)
+			resp.Vecs[i] = buf[:n]
+			resp.N += n
+			if err != nil && !errors.Is(err, io.EOF) {
+				return fail(err)
+			}
+		}
+		resp.Size = h.Size()
+	case opWriteV:
+		h, ok := ss.handle(req.Handle)
+		if !ok {
+			return fail(storage.ErrClosed)
+		}
+		for _, v := range req.Vecs {
+			n, err := h.WriteAt(proc, v.Data, v.Off)
+			resp.N += n
+			if err != nil {
+				return fail(err)
+			}
+		}
+		resp.Size = h.Size()
+	case opPutFile:
+		h, err := ss.sess.Open(proc, req.Path, req.Mode)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := h.WriteAt(proc, req.Data, 0); err != nil {
+			h.Close(proc)
+			return fail(err)
+		}
+		resp.Size = h.Size()
+		if err := h.Close(proc); err != nil {
+			return fail(err)
+		}
+	case opGetFile:
+		h, err := ss.sess.Open(proc, req.Path, storage.ModeRead)
+		if err != nil {
+			return fail(err)
+		}
+		buf := make([]byte, h.Size())
+		n, err := h.ReadAt(proc, buf, 0)
+		if err != nil && !errors.Is(err, io.EOF) {
+			h.Close(proc)
+			return fail(err)
+		}
+		resp.Data = buf[:n]
+		resp.Size = h.Size()
+		if err := h.Close(proc); err != nil {
+			return fail(err)
+		}
+	case opStat:
+		fi, err := ss.sess.Stat(proc, req.Path)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Info = fi
 	case opList:
-		if st.session == nil {
-			return fail(storage.ErrClosed)
-		}
-		fis, err := st.session.List(st.proc, req.Path)
+		fis, err := ss.sess.List(proc, req.Path)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Infos = fis
 	case opRemove:
-		if st.session == nil {
-			return fail(storage.ErrClosed)
-		}
-		if err := st.session.Remove(st.proc, req.Path); err != nil {
+		if err := ss.sess.Remove(proc, req.Path); err != nil {
 			return fail(err)
 		}
 	case opCloseHandle:
-		h, ok := st.handles[req.Handle]
+		ss.mu.Lock()
+		h, ok := ss.handles[req.Handle]
+		delete(ss.handles, req.Handle)
+		ss.mu.Unlock()
 		if !ok {
 			return fail(storage.ErrClosed)
 		}
-		delete(st.handles, req.Handle)
-		if err := h.Close(st.proc); err != nil {
+		if err := h.Close(proc); err != nil {
 			return fail(err)
 		}
 	default:
 		return fail(fmt.Errorf("srbnet: unknown op %d", req.Op))
 	}
-	resp.Now = st.proc.Now()
+	resp.Now = proc.Now()
+	return resp
+}
+
+// handleConnect reserves a session id, authenticates against the broker
+// on the connecting rank's new clock, and publishes the session in the
+// registry.
+func (s *Server) handleConnect(req *request, resp *response) *response {
+	s.sessMu.Lock()
+	s.nextSess++
+	id := s.nextSess
+	s.sessMu.Unlock()
+	proc := s.sim.NewProc(fmt.Sprintf("srbnet/s%d/p%d", id, req.PID))
+	proc.AdvanceTo(req.Now)
+	sess, err := s.broker.Connect(proc, req.User, req.Secret, req.Resource)
+	if err != nil {
+		resp.Err, resp.ErrMsg = encodeErr(err)
+		resp.Now = proc.Now()
+		return resp
+	}
+	ss := &srvSession{
+		id:      id,
+		sess:    sess,
+		handles: make(map[uint64]storage.Handle),
+		procs:   map[uint64]*vtime.Proc{req.PID: proc},
+	}
+	s.sessMu.Lock()
+	s.sessions[id] = ss
+	s.sessMu.Unlock()
+	resp.Sess = id
+	resp.Now = proc.Now()
 	return resp
 }

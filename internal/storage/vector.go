@@ -1,0 +1,128 @@
+// Vectored and whole-file transfer extensions of the native storage
+// interface.  The base Handle/Session contract is one native call per
+// round trip, which is faithful to the paper's API but ruinous over a
+// wide-area wire: a naive strided dump issues one frame per file run,
+// and a per-rank subfile read costs an open, a read and a close — three
+// round trips for one logical fetch.
+//
+// The optional interfaces below let a backend coalesce such sequences
+// into a single exchange.  They change only the number of wire round
+// trips, never the virtual-time accounting: each chunk of a vectored
+// transfer is still one native call at the device, and a whole-file put
+// or get still charges open + transfer + close, so eq. (1)/eq. (2)
+// costs and the n(j) call counts are identical whether or not the fast
+// path is taken.  The ReadV/WriteV/PutFile/GetFile helpers fall back to
+// the equivalent call-by-call sequence for backends that do not
+// implement the extensions, so callers use them unconditionally.
+package storage
+
+import (
+	"errors"
+	"io"
+
+	"repro/internal/vtime"
+)
+
+// Vec is one chunk of a vectored transfer: len(B) bytes at file offset
+// Off.  Reads fill B; writes store B.
+type Vec struct {
+	Off int64
+	B   []byte
+}
+
+// VecBytes sums the chunk lengths.
+func VecBytes(vecs []Vec) int64 {
+	var n int64
+	for _, v := range vecs {
+		n += int64(len(v.B))
+	}
+	return n
+}
+
+// VectorHandle is an optional Handle extension for backends that can
+// carry many chunks in one round trip (the srbnet wire protocol's
+// opReadV/opWriteV).  Each chunk remains one native call at the device.
+type VectorHandle interface {
+	// ReadAtV fills every chunk, returning the total bytes read.  A short
+	// chunk is an error, mirroring Handle.ReadAt.
+	ReadAtV(p *vtime.Proc, vecs []Vec) (int64, error)
+	// WriteAtV stores every chunk, returning the total bytes written.
+	WriteAtV(p *vtime.Proc, vecs []Vec) (int64, error)
+}
+
+// WholeFiler is an optional Session extension: store or fetch an entire
+// file in one exchange (the srbnet wire protocol's opPutFile/opGetFile).
+// The operation charges exactly open + transfer + close.
+type WholeFiler interface {
+	PutFile(p *vtime.Proc, name string, mode AMode, data []byte) error
+	GetFile(p *vtime.Proc, name string) ([]byte, error)
+}
+
+// ReadV reads every chunk through the handle's vectored fast path when
+// available, falling back to one ReadAt per chunk.
+func ReadV(p *vtime.Proc, h Handle, vecs []Vec) (int64, error) {
+	if vh, ok := h.(VectorHandle); ok {
+		return vh.ReadAtV(p, vecs)
+	}
+	var total int64
+	for _, v := range vecs {
+		n, err := h.ReadAt(p, v.B, v.Off)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// WriteV writes every chunk through the handle's vectored fast path
+// when available, falling back to one WriteAt per chunk.
+func WriteV(p *vtime.Proc, h Handle, vecs []Vec) (int64, error) {
+	if vh, ok := h.(VectorHandle); ok {
+		return vh.WriteAtV(p, vecs)
+	}
+	var total int64
+	for _, v := range vecs {
+		n, err := h.WriteAt(p, v.B, v.Off)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// PutFile stores data as the whole content of name, in one exchange
+// when the session supports it.
+func PutFile(p *vtime.Proc, sess Session, name string, mode AMode, data []byte) error {
+	if wf, ok := sess.(WholeFiler); ok {
+		return wf.PutFile(p, name, mode, data)
+	}
+	h, err := sess.Open(p, name, mode)
+	if err != nil {
+		return err
+	}
+	if _, err := h.WriteAt(p, data, 0); err != nil {
+		h.Close(p)
+		return err
+	}
+	return h.Close(p)
+}
+
+// GetFile fetches the whole content of name, in one exchange when the
+// session supports it.
+func GetFile(p *vtime.Proc, sess Session, name string) ([]byte, error) {
+	if wf, ok := sess.(WholeFiler); ok {
+		return wf.GetFile(p, name)
+	}
+	h, err := sess.Open(p, name, ModeRead)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, h.Size())
+	if _, err := h.ReadAt(p, buf, 0); err != nil && !errors.Is(err, io.EOF) {
+		h.Close(p)
+		return nil, err
+	}
+	return buf, h.Close(p)
+}

@@ -1,0 +1,173 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// fakeHandle is a plain Handle over an in-memory byte slice.
+type fakeHandle struct {
+	name  string
+	data  []byte
+	calls int // native calls observed
+}
+
+func (h *fakeHandle) Path() string { return h.name }
+func (h *fakeHandle) Size() int64  { return int64(len(h.data)) }
+
+func (h *fakeHandle) ReadAt(p *vtime.Proc, b []byte, off int64) (int, error) {
+	h.calls++
+	return copy(b, h.data[off:]), nil
+}
+
+func (h *fakeHandle) WriteAt(p *vtime.Proc, b []byte, off int64) (int, error) {
+	h.calls++
+	if need := off + int64(len(b)); need > int64(len(h.data)) {
+		h.data = append(h.data, make([]byte, need-int64(len(h.data)))...)
+	}
+	return copy(h.data[off:], b), nil
+}
+
+func (h *fakeHandle) Close(p *vtime.Proc) error { return nil }
+
+// fakeVectorHandle also implements the fast path, counting its uses.
+type fakeVectorHandle struct {
+	fakeHandle
+	vcalls int
+}
+
+func (h *fakeVectorHandle) ReadAtV(p *vtime.Proc, vecs []Vec) (int64, error) {
+	h.vcalls++
+	var total int64
+	for _, v := range vecs {
+		n, err := h.ReadAt(p, v.B, v.Off)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func (h *fakeVectorHandle) WriteAtV(p *vtime.Proc, vecs []Vec) (int64, error) {
+	h.vcalls++
+	var total int64
+	for _, v := range vecs {
+		n, err := h.WriteAt(p, v.B, v.Off)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func TestVecBytes(t *testing.T) {
+	vecs := []Vec{{Off: 0, B: make([]byte, 3)}, {Off: 10, B: make([]byte, 5)}}
+	if n := VecBytes(vecs); n != 8 {
+		t.Fatalf("VecBytes = %d, want 8", n)
+	}
+	if n := VecBytes(nil); n != 0 {
+		t.Fatalf("VecBytes(nil) = %d", n)
+	}
+}
+
+// TestWriteVReadVFallback drives the helpers over a plain Handle: they
+// must loop chunk by chunk, one native call each.
+func TestWriteVReadVFallback(t *testing.T) {
+	p := vtime.NewVirtual().NewProc("p")
+	h := &fakeHandle{name: "f"}
+	vecs := []Vec{
+		{Off: 0, B: []byte("aaaa")},
+		{Off: 8, B: []byte("bb")},
+	}
+	if n, err := WriteV(p, h, vecs); n != 6 || err != nil {
+		t.Fatalf("WriteV = (%d, %v)", n, err)
+	}
+	if h.calls != 2 {
+		t.Fatalf("fallback made %d native calls, want 2", h.calls)
+	}
+	got := []Vec{
+		{Off: 0, B: make([]byte, 4)},
+		{Off: 8, B: make([]byte, 2)},
+	}
+	if n, err := ReadV(p, h, got); n != 6 || err != nil {
+		t.Fatalf("ReadV = (%d, %v)", n, err)
+	}
+	if string(got[0].B) != "aaaa" || string(got[1].B) != "bb" {
+		t.Fatalf("ReadV bytes = %q %q", got[0].B, got[1].B)
+	}
+}
+
+// TestWriteVReadVFastPath confirms the helpers prefer VectorHandle.
+func TestWriteVReadVFastPath(t *testing.T) {
+	p := vtime.NewVirtual().NewProc("p")
+	h := &fakeVectorHandle{fakeHandle: fakeHandle{name: "f"}}
+	vecs := []Vec{{Off: 0, B: []byte("xy")}, {Off: 4, B: []byte("zw")}}
+	if _, err := WriteV(p, h, vecs); err != nil {
+		t.Fatal(err)
+	}
+	out := []Vec{{Off: 0, B: make([]byte, 2)}, {Off: 4, B: make([]byte, 2)}}
+	if _, err := ReadV(p, h, out); err != nil {
+		t.Fatal(err)
+	}
+	if h.vcalls != 2 {
+		t.Fatalf("fast path used %d times, want 2", h.vcalls)
+	}
+	if string(out[0].B) != "xy" || string(out[1].B) != "zw" {
+		t.Fatalf("fast path bytes = %q %q", out[0].B, out[1].B)
+	}
+}
+
+// fakeSession is a minimal Session over fakeHandles.
+type fakeSession struct {
+	files map[string]*fakeHandle
+}
+
+func (s *fakeSession) Open(p *vtime.Proc, name string, mode AMode) (Handle, error) {
+	h, ok := s.files[name]
+	if !ok {
+		if !mode.Writable() {
+			return nil, ErrNotExist
+		}
+		h = &fakeHandle{name: name}
+		s.files[name] = h
+	}
+	return h, nil
+}
+
+func (s *fakeSession) Remove(p *vtime.Proc, name string) error { delete(s.files, name); return nil }
+
+func (s *fakeSession) Stat(p *vtime.Proc, name string) (FileInfo, error) {
+	h, ok := s.files[name]
+	if !ok {
+		return FileInfo{}, ErrNotExist
+	}
+	return FileInfo{Path: name, Size: h.Size()}, nil
+}
+
+func (s *fakeSession) List(p *vtime.Proc, prefix string) ([]FileInfo, error) { return nil, nil }
+func (s *fakeSession) Close(p *vtime.Proc) error                             { return nil }
+
+// TestPutFileGetFileFallback drives the whole-file helpers over a plain
+// Session (the open+transfer+close path).
+func TestPutFileGetFileFallback(t *testing.T) {
+	p := vtime.NewVirtual().NewProc("p")
+	sess := &fakeSession{files: make(map[string]*fakeHandle)}
+	payload := bytes.Repeat([]byte("pf"), 100)
+	if err := PutFile(p, sess, "a/b", ModeOverWrite, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := GetFile(p, sess, "a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("whole-file round trip corrupted")
+	}
+	if _, err := GetFile(p, sess, "missing"); err == nil {
+		t.Fatal("GetFile of a missing file succeeded")
+	}
+}

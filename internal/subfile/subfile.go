@@ -10,9 +10,7 @@ package subfile
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
 	"sync"
 
 	"repro/internal/pattern"
@@ -48,14 +46,9 @@ func Write(sess storage.Session, base string, dims []int, etype int, pat pattern
 	if err != nil {
 		return fmt.Errorf("subfile write: %w", err)
 	}
-	mh, err := sess.Open(procs[0], metaPath(base), storage.ModeOverWrite)
-	if err != nil {
-		return fmt.Errorf("subfile write meta: %w", err)
-	}
-	if _, err := mh.WriteAt(procs[0], mb, 0); err != nil {
-		return fmt.Errorf("subfile write meta: %w", err)
-	}
-	if err := mh.Close(procs[0]); err != nil {
+	// Whole-file transfers: one request carries open + write + close on
+	// remote backends, three round trips collapsed into one per file.
+	if err := storage.PutFile(procs[0], sess, metaPath(base), storage.ModeOverWrite, mb); err != nil {
 		return fmt.Errorf("subfile write meta: %w", err)
 	}
 
@@ -65,16 +58,7 @@ func Write(sess storage.Session, base string, dims []int, etype int, pat pattern
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			h, err := sess.Open(procs[r], PartPath(base, r), storage.ModeOverWrite)
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			if _, err := h.WriteAt(procs[r], bufs[r], 0); err != nil {
-				errs[r] = err
-				return
-			}
-			errs[r] = h.Close(procs[r])
+			errs[r] = storage.PutFile(procs[r], sess, PartPath(base, r), storage.ModeOverWrite, bufs[r])
 		}(r)
 	}
 	wg.Wait()
@@ -89,13 +73,8 @@ func Write(sess storage.Session, base string, dims []int, etype int, pat pattern
 
 // ReadMeta fetches a subfiled dataset's geometry.
 func ReadMeta(p *vtime.Proc, sess storage.Session, base string) (Meta, error) {
-	h, err := sess.Open(p, metaPath(base), storage.ModeRead)
+	buf, err := storage.GetFile(p, sess, metaPath(base))
 	if err != nil {
-		return Meta{}, fmt.Errorf("subfile meta: %w", err)
-	}
-	defer h.Close(p)
-	buf := make([]byte, h.Size())
-	if _, err := h.ReadAt(p, buf, 0); err != nil && !errors.Is(err, io.EOF) {
 		return Meta{}, fmt.Errorf("subfile meta: %w", err)
 	}
 	var m Meta
@@ -119,16 +98,12 @@ func Read(sess storage.Session, base string, grid pattern.Grid, procs []*vtime.P
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			h, err := sess.Open(procs[r], PartPath(base, r), storage.ModeRead)
+			data, err := storage.GetFile(procs[r], sess, PartPath(base, r))
 			if err != nil {
 				errs[r] = err
 				return
 			}
-			if _, err := h.ReadAt(procs[r], bufs[r], 0); err != nil && !errors.Is(err, io.EOF) {
-				errs[r] = err
-				return
-			}
-			errs[r] = h.Close(procs[r])
+			copy(bufs[r], data)
 		}(r)
 	}
 	wg.Wait()
@@ -161,17 +136,9 @@ func ReadGlobal(p *vtime.Proc, sess storage.Session, base string) ([]byte, Meta,
 			return nil, Meta{}, err
 		}
 		runs := pattern.FileRuns(m.Dims, m.Etype, sets)
-		h, err := sess.Open(p, PartPath(base, r), storage.ModeRead)
+		local, err := storage.GetFile(p, sess, PartPath(base, r))
 		if err != nil {
 			return nil, Meta{}, fmt.Errorf("subfile global: %w", err)
-		}
-		local := make([]byte, h.Size())
-		if _, err := h.ReadAt(p, local, 0); err != nil && !errors.Is(err, io.EOF) {
-			h.Close(p)
-			return nil, Meta{}, fmt.Errorf("subfile global: %w", err)
-		}
-		if err := h.Close(p); err != nil {
-			return nil, Meta{}, err
 		}
 		if err := pattern.Unpack(global, runs, local); err != nil {
 			return nil, Meta{}, err

@@ -201,10 +201,29 @@ func ServeSRB(addr string, b *Broker, sim *Sim) (*SRBServer, error) {
 	return srbnet.Serve(addr, b, sim)
 }
 
+// SRBOption configures an SRB client (pool size, dial timeout,
+// read-ahead, or the serialized v1 wire discipline).
+type SRBOption = srbnet.Option
+
+// SRB client knobs, re-exported from internal/srbnet.
+var (
+	// WithSRBPoolSize bounds the client's multiplexed connection pool.
+	WithSRBPoolSize = srbnet.WithPoolSize
+	// WithSRBDialTimeout bounds how long Connect waits for the TCP dial.
+	WithSRBDialTimeout = srbnet.WithDialTimeout
+	// WithSRBReadAhead enables client-side read-ahead for sequential
+	// remote reads (off by default; it trades cost fidelity for wire
+	// throughput).
+	WithSRBReadAhead = srbnet.WithReadAhead
+	// WithSRBSerialized restores the one-in-flight v1 wire discipline
+	// (the ablation baseline).
+	WithSRBSerialized = srbnet.WithSerialized
+)
+
 // NewSRBClient returns a backend that reaches a broker resource over
 // TCP.
-func NewSRBClient(addr, user, secret, resource string, kind storage.Kind) *SRBClient {
-	return srbnet.NewClient(addr, user, secret, resource, kind)
+func NewSRBClient(addr, user, secret, resource string, kind storage.Kind, opts ...SRBOption) *SRBClient {
+	return srbnet.NewClient(addr, user, secret, resource, kind, opts...)
 }
 
 // MeasurePerformance runs PTool against the given backends, filling the
