@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchreport [-scale test|bench|paper]
-//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|failover|srbnet]
+//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|failover|srbnet|chaos]
 //
 // The paper scale (128³, N=120) runs the real solver and moves ≈2.2 GB
 // per figure-9 scenario; expect minutes.  The bench scale keeps the
@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchreport: ")
 	scaleName := flag.String("scale", "bench", "problem scale: test, bench or paper")
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig6, fig7, fig8, fig9, fig10a, fig10b, fig10c, fig11, worked, failover, srbnet)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig6, fig7, fig8, fig9, fig10a, fig10b, fig10c, fig11, worked, failover, srbnet, chaos)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -134,6 +134,14 @@ func run(scale experiments.Scale, exp string) error {
 		fmt.Fprintf(out, "== Wire protocol v2: pipelined vs serialized (%d ranks × %d chunks of %d B) ==\nserialized %8.1f ms   pipelined %8.1f ms   (%.1f× wall-clock win; virtual costs identical)\n\n",
 			res.Ranks, res.ChunksPerRank, res.ChunkBytes,
 			float64(res.Serialized.Microseconds())/1000, float64(res.Pipelined.Microseconds())/1000, res.Speedup())
+	}
+	if all || exp == "chaos" {
+		rows, err := experiments.Chaos(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Chaos: Astro3D writes over a flaky remote disk, resilient recovery ==\n%s\n",
+			experiments.ChaosString(rows))
 	}
 	if all || exp == "failover" {
 		res, err := experiments.Failover(scale)

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/apps/astro3d"
+	"repro/internal/core"
+	"repro/internal/flaky"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/remotedisk"
+	"repro/internal/resilient"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+// ------------------------------------------------------------------
+// Chaos: Astro3D writes over fault-injected remote resources, recovered
+// by the resilience layer.  The paper's §5 reliability argument covers
+// a resource that is down before the run; chaos covers the harder case
+// of a resource that keeps dropping individual operations mid-run.  A
+// run "completes" when every fault was recovered transparently; the
+// recovery cost is visible as virtual-time overhead against the
+// fault-free baseline, because retry backoff is charged to the same
+// clocks as device time.
+
+// ChaosRow is one fault-rate point of the chaos experiment.
+type ChaosRow struct {
+	FailEvery int64   // one injected fault per this many remote ops (0 = none)
+	Rate      float64 // injected fault rate (1/FailEvery)
+
+	Completed bool
+	Err       string // non-empty when the run failed anyway
+
+	Injected  int64         // faults the flaky layer fired
+	Retries   int64         // re-attempts the resilient layer issued
+	FastFails int64         // calls shed by an open circuit
+	Backoff   time.Duration // virtual time charged to retry delays
+	Trips     int64         // breaker trips during the run
+
+	IOTime   time.Duration // the run's total I/O virtual time
+	Overhead float64       // (IOTime - baseline) / baseline
+}
+
+// Chaos runs Astro3D with every dataset on a flaky remote disk wrapped
+// by the resilience layer, once per fault rate.  failEvery values are
+// faults-per-N-operations; 0 is the clean baseline and must come first
+// for overhead accounting.  With no values the default schedule
+// {0, 100, 20, 10} — 0 %, 1 %, 5 %, 10 % — is used.
+func Chaos(scale Scale, failEvery ...int64) ([]ChaosRow, error) {
+	if len(failEvery) == 0 {
+		failEvery = []int64{0, 100, 20, 10}
+	}
+	rows := make([]ChaosRow, 0, len(failEvery))
+	var baseline time.Duration
+	for _, n := range failEvery {
+		row, err := chaosOne(scale, n)
+		if err != nil {
+			return rows, err
+		}
+		if n == 0 {
+			baseline = row.IOTime
+		}
+		if baseline > 0 && row.IOTime > 0 {
+			row.Overhead = float64(row.IOTime-baseline) / float64(baseline)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// chaosOne builds a fresh environment whose remote disk drops one in n
+// operations, recovered by a resilient wrapper, and drives a full
+// Astro3D write workload through it.
+func chaosOne(scale Scale, n int64) (ChaosRow, error) {
+	sim := vtime.NewVirtual()
+	local, err := localdisk.New("argonne-ssa", memfs.New())
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	rtape, err := tape.New(tape.Config{Name: "sdsc-hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	health := resilient.NewHealth(resilient.BreakerConfig{})
+	fb := flaky.Wrap(rdisk, flaky.Policy{FailEvery: n})
+	rb := resilient.Wrap(fb, resilient.WithHealth(health))
+	sys, err := core.NewSystem(core.SystemConfig{
+		Sim: sim, Meta: metadb.New(),
+		LocalDisk: local, RemoteDisk: rb, RemoteTape: rtape,
+	})
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	prm := scale.params()
+	prm.DefaultLocation = core.LocRemoteDisk
+	row := ChaosRow{FailEvery: n}
+	if n > 0 {
+		row.Rate = 1 / float64(n)
+	}
+	rep, err := astro3d.Run(sys, fmt.Sprintf("chaos-%d", n), prm)
+	st := rb.Stats()
+	row.Injected = fb.Injected()
+	row.Retries = st.Retries
+	row.FastFails = st.FastFails
+	row.Backoff = st.Backoff
+	row.Trips = rb.Breaker().Stats().Trips
+	if err != nil {
+		row.Err = err.Error()
+		return row, nil
+	}
+	row.Completed = true
+	row.IOTime = rep.IOTime
+	return row, nil
+}
+
+// ChaosString renders the chaos table.
+func ChaosString(rows []ChaosRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-9s %-9s %-8s %-8s %-6s %-12s %-12s %s\n",
+		"fail_every", "rate", "completed", "injected", "retries", "trips", "backoff", "io_time", "overhead")
+	for _, r := range rows {
+		status := "yes"
+		if !r.Completed {
+			status = "NO: " + r.Err
+		}
+		fmt.Fprintf(&b, "%-10d %-9s %-9s %-8d %-8d %-6d %-12v %-12v %+.1f%%\n",
+			r.FailEvery, fmt.Sprintf("%.1f%%", r.Rate*100), status,
+			r.Injected, r.Retries, r.Trips, r.Backoff, r.IOTime, r.Overhead*100)
+	}
+	return b.String()
+}

@@ -7,7 +7,9 @@
 //
 // Faults are injected by operation count: the wrapper fails every Nth
 // matching call with the configured error, deterministically, so tests
-// reproduce exactly.
+// reproduce exactly.  FailFor turns each fault into a burst of
+// consecutive failures, modelling an outage with a duration rather than
+// a single dropped call.
 package flaky
 
 import (
@@ -23,10 +25,17 @@ type Policy struct {
 	// FailEvery makes every Nth matching operation fail (1 = all).
 	// Zero disables injection.
 	FailEvery int64
+	// FailFor widens each fault into a burst: once a fault fires, the
+	// next FailFor-1 matching operations fail too, regardless of the
+	// FailEvery count.  Zero or one means single-call faults.
+	FailFor int64
 	// Err is the injected error (storage.ErrDown if nil).
 	Err error
 	// Ops restricts injection to the named operations ("read", "write",
-	// "open", "connect"); empty means all four.
+	// "open", "connect", "close", "seek"); empty means all of them.
+	// "seek" fires on a read or write whose offset does not continue the
+	// handle's previous transfer, i.e. where a real device would
+	// reposition.
 	Ops []string
 }
 
@@ -52,8 +61,9 @@ func (p Policy) matches(op string) bool {
 // Backend wraps an inner backend with fault injection.
 type Backend struct {
 	inner  storage.Backend
-	policy Policy
+	policy atomic.Pointer[Policy]
 	count  atomic.Int64
+	burst  atomic.Int64
 	hits   atomic.Int64
 }
 
@@ -61,7 +71,17 @@ var _ storage.Backend = (*Backend)(nil)
 
 // Wrap returns a fault-injecting view of inner.
 func Wrap(inner storage.Backend, policy Policy) *Backend {
-	return &Backend{inner: inner, policy: policy}
+	b := &Backend{inner: inner}
+	b.policy.Store(&policy)
+	return b
+}
+
+// SetPolicy swaps the injection policy mid-run (e.g. to clear a fault
+// and let a circuit breaker's probe succeed).  Any in-progress burst is
+// cancelled.
+func (b *Backend) SetPolicy(policy Policy) {
+	b.policy.Store(&policy)
+	b.burst.Store(0)
 }
 
 // Injected reports how many faults have fired.
@@ -69,13 +89,28 @@ func (b *Backend) Injected() int64 { return b.hits.Load() }
 
 // trip returns the injected error when this call is selected.
 func (b *Backend) trip(op string) error {
-	if b.policy.FailEvery <= 0 || !b.policy.matches(op) {
+	pol := b.policy.Load()
+	if pol.FailEvery <= 0 || !pol.matches(op) {
 		return nil
 	}
+	// A live burst fails every matching call until it drains.
+	for {
+		left := b.burst.Load()
+		if left <= 0 {
+			break
+		}
+		if b.burst.CompareAndSwap(left, left-1) {
+			b.hits.Add(1)
+			return fmt.Errorf("flaky %q: injected %s fault (burst): %w", b.inner.Name(), op, pol.err())
+		}
+	}
 	n := b.count.Add(1)
-	if n%b.policy.FailEvery == 0 {
+	if n%pol.FailEvery == 0 {
 		b.hits.Add(1)
-		return fmt.Errorf("flaky %q: injected %s fault: %w", b.inner.Name(), op, b.policy.err())
+		if pol.FailFor > 1 {
+			b.burst.Store(pol.FailFor - 1)
+		}
+		return fmt.Errorf("flaky %q: injected %s fault: %w", b.inner.Name(), op, pol.err())
 	}
 	return nil
 }
@@ -147,27 +182,57 @@ func (s *session) List(p *vtime.Proc, prefix string) ([]storage.FileInfo, error)
 }
 
 // Close implements storage.Session.
-func (s *session) Close(p *vtime.Proc) error { return s.inner.Close(p) }
+func (s *session) Close(p *vtime.Proc) error {
+	if err := s.b.trip("close"); err != nil {
+		return err
+	}
+	return s.inner.Close(p)
+}
 
 type handle struct {
 	b     *Backend
 	inner storage.Handle
+	// pos is where the previous transfer ended; a transfer starting
+	// elsewhere is a "seek" for injection purposes.
+	pos atomic.Int64
+}
+
+// seek fires the "seek" fault when off breaks the sequential run.
+func (h *handle) seek(off int64) error {
+	if off == h.pos.Load() {
+		return nil
+	}
+	return h.b.trip("seek")
 }
 
 // ReadAt implements storage.Handle.
 func (h *handle) ReadAt(p *vtime.Proc, buf []byte, off int64) (int, error) {
+	if err := h.seek(off); err != nil {
+		return 0, err
+	}
 	if err := h.b.trip("read"); err != nil {
 		return 0, err
 	}
-	return h.inner.ReadAt(p, buf, off)
+	n, err := h.inner.ReadAt(p, buf, off)
+	if err == nil {
+		h.pos.Store(off + int64(n))
+	}
+	return n, err
 }
 
 // WriteAt implements storage.Handle.
 func (h *handle) WriteAt(p *vtime.Proc, buf []byte, off int64) (int, error) {
+	if err := h.seek(off); err != nil {
+		return 0, err
+	}
 	if err := h.b.trip("write"); err != nil {
 		return 0, err
 	}
-	return h.inner.WriteAt(p, buf, off)
+	n, err := h.inner.WriteAt(p, buf, off)
+	if err == nil {
+		h.pos.Store(off + int64(n))
+	}
+	return n, err
 }
 
 // Size implements storage.Handle.
@@ -177,4 +242,9 @@ func (h *handle) Size() int64 { return h.inner.Size() }
 func (h *handle) Path() string { return h.inner.Path() }
 
 // Close implements storage.Handle.
-func (h *handle) Close(p *vtime.Proc) error { return h.inner.Close(p) }
+func (h *handle) Close(p *vtime.Proc) error {
+	if err := h.b.trip("close"); err != nil {
+		return err
+	}
+	return h.inner.Close(p)
+}

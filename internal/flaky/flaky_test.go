@@ -199,3 +199,107 @@ func TestConnectFault(t *testing.T) {
 		t.Fatalf("connect fault = %v", err)
 	}
 }
+
+func TestBurstFailsConsecutiveOps(t *testing.T) {
+	// Every 5th write starts a burst of 3 consecutive failures.
+	b := Wrap(inner(t), Policy{FailEvery: 5, FailFor: 3, Ops: []string{"write"}})
+	p := vtime.NewVirtual().NewProc("p")
+	sess, _ := b.Connect(p)
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outcomes []bool
+	off := int64(0)
+	for i := 0; i < 12; i++ {
+		n, err := h.WriteAt(p, []byte{1}, off)
+		outcomes = append(outcomes, err == nil)
+		off += int64(n)
+	}
+	// Counted ops 1-4 pass, the 5th fires and starts a burst that burns
+	// the next two calls without counting them; the count then resumes
+	// at 6 and the next fault fires at 10 (the 12th call).
+	want := []bool{true, true, true, true, false, false, false, true, true, true, true, false}
+	for i := range want {
+		if outcomes[i] != want[i] {
+			t.Fatalf("op %d: ok = %v, outcomes = %v", i, outcomes[i], outcomes)
+		}
+	}
+	if b.Injected() != 4 {
+		t.Fatalf("injected = %d, want 4", b.Injected())
+	}
+}
+
+func TestSeekFaults(t *testing.T) {
+	b := Wrap(inner(t), Policy{FailEvery: 1, Ops: []string{"seek"}})
+	p := vtime.NewVirtual().NewProc("p")
+	sess, _ := b.Connect(p)
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential writes never reposition, so they never trip.
+	for i := int64(0); i < 4; i++ {
+		if _, err := h.WriteAt(p, []byte{1}, i); err != nil {
+			t.Fatalf("sequential write %d tripped seek: %v", i, err)
+		}
+	}
+	// Jumping back repositions: the seek fault fires.
+	if _, err := h.WriteAt(p, []byte{1}, 0); !errors.Is(err, storage.ErrDown) {
+		t.Fatalf("non-sequential write err = %v, want seek fault", err)
+	}
+	// A fresh handle starts at position zero, so a scan from the start
+	// is sequential; jumping back mid-scan repositions and trips.
+	r, err := sess.Open(p, "f", storage.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAt(p, make([]byte, 2), 0); err != nil {
+		t.Fatalf("sequential read tripped seek: %v", err)
+	}
+	if _, err := r.ReadAt(p, make([]byte, 2), 2); err != nil {
+		t.Fatalf("continuing read tripped seek: %v", err)
+	}
+	if _, err := r.ReadAt(p, make([]byte, 1), 0); !errors.Is(err, storage.ErrDown) {
+		t.Fatalf("strided read err = %v, want seek fault", err)
+	}
+	if b.Injected() != 2 {
+		t.Fatalf("injected = %d, want 2", b.Injected())
+	}
+}
+
+func TestCloseFaults(t *testing.T) {
+	b := Wrap(inner(t), Policy{FailEvery: 1, Ops: []string{"close"}})
+	p := vtime.NewVirtual().NewProc("p")
+	sess, err := b.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(p); !errors.Is(err, storage.ErrDown) {
+		t.Fatalf("handle close err = %v, want injected fault", err)
+	}
+	if err := sess.Close(p); !errors.Is(err, storage.ErrDown) {
+		t.Fatalf("session close err = %v, want injected fault", err)
+	}
+}
+
+func TestSetPolicyClearsFaultsAndBurst(t *testing.T) {
+	b := Wrap(inner(t), Policy{FailEvery: 1, FailFor: 100, Ops: []string{"write"}})
+	p := vtime.NewVirtual().NewProc("p")
+	sess, _ := b.Connect(p)
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(p, []byte{1}, 0); err == nil {
+		t.Fatal("fault not injected")
+	}
+	b.SetPolicy(Policy{})
+	if _, err := h.WriteAt(p, []byte{1}, 0); err != nil {
+		t.Fatalf("burst survived SetPolicy: %v", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/predict"
+	"repro/internal/resilient"
 	"repro/internal/storage"
 )
 
@@ -28,6 +29,7 @@ type Option func(*opts)
 
 type opts struct {
 	deadline time.Duration
+	health   *resilient.Health
 }
 
 // WithRequirement sets the per-dataset performance requirement: the
@@ -35,6 +37,15 @@ type opts struct {
 // d.
 func WithRequirement(d time.Duration) Option {
 	return func(o *opts) { o.deadline = d }
+}
+
+// WithHealth makes AUTO placement consult the shared breaker registry:
+// resources whose circuit is open are skipped outright, and resources
+// with a failure history carry an availability penalty on top of their
+// predicted time, so a flaky resource loses a close race against a
+// clean one.
+func WithHealth(h *resilient.Health) Option {
+	return func(o *opts) { o.health = h }
 }
 
 // capacityOrder lists storage classes largest-capacity first, the
@@ -71,6 +82,12 @@ func Predictive(pdb *predict.DB, iterations, procs int, options ...Option) core.
 			if !ok || !usable(be, dumps*spec.Size()) {
 				continue
 			}
+			// A tripped circuit disqualifies the resource exactly like a
+			// declared outage: the predictor has no model for a resource
+			// that is not answering.
+			if o.health != nil && !o.health.Available(be.Name()) {
+				continue
+			}
 			dp, err := pdb.PredictDataset(predict.DatasetReq{
 				Name:      spec.Name,
 				AMode:     spec.AMode.String(),
@@ -85,11 +102,17 @@ func Predictive(pdb *predict.DB, iterations, procs int, options ...Option) core.
 			if err != nil {
 				return nil, fmt.Errorf("placement: %w", err)
 			}
-			if o.deadline <= 0 || dp.VirtualTime <= o.deadline {
+			predicted := dp.VirtualTime
+			if o.health != nil {
+				// Failure history taxes the prediction: expected recovery
+				// time the resource would add if its flakiness continues.
+				predicted += o.health.Penalty(be.Name())
+			}
+			if o.deadline <= 0 || predicted <= o.deadline {
 				return be, nil
 			}
-			if fallback == nil || dp.VirtualTime < fallbackTime {
-				fallback, fallbackTime = be, dp.VirtualTime
+			if fallback == nil || predicted < fallbackTime {
+				fallback, fallbackTime = be, predicted
 			}
 		}
 		if fallback != nil {

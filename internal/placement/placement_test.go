@@ -12,6 +12,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/ptool"
 	"repro/internal/remotedisk"
+	"repro/internal/resilient"
 	"repro/internal/storage"
 	"repro/internal/tape"
 	"repro/internal/vtime"
@@ -134,5 +135,39 @@ func TestExplicitHintBypassesPrediction(t *testing.T) {
 	s.Location = core.LocRemoteTape
 	if got := place(t, f, s); got.Kind() != storage.KindRemoteTape {
 		t.Fatalf("explicit tape hint placed on %v", got.Kind())
+	}
+}
+
+// TestAutoAvoidsOpenCircuit: a tape archive whose breaker has tripped
+// in the shared Health registry is skipped by AUTO placement even
+// though its Outage flag is clear — the acceptance scenario for
+// failover-aware placement.
+func TestAutoAvoidsOpenCircuit(t *testing.T) {
+	health := resilient.NewHealth(resilient.BreakerConfig{})
+	f := newFixture(t, func(pdb *predict.DB) core.Placer {
+		return Predictive(pdb, 120, 8, WithHealth(health))
+	})
+	health.Breaker("sdsc-hpss").Trip(0)
+	if got := place(t, f, spec("a")); got.Kind() != storage.KindRemoteDisk {
+		t.Fatalf("placed on %v, want remote disk with tape circuit open", got.Kind())
+	}
+}
+
+// TestAvailabilityPenaltyBreaksTies: a failure-scarred remote disk
+// loses a deadline race it would otherwise win, pushing the dataset to
+// the clean local disk.
+func TestAvailabilityPenaltyBreaksTies(t *testing.T) {
+	health := resilient.NewHealth(resilient.BreakerConfig{
+		FailureThreshold: 10, Cooldown: 1200 * time.Second,
+	})
+	f := newFixture(t, func(pdb *predict.DB) core.Placer {
+		return Predictive(pdb, 120, 8, WithRequirement(1500*time.Second), WithHealth(health))
+	})
+	// Without history this requirement picks remote disk (≈700–800 s
+	// predicted).  One recorded failure adds a 1200 s penalty, blowing
+	// the 1500 s deadline, so placement falls through to local disk.
+	health.Breaker("sdsc-disk").Report(0, storage.ErrDown)
+	if got := place(t, f, spec("a")); got.Kind() != storage.KindLocalDisk {
+		t.Fatalf("placed on %v, want local disk once remote disk carries a penalty", got.Kind())
 	}
 }

@@ -1,0 +1,214 @@
+package replica
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/resilient"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// probeCounter counts read probes reaching a member backend.
+type probeCounter struct {
+	storage.Backend
+	reads atomic.Int64
+	opens atomic.Int64
+}
+
+func (b *probeCounter) SetDown(down bool) {
+	if o, ok := b.Backend.(storage.Outage); ok {
+		o.SetDown(down)
+	}
+}
+
+func (b *probeCounter) Down() bool {
+	o, ok := b.Backend.(storage.Outage)
+	return ok && o.Down()
+}
+
+func (b *probeCounter) Connect(p *vtime.Proc) (storage.Session, error) {
+	s, err := b.Backend.Connect(p)
+	if err != nil {
+		return nil, err
+	}
+	return &probeSession{Session: s, b: b}, nil
+}
+
+type probeSession struct {
+	storage.Session
+	b *probeCounter
+}
+
+func (s *probeSession) Open(p *vtime.Proc, name string, mode storage.AMode) (storage.Handle, error) {
+	s.b.opens.Add(1)
+	h, err := s.Session.Open(p, name, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &probeHandle{Handle: h, b: s.b}, nil
+}
+
+type probeHandle struct {
+	storage.Handle
+	b *probeCounter
+}
+
+func (h *probeHandle) ReadAt(p *vtime.Proc, buf []byte, off int64) (int, error) {
+	h.b.reads.Add(1)
+	return h.Handle.ReadAt(p, buf, off)
+}
+
+func countingPair(t *testing.T) (*Backend, *probeCounter, *probeCounter) {
+	t.Helper()
+	m0, err := localdisk.New("m0", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := localdisk.New("m1", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0 := &probeCounter{Backend: m0}
+	c1 := &probeCounter{Backend: m1}
+	r, err := New("mirror", c0, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, c0, c1
+}
+
+// TestTrippedMemberNotProbed: with a shared Health registry, a member
+// whose circuit is open is not touched by reads while a healthy
+// alternative exists.
+func TestTrippedMemberNotProbed(t *testing.T) {
+	r, c0, c1 := countingPair(t)
+	health := resilient.NewHealth(resilient.BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour})
+	r.WithHealth(health)
+	p := vtime.NewVirtual().NewProc("p")
+	sess, err := r.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(p, []byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trip member 0's breaker in the shared registry, as a resilient
+	// wrapper feeding the same registry would after repeated faults.
+	health.Breaker("m0").Trip(p.Now())
+	c0.reads.Store(0)
+	c0.opens.Store(0)
+
+	rh, err := sess.Open(p, "f", storage.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	for i := 0; i < 5; i++ {
+		if _, err := rh.ReadAt(p, buf, 0); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if string(buf) != "ok" {
+		t.Fatalf("read %q", buf)
+	}
+	if got := c0.reads.Load() + c0.opens.Load(); got != 0 {
+		t.Fatalf("tripped member probed %d times", got)
+	}
+	if c1.reads.Load() == 0 {
+		t.Fatal("healthy member served no reads")
+	}
+}
+
+// TestTrippedMemberStillLastResort: when every member's circuit is
+// open, reads still go through rather than failing outright — an open
+// breaker reorders, it does not amputate.
+func TestTrippedMemberStillLastResort(t *testing.T) {
+	r, _, _ := countingPair(t)
+	health := resilient.NewHealth(resilient.BreakerConfig{})
+	r.WithHealth(health)
+	p := vtime.NewVirtual().NewProc("p")
+	sess, err := r.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(p, []byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	health.Breaker("m0").Trip(p.Now())
+	health.Breaker("m1").Trip(p.Now())
+	rh, err := sess.Open(p, "f", storage.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := rh.ReadAt(p, buf, 0); err != nil {
+		t.Fatalf("all-tripped read refused: %v", err)
+	}
+}
+
+// TestLastHealthyMemberRemembered: after failing over, reads keep
+// going to the member that last served them instead of re-probing the
+// member that failed, even once it is nominally back up.
+func TestLastHealthyMemberRemembered(t *testing.T) {
+	r, c0, c1 := countingPair(t)
+	p := vtime.NewVirtual().NewProc("p")
+	sess, err := r.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sess.Open(p, "f", storage.ModeCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(p, []byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(p); err != nil {
+		t.Fatal(err)
+	}
+
+	rh, err := sess.Open(p, "f", storage.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	// Member 0 goes down; the read fails over to member 1.
+	c0.SetDown(true)
+	if _, err := rh.ReadAt(p, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c1.reads.Load() == 0 {
+		t.Fatal("failover read did not reach member 1")
+	}
+	// Member 0 recovers, but the replica remembers who last served it:
+	// further reads stay on member 1 with no re-probe of member 0.
+	c0.SetDown(false)
+	c0.reads.Store(0)
+	for i := 0; i < 3; i++ {
+		if _, err := rh.ReadAt(p, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c0.reads.Load() != 0 {
+		t.Fatalf("recovered member re-probed %d times while preferred member healthy", c0.reads.Load())
+	}
+}

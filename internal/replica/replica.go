@@ -15,7 +15,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/resilient"
 	"repro/internal/storage"
 	"repro/internal/vtime"
 )
@@ -26,6 +28,15 @@ type Backend struct {
 	name    string
 	kind    storage.Kind
 	members []storage.Backend
+
+	// preferred is the member that served the last successful read;
+	// failover starts there instead of re-probing earlier members that
+	// already failed.
+	preferred atomic.Int32
+	// health, when set, defers breaker-open members to the end of the
+	// read order so a tripped member is not probed while alternatives
+	// exist.
+	health *resilient.Health
 }
 
 var _ storage.Backend = (*Backend)(nil)
@@ -38,6 +49,42 @@ func New(name string, members ...storage.Backend) (*Backend, error) {
 	}
 	return &Backend{name: name, kind: members[0].Kind(), members: members}, nil
 }
+
+// WithHealth consults the shared breaker registry when ordering read
+// failover: members whose circuit is open are tried last.  It returns b
+// for chaining after New.
+func (b *Backend) WithHealth(h *resilient.Health) *Backend {
+	b.health = h
+	return b
+}
+
+// readOrder returns member indices in failover order for reads: the
+// member that served the last successful read first, then the rest in
+// declaration order, with breaker-open members deferred to the very
+// end (still reachable when every alternative is gone).
+func (b *Backend) readOrder() []int {
+	pref := int(b.preferred.Load())
+	order := make([]int, 0, len(b.members))
+	var deferred []int
+	push := func(i int) {
+		if b.health != nil && !b.health.Available(b.members[i].Name()) {
+			deferred = append(deferred, i)
+			return
+		}
+		order = append(order, i)
+	}
+	push(pref)
+	for i := range b.members {
+		if i != pref {
+			push(i)
+		}
+	}
+	return append(order, deferred...)
+}
+
+// noteRead remembers the member that served a read, so the next read
+// starts there.
+func (b *Backend) noteRead(i int) { b.preferred.Store(int32(i)) }
 
 // Name implements storage.Backend.
 func (b *Backend) Name() string { return b.name }
@@ -142,14 +189,16 @@ func (s *session) forEachLive(f func(i int, m storage.Session) error) error {
 	return nil
 }
 
-// firstLive applies f to members in order until one succeeds.
+// firstLive applies f to members in read-failover order until one
+// succeeds: last-healthy first, breaker-open members last.
 func (s *session) firstLive(f func(i int, m storage.Session) error) error {
 	members, err := s.live()
 	if err != nil {
 		return err
 	}
 	var errs []error
-	for i, m := range members {
+	for _, i := range s.b.readOrder() {
+		m := members[i]
 		if m == nil || !up(s.b.members[i]) {
 			continue
 		}
@@ -157,6 +206,7 @@ func (s *session) firstLive(f func(i int, m storage.Session) error) error {
 			errs = append(errs, err)
 			continue
 		}
+		s.b.noteRead(i)
 		return nil
 	}
 	if errs == nil {
@@ -336,7 +386,8 @@ func (h *handle) ReadAt(p *vtime.Proc, b []byte, off int64) (int, error) {
 	members := append([]storage.Handle(nil), h.members...)
 	h.mu.Unlock()
 	var errs []error
-	for i, m := range members {
+	for _, i := range h.s.b.readOrder() {
+		m := members[i]
 		if !up(h.s.b.members[i]) {
 			continue
 		}
@@ -358,6 +409,7 @@ func (h *handle) ReadAt(p *vtime.Proc, b []byte, off int64) (int, error) {
 		}
 		n, err := m.ReadAt(p, b, off)
 		if err == nil || n > 0 {
+			h.s.b.noteRead(i)
 			return n, err
 		}
 		errs = append(errs, err)

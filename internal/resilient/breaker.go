@@ -1,0 +1,243 @@
+package resilient
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// ErrCircuitOpen is returned (wrapped) when a breaker rejects a call
+// without trying the backend.  It wraps storage.ErrDown so existing
+// down-resource handling — replica skipping a down member, placement
+// skipping a down backend — treats a tripped circuit exactly like a
+// declared outage.
+var ErrCircuitOpen = fmt.Errorf("resilient: circuit open: %w", storage.ErrDown)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed passes calls through, counting consecutive failures.
+	Closed State = iota
+	// Open rejects calls until the cooldown elapses in virtual time.
+	Open
+	// HalfOpen admits a single probe; its outcome closes or re-opens.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Defaults for BreakerConfig fields left zero.
+const (
+	DefaultFailureThreshold = 5
+	DefaultCooldown         = 5 * time.Second
+	DefaultMaxCooldown      = 80 * time.Second
+)
+
+// BreakerConfig tunes a circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive transient-failure count that
+	// opens the circuit.
+	FailureThreshold int
+	// Cooldown is the virtual time an open circuit waits before
+	// admitting a half-open probe.  Repeated re-opens double it up to
+	// MaxCooldown.
+	Cooldown time.Duration
+	// MaxCooldown caps the doubling.
+	MaxCooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = DefaultFailureThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultCooldown
+	}
+	if c.MaxCooldown < c.Cooldown {
+		c.MaxCooldown = DefaultMaxCooldown
+		if c.MaxCooldown < c.Cooldown {
+			c.MaxCooldown = c.Cooldown
+		}
+	}
+	return c
+}
+
+// Breaker is a per-backend circuit breaker in virtual time.  Time is
+// supplied by callers (their vtime.Proc clocks); the breaker holds no
+// wall-clock state, so experiments replay identically.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     State
+	failures  int           // consecutive transient failures while closed
+	openedAt  time.Duration // virtual instant the circuit opened
+	cooldown  time.Duration // current cooldown (doubles per re-open)
+	probing   bool          // a half-open probe is in flight
+	trips     int64
+	fastFails int64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a call may proceed at virtual instant now.  An
+// open circuit whose cooldown has elapsed (relative to the caller's
+// clock) transitions to half-open and grants the caller the single
+// probe slot.
+func (b *Breaker) Allow(now time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if now >= b.openedAt+b.cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			return true
+		}
+		b.fastFails++
+		return false
+	case HalfOpen:
+		if b.probing {
+			b.fastFails++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// Report records the outcome of an allowed call finishing at virtual
+// instant now.  Only transient errors count against the circuit:
+// a permanent error (ErrNotExist, a bad path) proves the backend is
+// reachable and resets the failure streak like a success would.
+func (b *Breaker) Report(now time.Duration, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !Transient(err) {
+		if b.state == HalfOpen {
+			b.probing = false
+		}
+		b.state = Closed
+		b.failures = 0
+		b.cooldown = 0
+		return
+	}
+	switch b.state {
+	case HalfOpen:
+		// The probe failed: re-open with a doubled cooldown.
+		b.probing = false
+		b.cooldown *= 2
+		if b.cooldown > b.cfg.MaxCooldown {
+			b.cooldown = b.cfg.MaxCooldown
+		}
+		b.open(now)
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.cooldown = b.cfg.Cooldown
+			b.open(now)
+		}
+	case Open:
+		// A straggler that was admitted before the trip; keep the
+		// later opening instant so the cooldown is not cut short.
+		if now > b.openedAt {
+			b.openedAt = now
+		}
+	}
+}
+
+// open transitions to Open at instant now (callers hold b.mu).
+func (b *Breaker) open(now time.Duration) {
+	b.state = Open
+	b.openedAt = now
+	b.failures = 0
+	b.trips++
+}
+
+// State returns the breaker's position.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trip forces the circuit open at virtual instant now (operator
+// override: scheduled maintenance announced ahead of time).
+func (b *Breaker) Trip(now time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cooldown < b.cfg.Cooldown {
+		b.cooldown = b.cfg.Cooldown
+	}
+	b.open(now)
+}
+
+// Reset force-closes the circuit and clears the failure streak.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.failures = 0
+	b.cooldown = 0
+	b.probing = false
+}
+
+// BreakerStats is a snapshot of a breaker for reports.
+type BreakerStats struct {
+	State     State
+	Failures  int   // consecutive transient failures while closed
+	Trips     int64 // times the circuit opened
+	FastFails int64 // calls rejected without touching the backend
+	Cooldown  time.Duration
+}
+
+// Stats snapshots the breaker.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State: b.state, Failures: b.failures,
+		Trips: b.trips, FastFails: b.fastFails, Cooldown: b.cooldown,
+	}
+}
+
+// Penalty is the availability penalty a planner should add to a
+// predicted I/O time when considering this backend: zero for a clean
+// closed circuit, the remaining exposure otherwise.  It is
+// deterministic in the breaker state (no caller clock needed): an open
+// or half-open circuit costs its current cooldown; a closed circuit
+// with a failure streak costs one base cooldown per consecutive
+// failure, anticipating the retries a placement there would pay.
+func (b *Breaker) Penalty() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Open, HalfOpen:
+		if b.cooldown > 0 {
+			return b.cooldown
+		}
+		return b.cfg.Cooldown
+	default:
+		return time.Duration(b.failures) * b.cfg.Cooldown
+	}
+}

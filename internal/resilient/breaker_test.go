@@ -1,0 +1,176 @@
+package resilient
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+func newTestBreaker() *Breaker {
+	return NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: 10 * time.Second, MaxCooldown: 40 * time.Second})
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := newTestBreaker()
+	now := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Report(now, storage.ErrDown)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v after threshold failures", b.State())
+	}
+	if b.Allow(now) {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	if st := b.Stats(); st.Trips != 1 || st.FastFails != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPermanentErrorsDoNotTrip(t *testing.T) {
+	b := newTestBreaker()
+	for i := 0; i < 10; i++ {
+		b.Allow(0)
+		b.Report(0, storage.ErrNotExist)
+	}
+	if b.State() != Closed {
+		t.Fatal("permanent errors tripped the breaker")
+	}
+	// And a permanent error resets a transient streak.
+	b.Report(0, storage.ErrDown)
+	b.Report(0, storage.ErrDown)
+	b.Report(0, storage.ErrNotExist)
+	b.Report(0, storage.ErrDown)
+	b.Report(0, storage.ErrDown)
+	if b.State() != Closed {
+		t.Fatal("streak not reset by a reachable-backend error")
+	}
+}
+
+func TestHalfOpenProbeClosesOnSuccess(t *testing.T) {
+	b := newTestBreaker()
+	for i := 0; i < 3; i++ {
+		b.Report(0, storage.ErrDown)
+	}
+	// Before the virtual cooldown elapses: rejected.
+	if b.Allow(9 * time.Second) {
+		t.Fatal("admitted before cooldown elapsed")
+	}
+	// After: exactly one probe slot.
+	if !b.Allow(10 * time.Second) {
+		t.Fatal("probe rejected after cooldown")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow(10 * time.Second) {
+		t.Fatal("second caller got a probe slot while one is in flight")
+	}
+	b.Report(11*time.Second, nil)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after successful probe", b.State())
+	}
+	if !b.Allow(11 * time.Second) {
+		t.Fatal("closed breaker rejected a call")
+	}
+}
+
+func TestHalfOpenProbeFailureDoublesCooldown(t *testing.T) {
+	b := newTestBreaker()
+	for i := 0; i < 3; i++ {
+		b.Report(0, storage.ErrDown)
+	}
+	if !b.Allow(10 * time.Second) {
+		t.Fatal("probe rejected")
+	}
+	b.Report(10*time.Second, storage.ErrDown)
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe", b.State())
+	}
+	// Cooldown doubled to 20 s, from the failure instant.
+	if b.Allow(29 * time.Second) {
+		t.Fatal("admitted before doubled cooldown")
+	}
+	if !b.Allow(30 * time.Second) {
+		t.Fatal("rejected after doubled cooldown")
+	}
+	b.Report(30*time.Second, storage.ErrDown)
+	b.Allow(50 * time.Second) // 40 s cap: 30+40=70 still closed at 50
+	if b.State() != Open {
+		t.Fatal("expected still open under capped cooldown")
+	}
+	if !b.Allow(70 * time.Second) {
+		t.Fatal("rejected after capped cooldown")
+	}
+}
+
+func TestTripAndReset(t *testing.T) {
+	b := newTestBreaker()
+	b.Trip(time.Minute)
+	if b.State() != Open || b.Allow(time.Minute) {
+		t.Fatal("Trip did not open the circuit")
+	}
+	b.Reset()
+	if b.State() != Closed || !b.Allow(0) {
+		t.Fatal("Reset did not close the circuit")
+	}
+}
+
+func TestPenalty(t *testing.T) {
+	b := newTestBreaker()
+	if b.Penalty() != 0 {
+		t.Fatal("clean breaker has a penalty")
+	}
+	b.Report(0, storage.ErrDown)
+	if b.Penalty() != 10*time.Second {
+		t.Fatalf("one-failure penalty = %v", b.Penalty())
+	}
+	b.Report(0, storage.ErrDown)
+	b.Report(0, storage.ErrDown) // opens
+	if b.Penalty() != 10*time.Second {
+		t.Fatalf("open penalty = %v", b.Penalty())
+	}
+}
+
+func TestHealthRegistry(t *testing.T) {
+	h := NewHealth(BreakerConfig{FailureThreshold: 2, Cooldown: time.Second})
+	if !h.Available("tape") {
+		t.Fatal("unknown backend must be available")
+	}
+	if h.Penalty("tape") != 0 {
+		t.Fatal("unknown backend must have zero penalty")
+	}
+	br := h.Breaker("tape")
+	if br != h.Breaker("tape") {
+		t.Fatal("Breaker not stable per name")
+	}
+	br.Report(0, storage.ErrDown)
+	br.Report(0, storage.ErrDown)
+	if h.Available("tape") {
+		t.Fatal("open circuit reported available")
+	}
+	if h.Penalty("tape") == 0 {
+		t.Fatal("open circuit has zero penalty")
+	}
+	names := h.Names()
+	if len(names) != 1 || names[0] != "tape" {
+		t.Fatalf("Names = %v", names)
+	}
+	st, ok := h.Snapshot()["tape"]
+	if !ok || st.State != Open || st.Trips != 1 {
+		t.Fatalf("Snapshot = %+v", st)
+	}
+}
+
+// TestBreakerErrorChain: the fast-fail error wraps both the circuit
+// sentinel and storage.ErrDown.
+func TestBreakerErrorChain(t *testing.T) {
+	if !errors.Is(ErrCircuitOpen, storage.ErrDown) {
+		t.Fatal("chain broken")
+	}
+}

@@ -1,0 +1,106 @@
+// Package resilient is the resilience subsystem of the multi-storage
+// resource architecture: error classification, virtual-time retries
+// with capped exponential backoff, per-backend circuit breakers, and a
+// health registry that placement, replication and the wire transport
+// consult to route work around tripped resources.
+//
+// The paper's §5 reliability argument ("often the remote large storage
+// system … is shutdown for system failure or maintenance") motivates
+// failover at placement time; production HSM/grid stacks additionally
+// mask *transient* faults at run time — a dropped WAN connection, a
+// tape drive momentarily unavailable — so that recovery costs latency,
+// not jobs.  This package provides that layer.  All recovery cost is
+// charged against virtual time (vtime), so retries and breaker
+// cooldowns show up in the eq. (1)/(2) accounting and every experiment
+// stays deterministic and reproducible: backoff jitter is derived from
+// a hash of the backend name, operation and attempt number, never from
+// wall-clock randomness.
+package resilient
+
+import (
+	"errors"
+	"io"
+	"net"
+
+	"repro/internal/storage"
+)
+
+// marked carries an explicit classification that overrides the sentinel
+// rules.  It wraps the original error so errors.Is/As keep working.
+type marked struct {
+	err       error
+	transient bool
+}
+
+func (m *marked) Error() string { return m.err.Error() }
+func (m *marked) Unwrap() error { return m.err }
+
+// MarkTransient wraps err so Transient reports true regardless of the
+// sentinel rules.  A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &marked{err: err, transient: true}
+}
+
+// MarkPermanent wraps err so Transient reports false regardless of the
+// sentinel rules.  Retry layers use it when they exhaust their attempt
+// budget: the underlying fault was transient, but callers further up
+// must not retry it again.  A nil err stays nil.
+func MarkPermanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &marked{err: err, transient: false}
+}
+
+// Transient reports whether err is worth retrying: the operation failed
+// because a resource or connection was temporarily unavailable, not
+// because the request itself is wrong.
+//
+// Classification rules, first match wins:
+//
+//  1. an explicit MarkTransient/MarkPermanent wrapper anywhere in the
+//     chain decides;
+//  2. storage.ErrDown is transient — the paper's outages are scheduled
+//     maintenance windows that end;
+//  3. network-level failures (net.Error, connection resets, EOF from a
+//     desynced or dropped wire stream) are transient — the srbnet
+//     client redials;
+//  4. every other error — the storage sentinels ErrNotExist, ErrExist,
+//     ErrReadOnly, ErrBadPath, ErrCapacity, ErrClosed, authentication
+//     failures, and anything unknown — is permanent.
+//
+// ErrCapacity and ErrClosed are deliberately permanent: a full resource
+// does not drain by retrying, and a closed handle never reopens itself.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var m *marked
+	if errors.As(err, &m) {
+		return m.transient
+	}
+	if errors.Is(err, storage.ErrClosed) {
+		return false
+	}
+	if errors.Is(err, storage.ErrDown) {
+		return true
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
+		return true
+	}
+	return false
+}
+
+// Permanent reports whether err is a real failure that retrying cannot
+// fix.  Permanent(nil) is false: no error is not a failure.
+func Permanent(err error) bool {
+	return err != nil && !Transient(err)
+}

@@ -1,0 +1,87 @@
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// timeoutErr implements net.Error.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestClassificationTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		transient bool
+	}{
+		{"nil", nil, false},
+		{"down", storage.ErrDown, true},
+		{"wrapped down", fmt.Errorf("flaky %q: injected write fault: %w", "be", storage.ErrDown), true},
+		{"not exist", storage.ErrNotExist, false},
+		{"exist", storage.ErrExist, false},
+		{"read only", storage.ErrReadOnly, false},
+		{"bad path", storage.ErrBadPath, false},
+		{"capacity", storage.ErrCapacity, false},
+		{"closed", storage.ErrClosed, false},
+		{"closed wrapped", fmt.Errorf("srbnet client: %w", storage.ErrClosed), false},
+		{"net.Error", timeoutErr{}, true},
+		{"wrapped net.Error", fmt.Errorf("srbnet client: dial: %w", timeoutErr{}), true},
+		{"net.ErrClosed", net.ErrClosed, true},
+		{"eof", io.EOF, true},
+		{"unexpected eof", fmt.Errorf("srbnet client: recv: %w", io.ErrUnexpectedEOF), true},
+		{"closed pipe", io.ErrClosedPipe, true},
+		{"unknown", errors.New("some app error"), false},
+		{"circuit open", ErrCircuitOpen, true},
+		{"marked transient unknown", MarkTransient(errors.New("custom outage")), true},
+		{"marked permanent down", MarkPermanent(storage.ErrDown), false},
+		{"exhausted wrap is permanent", MarkPermanent(fmt.Errorf("%w: %w", ErrRetriesExhausted, storage.ErrDown)), false},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.transient {
+			t.Errorf("%s: Transient = %v, want %v", tc.name, got, tc.transient)
+		}
+		wantPerm := tc.err != nil && !tc.transient
+		if got := Permanent(tc.err); got != wantPerm {
+			t.Errorf("%s: Permanent = %v, want %v", tc.name, got, wantPerm)
+		}
+	}
+}
+
+// TestMarksPreserveChain: marking must not break errors.Is on the
+// underlying sentinel.
+func TestMarksPreserveChain(t *testing.T) {
+	err := MarkPermanent(fmt.Errorf("gave up: %w", storage.ErrDown))
+	if !errors.Is(err, storage.ErrDown) {
+		t.Fatal("MarkPermanent broke the sentinel chain")
+	}
+	if Transient(err) {
+		t.Fatal("marked permanent still transient")
+	}
+	err2 := MarkTransient(fmt.Errorf("glitch: %w", storage.ErrNotExist))
+	if !errors.Is(err2, storage.ErrNotExist) {
+		t.Fatal("MarkTransient broke the sentinel chain")
+	}
+	if !Transient(err2) {
+		t.Fatal("marked transient not transient")
+	}
+	if MarkTransient(nil) != nil || MarkPermanent(nil) != nil {
+		t.Fatal("marking nil must stay nil")
+	}
+}
+
+// TestCircuitOpenIsDown: a tripped circuit must look like a declared
+// outage to existing ErrDown handling (replica skips, placement skips).
+func TestCircuitOpenIsDown(t *testing.T) {
+	if !errors.Is(ErrCircuitOpen, storage.ErrDown) {
+		t.Fatal("ErrCircuitOpen must wrap storage.ErrDown")
+	}
+}

@@ -1,0 +1,113 @@
+package resilient
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// Defaults for Policy fields left zero.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 250 * time.Millisecond
+	DefaultMaxDelay    = 8 * time.Second
+	DefaultMultiplier  = 2.0
+	DefaultJitter      = 0.25
+)
+
+// ErrRetriesExhausted wraps the last transient error once a retry
+// budget runs out.  The wrapped result is additionally MarkPermanent'd
+// so outer retry layers stop immediately.
+var ErrRetriesExhausted = fmt.Errorf("resilient: retries exhausted")
+
+// Policy bounds a retry loop.  Delays between attempts are charged to
+// the calling process's virtual clock, so recovery cost appears in the
+// run's eq. (1)/(2) accounting exactly like device time would.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Multiplier grows the delay per retry (2 = doubling).
+	Multiplier float64
+	// Jitter is the fraction of the delay randomized deterministically
+	// (0.25 = ±25%, derived from a hash of key and attempt so identical
+	// runs charge identical time).
+	Jitter float64
+}
+
+func (po Policy) withDefaults() Policy {
+	if po.MaxAttempts <= 0 {
+		po.MaxAttempts = DefaultMaxAttempts
+	}
+	if po.BaseDelay <= 0 {
+		po.BaseDelay = DefaultBaseDelay
+	}
+	if po.MaxDelay <= 0 {
+		po.MaxDelay = DefaultMaxDelay
+	}
+	if po.Multiplier < 1 {
+		po.Multiplier = DefaultMultiplier
+	}
+	if po.Jitter < 0 || po.Jitter > 1 {
+		po.Jitter = DefaultJitter
+	}
+	return po
+}
+
+// Backoff returns the delay to charge before retry number retry
+// (1-based), with deterministic jitter keyed on key.  Exported so the
+// srbnet redial path and tests share the exact schedule.
+func (po Policy) Backoff(retry int, key string) time.Duration {
+	po = po.withDefaults()
+	d := float64(po.BaseDelay)
+	for i := 1; i < retry; i++ {
+		d *= po.Multiplier
+		if d >= float64(po.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(po.MaxDelay) {
+		d = float64(po.MaxDelay)
+	}
+	if po.Jitter > 0 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s#%d", key, retry)
+		// Map the hash onto [-jitter, +jitter).
+		frac := float64(h.Sum64()%2048)/1024 - 1
+		d *= 1 + po.Jitter*frac
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Do runs f under the policy: transient failures are retried after a
+// backoff charged to p's virtual clock; permanent failures return
+// immediately.  key seeds the deterministic jitter (use the backend
+// name plus operation).  onRetry, if non-nil, observes each charged
+// backoff.  When the budget runs out the last error is wrapped with
+// ErrRetriesExhausted and marked permanent.
+func (po Policy) Do(p *vtime.Proc, key string, onRetry func(delay time.Duration), f func() error) error {
+	po = po.withDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = f()
+		if err == nil || Permanent(err) {
+			return err
+		}
+		if attempt >= po.MaxAttempts {
+			return MarkPermanent(fmt.Errorf("%w (%d attempts): %w", ErrRetriesExhausted, po.MaxAttempts, err))
+		}
+		delay := po.Backoff(attempt, key)
+		p.Advance(delay)
+		if onRetry != nil {
+			onRetry(delay)
+		}
+	}
+}

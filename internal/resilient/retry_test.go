@@ -1,0 +1,113 @@
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+func TestDoRetriesTransientAndChargesVirtualTime(t *testing.T) {
+	p := vtime.NewVirtual().NewProc("p")
+	po := Policy{MaxAttempts: 4, BaseDelay: time.Second, MaxDelay: 8 * time.Second, Multiplier: 2, Jitter: 0}
+	calls := 0
+	err := po.Do(p, "k", nil, func() error {
+		calls++
+		if calls < 3 {
+			return storage.ErrDown
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+	// Two retries: 1 s + 2 s of backoff charged to the virtual clock.
+	if want := 3 * time.Second; p.Now() != want {
+		t.Fatalf("virtual backoff = %v, want %v", p.Now(), want)
+	}
+}
+
+func TestDoPermanentReturnsImmediately(t *testing.T) {
+	p := vtime.NewVirtual().NewProc("p")
+	calls := 0
+	err := Policy{}.Do(p, "k", nil, func() error {
+		calls++
+		return storage.ErrNotExist
+	})
+	if !errors.Is(err, storage.ErrNotExist) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+	if p.Now() != 0 {
+		t.Fatalf("permanent failure charged backoff: %v", p.Now())
+	}
+}
+
+func TestDoExhaustionIsMarkedPermanent(t *testing.T) {
+	p := vtime.NewVirtual().NewProc("p")
+	po := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: 0}
+	calls := 0
+	err := po.Do(p, "k", nil, func() error { calls++; return storage.ErrDown })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, ErrRetriesExhausted) || !errors.Is(err, storage.ErrDown) {
+		t.Fatalf("exhaustion err = %v", err)
+	}
+	if !Permanent(err) {
+		t.Fatal("exhausted retry budget must classify permanent")
+	}
+}
+
+// TestBackoffDeterministicJitter: the schedule is a pure function of
+// (policy, key, attempt), so identical runs charge identical time.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	po := Policy{BaseDelay: time.Second, MaxDelay: time.Minute, Multiplier: 2, Jitter: 0.25}
+	for retry := 1; retry <= 6; retry++ {
+		a := po.Backoff(retry, "be/op")
+		b := po.Backoff(retry, "be/op")
+		if a != b {
+			t.Fatalf("retry %d: nondeterministic backoff %v vs %v", retry, a, b)
+		}
+		if a <= 0 {
+			t.Fatalf("retry %d: non-positive backoff %v", retry, a)
+		}
+	}
+	if po.Backoff(2, "a/x") == po.Backoff(2, "b/y") {
+		t.Log("jitter collision across keys (allowed, but suspicious)")
+	}
+}
+
+// TestBackoffCapped: growth stops at MaxDelay (+jitter headroom).
+func TestBackoffCapped(t *testing.T) {
+	po := Policy{BaseDelay: time.Second, MaxDelay: 4 * time.Second, Multiplier: 2, Jitter: 0}
+	if d := po.Backoff(10, "k"); d != 4*time.Second {
+		t.Fatalf("uncapped backoff %v", d)
+	}
+	jittered := Policy{BaseDelay: time.Second, MaxDelay: 4 * time.Second, Multiplier: 2, Jitter: 0.25}
+	if d := jittered.Backoff(10, "k"); d > 5*time.Second {
+		t.Fatalf("backoff beyond cap+jitter: %v", d)
+	}
+}
+
+func TestOnRetryObservesDelays(t *testing.T) {
+	p := vtime.NewVirtual().NewProc("p")
+	po := Policy{MaxAttempts: 3, BaseDelay: time.Second, Multiplier: 2, Jitter: 0}
+	var total time.Duration
+	calls := 0
+	err := po.Do(p, "k", func(d time.Duration) { total += d }, func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("wire: %w", storage.ErrDown)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != p.Now() || total != 3*time.Second {
+		t.Fatalf("observed %v, clock %v", total, p.Now())
+	}
+}

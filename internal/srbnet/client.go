@@ -3,20 +3,33 @@ package srbnet
 import (
 	"bufio"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/resilient"
 	"repro/internal/storage"
 	"repro/internal/vtime"
 )
 
 // Defaults for the client knobs; see the Option constructors.
 const (
-	DefaultPoolSize    = 4
-	DefaultDialTimeout = 5 * time.Second
+	DefaultPoolSize       = 4
+	DefaultDialTimeout    = 5 * time.Second
+	DefaultRedialAttempts = 3
+	DefaultRedialBackoff  = 100 * time.Millisecond
 )
+
+// errConnFailed marks errors caused by the transport itself — a failed
+// dial, a broken send or receive, a desynced stream — as opposed to
+// errors the server returned over a healthy connection.  Only
+// transport failures are worth a redial: the session survives on the
+// server, so the same request can be reissued over a fresh connection.
+// Deliberate client closes are wrapped with storage.ErrClosed instead
+// and never redialed.
+var errConnFailed = errors.New("srbnet: connection failed")
 
 // Option configures a Client.
 type Option func(*Client)
@@ -55,6 +68,25 @@ func WithReadAhead(n int) Option {
 	}
 }
 
+// WithRedial tunes how a pooled request recovers from a poisoned
+// connection: up to attempts tries total, redialing through the pool
+// with exponential backoff (starting at backoff) charged to the calling
+// rank's virtual clock.  Zero values keep the defaults.  Redials give
+// requests at-least-once semantics — a request may have executed
+// server-side before the connection died — which is safe for the
+// offset-addressed wire operations; the create-vs-exists seam is
+// resolved by the resilient wrapper layered above the client.
+func WithRedial(attempts int, backoff time.Duration) Option {
+	return func(c *Client) {
+		if attempts > 0 {
+			c.redialAttempts = attempts
+		}
+		if backoff > 0 {
+			c.redialBackoff = backoff
+		}
+	}
+}
+
 // WithSerialized restores the protocol-v1 discipline for ablation: each
 // session dials a private connection and allows one request in flight
 // at a time.  Virtual-time results are identical to the pipelined path;
@@ -76,10 +108,12 @@ type Client struct {
 	kind     storage.Kind
 	name     string
 
-	poolSize    int
-	dialTimeout time.Duration
-	readAhead   int
-	serialized  bool
+	poolSize       int
+	dialTimeout    time.Duration
+	readAhead      int
+	serialized     bool
+	redialAttempts int
+	redialBackoff  time.Duration
 
 	pidMu   sync.Mutex
 	pids    map[*vtime.Proc]uint64
@@ -103,9 +137,11 @@ func NewClient(addr, user, secret, resource string, kind storage.Kind, opts ...O
 		resource:    resource,
 		kind:        kind,
 		name:        "srb://" + addr + "/" + resource,
-		poolSize:    DefaultPoolSize,
-		dialTimeout: DefaultDialTimeout,
-		pids:        make(map[*vtime.Proc]uint64),
+		poolSize:       DefaultPoolSize,
+		dialTimeout:    DefaultDialTimeout,
+		redialAttempts: DefaultRedialAttempts,
+		redialBackoff:  DefaultRedialBackoff,
+		pids:           make(map[*vtime.Proc]uint64),
 	}
 	for _, o := range opts {
 		o(c)
@@ -142,7 +178,7 @@ func (c *Client) pid(p *vtime.Proc) uint64 {
 func (c *Client) dial() (*mux, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("srbnet client: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("srbnet client: dial %s: %w: %w", c.addr, errConnFailed, err)
 	}
 	bw := bufio.NewWriter(conn)
 	m := &mux{
@@ -214,6 +250,37 @@ func (c *Client) pickMux() (*mux, error) {
 	return c.pickMux() // lost the race to fill the pool; pick again
 }
 
+// roundTrip issues one pooled request, redialing around poisoned
+// connections.  A transport failure (errConnFailed) drops the dead
+// connection from the pool, charges a backoff to the calling rank's
+// virtual clock, and reissues the request over a fresh (or surviving)
+// connection — sessions are addressed by server-side id, so they ride
+// any connection.  Server-returned errors and deliberate closes are
+// never redialed.  When the redial budget runs out the last transport
+// error is surfaced as a classified permanent failure, so an outer
+// resilient wrapper stops retrying too.
+func (c *Client) roundTrip(p *vtime.Proc, req *request) (*response, error) {
+	po := resilient.Policy{MaxAttempts: c.redialAttempts, BaseDelay: c.redialBackoff}
+	for attempt := 1; ; attempt++ {
+		m, err := c.pickMux()
+		if err == nil {
+			var resp *response
+			resp, err = m.call(p, req)
+			if err == nil {
+				return resp, nil
+			}
+		}
+		if !errors.Is(err, errConnFailed) || errors.Is(err, storage.ErrClosed) {
+			return nil, err
+		}
+		if attempt >= c.redialAttempts {
+			return nil, resilient.MarkPermanent(fmt.Errorf(
+				"srbnet client: redial budget exhausted (%d attempts): %w", c.redialAttempts, err))
+		}
+		p.Advance(po.Backoff(attempt, c.name+"/redial"))
+	}
+}
+
 // drop removes a failed connection from the pool.
 func (c *Client) drop(m *mux) {
 	c.mu.Lock()
@@ -265,11 +332,7 @@ func (c *Client) Connect(p *vtime.Proc) (storage.Session, error) {
 		}
 		return &clientSession{c: c, sid: resp.Sess, own: m}, nil
 	}
-	m, err := c.pickMux()
-	if err != nil {
-		return nil, err
-	}
-	resp, err := m.call(p, req)
+	resp, err := c.roundTrip(p, req)
 	if err != nil {
 		return nil, err
 	}
@@ -351,7 +414,7 @@ func (m *mux) writeLoop() {
 		}
 		for req != nil {
 			if err := m.enc.Encode(req); err != nil {
-				m.fail(fmt.Errorf("srbnet client: send: %w", err))
+				m.fail(fmt.Errorf("srbnet client: send: %w: %w", errConnFailed, err))
 				return
 			}
 			select {
@@ -361,7 +424,7 @@ func (m *mux) writeLoop() {
 			}
 		}
 		if err := m.bw.Flush(); err != nil {
-			m.fail(fmt.Errorf("srbnet client: send: %w", err))
+			m.fail(fmt.Errorf("srbnet client: send: %w: %w", errConnFailed, err))
 			return
 		}
 	}
@@ -374,7 +437,7 @@ func (m *mux) readLoop() {
 	for {
 		resp := new(response)
 		if err := m.dec.Decode(resp); err != nil {
-			m.fail(fmt.Errorf("srbnet client: recv: %w", err))
+			m.fail(fmt.Errorf("srbnet client: recv: %w: %w", errConnFailed, err))
 			return
 		}
 		m.mu.Lock()
@@ -388,7 +451,7 @@ func (m *mux) readLoop() {
 			return
 		}
 		if !ok {
-			m.fail(fmt.Errorf("srbnet client: recv: stream desync (unknown tag %d)", resp.Tag))
+			m.fail(fmt.Errorf("srbnet client: recv: stream desync (unknown tag %d): %w", resp.Tag, errConnFailed))
 			return
 		}
 		ch <- resp
@@ -462,11 +525,7 @@ func (s *clientSession) call(p *vtime.Proc, req *request) (*response, error) {
 		defer s.callMu.Unlock()
 		return s.own.call(p, req)
 	}
-	m, err := s.c.pickMux()
-	if err != nil {
-		return nil, err
-	}
-	return m.call(p, req)
+	return s.c.roundTrip(p, req)
 }
 
 // Open implements storage.Session.

@@ -379,8 +379,9 @@ func TestSerializedOption(t *testing.T) {
 }
 
 // TestStreamDesyncPoisonsConnection responds with an unknown tag — a
-// desynced gob stream from the client's point of view.  The connection
-// must be poisoned: the in-flight call fails and the pool drops it.
+// desynced gob stream from the client's point of view.  Every such
+// connection must be poisoned and dropped from the pool; once the
+// redial budget is spent the call fails instead of hanging.
 func TestStreamDesyncPoisonsConnection(t *testing.T) {
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -388,19 +389,24 @@ func TestStreamDesyncPoisonsConnection(t *testing.T) {
 	}
 	defer lis.Close()
 	go func() {
-		conn, err := lis.Accept()
-		if err != nil {
-			return
+		// Desync every connection, including redialed ones.
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				var req request
+				if err := dec.Decode(&req); err != nil {
+					return
+				}
+				enc.Encode(&response{Tag: req.Tag + 12345}) // never issued
+				io.Copy(io.Discard, conn)                   // hold the conn open
+			}(conn)
 		}
-		defer conn.Close()
-		dec := gob.NewDecoder(conn)
-		enc := gob.NewEncoder(conn)
-		var req request
-		if err := dec.Decode(&req); err != nil {
-			return
-		}
-		enc.Encode(&response{Tag: req.Tag + 12345}) // never issued
-		io.Copy(io.Discard, conn)                   // hold the conn open
 	}()
 
 	sim := vtime.NewVirtual()

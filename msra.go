@@ -37,6 +37,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/ptool"
 	"repro/internal/remotedisk"
+	"repro/internal/resilient"
 	"repro/internal/srb"
 	"repro/internal/srbnet"
 	"repro/internal/storage"
@@ -218,6 +219,9 @@ var (
 	// WithSRBSerialized restores the one-in-flight v1 wire discipline
 	// (the ablation baseline).
 	WithSRBSerialized = srbnet.WithSerialized
+	// WithSRBRedial tunes how pooled requests recover from poisoned
+	// connections (attempt budget and backoff, charged to virtual time).
+	WithSRBRedial = srbnet.WithRedial
 )
 
 // NewSRBClient returns a backend that reaches a broker resource over
@@ -225,6 +229,46 @@ var (
 func NewSRBClient(addr, user, secret, resource string, kind storage.Kind, opts ...SRBOption) *SRBClient {
 	return srbnet.NewClient(addr, user, secret, resource, kind, opts...)
 }
+
+// Resilience layer types (retries, circuit breakers, health registry).
+type (
+	// ResilientBackend wraps a storage resource with transparent
+	// retry-with-backoff (charged to virtual time) and a circuit breaker.
+	ResilientBackend = resilient.Backend
+	// RetryPolicy bounds a retry loop (attempts, backoff, jitter).
+	RetryPolicy = resilient.Policy
+	// BreakerConfig tunes a circuit breaker.
+	BreakerConfig = resilient.BreakerConfig
+	// Health is the shared per-resource breaker registry consulted by
+	// placement and replication.
+	Health = resilient.Health
+	// ResilientOption configures WrapResilient.
+	ResilientOption = resilient.Option
+)
+
+// Resilience knobs, re-exported from internal/resilient.
+var (
+	// WithRetryPolicy sets the wrapper's retry policy.
+	WithRetryPolicy = resilient.WithPolicy
+	// WithBreakerConfig tunes the wrapper's circuit breaker.
+	WithBreakerConfig = resilient.WithBreakerConfig
+	// WithHealth registers the wrapper's breaker in a shared registry.
+	WithHealth = resilient.WithHealth
+	// WithPlacementHealth makes PredictivePlacer consult the registry.
+	WithPlacementHealth = placement.WithHealth
+)
+
+// WrapResilient returns a fault-recovering view of a backend: transient
+// failures are retried with capped exponential backoff charged to the
+// calling process's virtual clock, and a persistently failing resource
+// trips a circuit breaker that placement and replication route around.
+func WrapResilient(inner Backend, opts ...ResilientOption) *ResilientBackend {
+	return resilient.Wrap(inner, opts...)
+}
+
+// NewHealth returns a shared breaker registry for WithHealth /
+// WithPlacementHealth.
+func NewHealth(cfg BreakerConfig) *Health { return resilient.NewHealth(cfg) }
 
 // MeasurePerformance runs PTool against the given backends, filling the
 // meta-data database's performance tables.
