@@ -5,7 +5,10 @@
 // Usage:
 //
 //	benchreport [-scale test|bench|paper]
-//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|failover|srbnet|chaos]
+//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|failover]
+//
+// The -exp list in this comment and in the flag help both come from
+// experiments.Names(); a test keeps this comment honest.
 //
 // The paper scale (128³, N=120) runs the real solver and moves ≈2.2 GB
 // per figure-9 scenario; expect minutes.  The bench scale keeps the
@@ -18,6 +21,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"slices"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -25,9 +30,14 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchreport: ")
+	names := experiments.Names()
 	scaleName := flag.String("scale", "bench", "problem scale: test, bench or paper")
-	exp := flag.String("exp", "all", "experiment to run (all, table1, table2, fig6, fig7, fig8, fig9, fig10a, fig10b, fig10c, fig11, worked, failover, srbnet, chaos)")
+	exp := flag.String("exp", "all",
+		"experiment to run (all, "+strings.Join(names, ", ")+")")
 	flag.Parse()
+	if *exp != "all" && !slices.Contains(names, *exp) {
+		log.Fatalf("unknown experiment %q; choose all or one of %s", *exp, strings.Join(names, ", "))
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -142,6 +152,20 @@ func run(scale experiments.Scale, exp string) error {
 		}
 		fmt.Fprintf(out, "== Chaos: Astro3D writes over a flaky remote disk, resilient recovery ==\n%s\n",
 			experiments.ChaosString(rows))
+		srows, err := experiments.ChaosStage(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Chaos × staging: stage-in from a flaky remote disk, cache integrity ==\n%s\n",
+			experiments.ChaosStageString(srows))
+	}
+	if all || exp == "staging" {
+		rows, err := experiments.Staging(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Staging: tape-homed re-reads, direct vs prediction-driven cache ==\n%s\n",
+			experiments.StagingString(rows))
 	}
 	if all || exp == "failover" {
 		res, err := experiments.Failover(scale)

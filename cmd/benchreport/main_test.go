@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestUsageCommentMatchesNames pins the doc comment's -exp list to
+// experiments.Names().  The flag help is built from Names() at runtime;
+// the comment cannot be, so this test is what keeps it from drifting.
+func TestUsageCommentMatchesNames(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`\[-exp ([a-z0-9|]+)\]`).FindSubmatch(src)
+	if m == nil {
+		t.Fatal("main.go doc comment has no [-exp ...] usage line")
+	}
+	want := "all|" + strings.Join(experiments.Names(), "|")
+	if got := string(m[1]); got != want {
+		t.Fatalf("doc comment -exp list out of sync with experiments.Names():\n  comment: %s\n  names:   %s", got, want)
+	}
+}
+
+// TestNamesAreDispatched asserts every published experiment name is
+// actually handled by run(): an unknown name must fall through with no
+// output, so run() against a closed pipe would mask a missing case.
+// Instead we scan run()'s source for the literal name.
+func TestNamesAreDispatched(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range experiments.Names() {
+		if !strings.Contains(string(src), `"`+name+`"`) {
+			t.Errorf("experiment %q from experiments.Names() not dispatched in main.go", name)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/metadb"
 	"repro/internal/pattern"
 	"repro/internal/sieve"
+	"repro/internal/stage"
 	"repro/internal/storage"
 	"repro/internal/subfile"
 	"repro/internal/superfile"
@@ -138,6 +139,12 @@ type SystemConfig struct {
 	LocalDB storage.Backend
 	// Placer overrides the default hint-driven placement (optional).
 	Placer Placer
+	// Stager, when set, transparently redirects dataset I/O through the
+	// staging engine's fast-tier cache (package stage): profitable reads
+	// are staged in, writes may land on the cache tier with write-back
+	// at Finalize, and sequential consumers get their next instance
+	// prefetched.
+	Stager *stage.Manager
 }
 
 // System is the configured multi-storage resource environment.
@@ -146,6 +153,7 @@ type System struct {
 	meta     *metadb.DB
 	backends map[storage.Kind]storage.Backend
 	placer   Placer
+	stager   *stage.Manager
 }
 
 // NewSystem validates the configuration and returns a System.
@@ -161,6 +169,7 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		meta:     cfg.Meta,
 		backends: make(map[storage.Kind]storage.Backend),
 		placer:   cfg.Placer,
+		stager:   cfg.Stager,
 	}
 	for kind, be := range map[storage.Kind]storage.Backend{
 		storage.KindLocalDisk:  cfg.LocalDisk,
@@ -192,6 +201,10 @@ func (s *System) Backend(kind storage.Kind) (storage.Backend, bool) {
 	be, ok := s.backends[kind]
 	return be, ok
 }
+
+// Stager returns the staging engine, nil when staging is not
+// configured.
+func (s *System) Stager() *stage.Manager { return s.stager }
 
 // healthy reports whether a backend is usable (registered and not down).
 func healthy(be storage.Backend) bool {
@@ -599,9 +612,23 @@ func (d *Dataset) writeIter(iter int, bufs [][]byte) error {
 		if d.spec.AMode == storage.ModeOverWrite {
 			mode = storage.ModeOverWrite
 		}
+		wSess, wPath := sess, d.InstancePath(iter)
+		var wp *stage.WritePlan
+		if st := d.run.sys.stager; st != nil {
+			if plan, ok := st.StageWrite(procs[0], d.backend, wPath, d.spec.Size()); ok {
+				// The dump lands on the cache tier and drains home at
+				// Finalize (write-back); the cache copy always replaces
+				// whatever instance an earlier run left there.
+				wp, wSess, wPath = plan, plan.Sess, plan.Path
+				mode = storage.ModeOverWrite
+			}
+		}
 		var h storage.Handle
-		h, err = sess.Open(procs[0], d.InstancePath(iter), mode)
+		h, err = wSess.Open(procs[0], wPath, mode)
 		if err != nil {
+			if wp != nil {
+				wp.Abort(procs[0])
+			}
 			return fmt.Errorf("core: dump %q iter %d: %w", d.spec.Name, iter, err)
 		}
 		vtime.Barrier(procs...)
@@ -620,6 +647,13 @@ func (d *Dataset) writeIter(iter int, bufs [][]byte) error {
 			err = cerr
 		}
 		vtime.Barrier(procs...)
+		if wp != nil {
+			if err != nil {
+				wp.Abort(procs[0])
+			} else {
+				wp.Commit(procs[0])
+			}
+		}
 	}
 	if err != nil {
 		return fmt.Errorf("core: dump %q iter %d: %w", d.spec.Name, iter, err)
@@ -653,9 +687,17 @@ func (d *Dataset) readIter(iter int, bufs [][]byte) error {
 	} else if d.spec.Opt == ioopt.Subfile {
 		err = d.subfileRead(iter, bufs, sess)
 	} else {
+		// The staging engine may redirect the read to a fast-tier copy
+		// (hit), stage one in when predicted profitable, or leave it on
+		// the home resource; a zero plan is the direct read.
+		rp := stage.ReadPlan{Sess: sess, Path: d.InstancePath(iter)}
+		if st := d.run.sys.stager; st != nil {
+			rp = st.StageRead(procs[0], d.backend, sess, rp.Path, d.spec.Size())
+		}
 		var h storage.Handle
-		h, err = sess.Open(procs[0], d.InstancePath(iter), storage.ModeRead)
+		h, err = rp.Sess.Open(procs[0], rp.Path, storage.ModeRead)
 		if err != nil {
+			rp.Release()
 			return fmt.Errorf("core: read %q iter %d: %w", d.spec.Name, iter, err)
 		}
 		vtime.Barrier(procs...)
@@ -674,6 +716,11 @@ func (d *Dataset) readIter(iter int, bufs [][]byte) error {
 			err = cerr
 		}
 		vtime.Barrier(procs...)
+		rp.Release()
+		if st := d.run.sys.stager; st != nil && err == nil && !d.overwrite {
+			// Hint the next due instance while the application computes.
+			st.Prefetch(d.backend, d.InstancePath(iter+d.spec.Frequency), d.spec.Size(), vtime.MaxNow(procs...))
+		}
 	}
 	if err != nil {
 		return fmt.Errorf("core: read %q iter %d: %w", d.spec.Name, iter, err)
@@ -759,9 +806,17 @@ func (d *Dataset) ReadGlobal(p *vtime.Proc, iter int) ([]byte, error) {
 		}
 		return global, nil
 	}
-	buf, err := storage.GetFile(p, sess, d.InstancePath(iter))
+	rp := stage.ReadPlan{Sess: sess, Path: d.InstancePath(iter)}
+	if st := d.run.sys.stager; st != nil {
+		rp = st.StageRead(p, d.backend, sess, rp.Path, d.spec.Size())
+	}
+	buf, err := storage.GetFile(p, rp.Sess, rp.Path)
+	rp.Release()
 	if err != nil {
 		return nil, fmt.Errorf("core: read %q iter %d: %w", d.spec.Name, iter, err)
+	}
+	if st := d.run.sys.stager; st != nil && !d.overwrite {
+		st.Prefetch(d.backend, d.InstancePath(iter+d.spec.Frequency), d.spec.Size(), p.Now())
 	}
 	return buf, nil
 }
@@ -937,6 +992,17 @@ func (r *Run) Finalize() error {
 	r.mu.Unlock()
 
 	var errs []error
+	if st := r.sys.stager; st != nil {
+		// Write-back: drain dirty staged instances to their home tiers
+		// before the run's sessions go away, charging the movement to
+		// the run's I/O account (the paper's close/checkpoint point).
+		st.WaitPrefetch()
+		before := r.proc[0].Now()
+		if err := st.Drain(r.proc[0]); err != nil {
+			errs = append(errs, err)
+		}
+		r.addIOTime(r.proc[0].Now() - before)
+	}
 	for _, d := range datasets {
 		d.mu.Lock()
 		c := d.container

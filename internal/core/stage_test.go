@@ -1,0 +1,227 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ioopt"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/pattern"
+	"repro/internal/remotedisk"
+	"repro/internal/stage"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+// stagedEnv builds the three-resource system with a staging engine
+// whose cache is the local disk.
+func stagedEnv(t *testing.T, budget int64, prefetchDepth int) (*env, *stage.Manager) {
+	t.Helper()
+	sim := vtime.NewVirtual()
+	local, err := localdisk.New("argonne-ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "sdsc-hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := stage.New(stage.Config{Sim: sim, Cache: local, Budget: budget, PrefetchDepth: prefetchDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	sys, err := NewSystem(SystemConfig{
+		Sim: sim, Meta: metadb.New(),
+		LocalDisk: local, RemoteDisk: rdisk, RemoteTape: rtape,
+		Stager: mgr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{sys: sys, sim: sim, local: local, rdisk: rdisk, rtape: rtape}, mgr
+}
+
+func TestStagedWriteDrainsToHomeTier(t *testing.T) {
+	e, mgr := stagedEnv(t, 1<<20, 0)
+	run, err := e.sys.Initialize(RunConfig{ID: "prod", Iterations: 2, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := run.OpenDataset(DatasetSpec{
+		Name: "temp", AMode: storage.ModeCreate,
+		Dims: []int{8, 8}, Etype: 4,
+		Pattern:  pattern.Pattern{pattern.Block, pattern.Block},
+		Location: LocRemoteTape, Opt: ioopt.Collective,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 2; iter++ {
+		if err := d.WriteIter(iter, fillBufs(t, d, byte(iter))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := mgr.Stats()
+	if st.StagedWrites != 2 {
+		t.Fatalf("dumps did not land on the cache tier: %+v", st)
+	}
+	if err := run.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	st = mgr.Stats()
+	if st.WriteBacks != 2 {
+		t.Fatalf("finalize did not drain the dumps: %+v", st)
+	}
+	// The home tier now holds both instances.
+	p := e.sim.NewProc("check")
+	sess, err := e.rtape.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 2; iter++ {
+		info, err := sess.Stat(p, d.InstancePath(iter))
+		if err != nil {
+			t.Fatalf("iter %d missing on home tier: %v", iter, err)
+		}
+		if info.Size != d.spec.Size() {
+			t.Fatalf("iter %d drained short: %d bytes", iter, info.Size)
+		}
+	}
+}
+
+func TestStagedReReadHitsCache(t *testing.T) {
+	e, mgr := stagedEnv(t, 1<<20, 0)
+
+	run, err := e.sys.Initialize(RunConfig{ID: "prod", Iterations: 1, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := run.OpenDataset(DatasetSpec{
+		Name: "temp", AMode: storage.ModeCreate,
+		Dims: []int{16, 16}, Etype: 4,
+		Pattern:  pattern.Pattern{pattern.Block, pattern.All},
+		Location: LocRemoteTape,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufs := fillBufs(t, d, 7)
+	if err := d.WriteIter(0, bufs); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	consumer, err := e.sys.Initialize(RunConfig{ID: "viz", Iterations: 1, Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := consumer.AttachDataset("prod", "temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := consumer.Procs()[0]
+	first, err := rd.ReadGlobal(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := rd.ReadGlobal(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("reads disagree")
+	}
+	st := mgr.Stats()
+	if st.Hits < 1 {
+		t.Fatalf("re-read did not hit the cache: %+v", st)
+	}
+	if err := consumer.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStagedReadIterPrefetchesNext(t *testing.T) {
+	e, mgr := stagedEnv(t, 1<<20, 4)
+
+	// The producer writes directly (no staging) so the consumer's cache
+	// starts cold and prefetch has work to do.
+	prodSys, err := NewSystem(SystemConfig{
+		Sim: e.sim, Meta: e.sys.Meta(),
+		LocalDisk: e.local, RemoteDisk: e.rdisk, RemoteTape: e.rtape,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := prodSys.Initialize(RunConfig{ID: "prod", Iterations: 3, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := run.OpenDataset(DatasetSpec{
+		Name: "temp", AMode: storage.ModeCreate,
+		Dims: []int{8, 8}, Etype: 4,
+		Pattern:  pattern.Pattern{pattern.Block, pattern.Block},
+		Location: LocRemoteDisk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][][]byte, 3)
+	for iter := 0; iter < 3; iter++ {
+		want[iter] = fillBufs(t, d, byte(10*iter))
+		if err := d.WriteIter(iter, want[iter]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	consumer, err := e.sys.Initialize(RunConfig{ID: "ana", Iterations: 3, Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := consumer.AttachDataset("prod", "temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 3; iter++ {
+		got := make([][]byte, 2)
+		for r := range got {
+			sz, err := rd.LocalSize(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[r] = make([]byte, sz)
+		}
+		if err := rd.ReadIter(iter, got); err != nil {
+			t.Fatal(err)
+		}
+		for r := range got {
+			if !bytes.Equal(got[r], want[iter][r]) {
+				t.Fatalf("iter %d rank %d differs", iter, r)
+			}
+		}
+		mgr.WaitPrefetch() // deterministic: let the hint land before the next read
+	}
+	if err := consumer.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	st := mgr.Stats()
+	if st.PrefetchIssued == 0 || st.PrefetchDone == 0 {
+		t.Fatalf("no prefetch activity: %+v", st)
+	}
+	if st.PrefetchHits == 0 {
+		t.Fatalf("prefetched instances never hit: %+v", st)
+	}
+}

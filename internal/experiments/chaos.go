@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"time"
 
 	"repro/internal/apps/astro3d"
+	"repro/internal/apps/mse"
 	"repro/internal/core"
 	"repro/internal/flaky"
 	"repro/internal/localdisk"
@@ -14,6 +16,8 @@ import (
 	"repro/internal/model"
 	"repro/internal/remotedisk"
 	"repro/internal/resilient"
+	"repro/internal/stage"
+	"repro/internal/storage"
 	"repro/internal/tape"
 	"repro/internal/vtime"
 )
@@ -120,6 +124,181 @@ func chaosOne(scale Scale, n int64) (ChaosRow, error) {
 	row.Completed = true
 	row.IOTime = rep.IOTime
 	return row, nil
+}
+
+// ------------------------------------------------------------------
+// Chaos × staging: the staging engine pulls instances off a flaky
+// remote disk.  The contract under faults: a stage-in either completes
+// (the resilient wrapper retried the copy to success) or is abandoned
+// and the read falls through to the direct path (which surfaces the
+// breaker state) — and an abandoned copy never leaves partial bytes
+// that a later hit could read.  Afterwards every surviving cache entry
+// is byte-compared against its home instance.
+
+// ChaosStageRow is one fault-rate point of the staging chaos case.
+type ChaosStageRow struct {
+	FailEvery int64
+	Rate      float64
+
+	Completed bool
+	Err       string
+
+	Injected int64 // faults the flaky layer fired
+	Retries  int64 // re-attempts the resilient layer issued
+
+	StagedIn  int64 // instances that made it into the cache
+	Fallbacks int64 // stage-ins abandoned (read served directly)
+	Hits      int64
+
+	Corrupt bool // any cached copy differing from its home instance
+	IOTime  time.Duration
+}
+
+// ChaosStage drives the MSE consumer twice through a staging engine
+// whose home resource drops one in n operations.  With no values the
+// default schedule {0, 5, 2} — 0 %, 20 %, 50 % — is used: staging
+// issues few home-tier operations (one whole-file copy per dump), so
+// the rates are harsher than the write-path chaos schedule to make
+// every faulty row actually exercise recovery.
+func ChaosStage(scale Scale, failEvery ...int64) ([]ChaosStageRow, error) {
+	if len(failEvery) == 0 {
+		failEvery = []int64{0, 5, 2}
+	}
+	rows := make([]ChaosStageRow, 0, len(failEvery))
+	for _, n := range failEvery {
+		row, err := chaosStageOne(scale, n)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func chaosStageOne(scale Scale, n int64) (ChaosStageRow, error) {
+	sim := vtime.NewVirtual()
+	local, err := localdisk.New("argonne-ssa", memfs.New())
+	if err != nil {
+		return ChaosStageRow{}, err
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		return ChaosStageRow{}, err
+	}
+	health := resilient.NewHealth(resilient.BreakerConfig{})
+	fb := flaky.Wrap(rdisk, flaky.Policy{}) // faults off while the producer writes
+	rb := resilient.Wrap(fb, resilient.WithHealth(health))
+	meta := metadb.New()
+
+	// The producer writes temp to the (still healthy) remote disk
+	// directly — the fault injection targets the consumer's stage-ins.
+	prodSys, err := core.NewSystem(core.SystemConfig{
+		Sim: sim, Meta: meta, LocalDisk: local, RemoteDisk: rb,
+	})
+	if err != nil {
+		return ChaosStageRow{}, err
+	}
+	prm := scale.params()
+	prm.VizFreq, prm.CheckpointFreq = 0, 0
+	prm.Locations = map[string]core.Location{"temp": core.LocRemoteDisk}
+	prm.DefaultLocation = core.LocDisable
+	if _, err := astro3d.Run(prodSys, "prod", prm); err != nil {
+		return ChaosStageRow{}, err
+	}
+
+	// No PTool sweep: with no predictor the engine stages on tier
+	// ranking alone, which keeps the case about fault recovery.
+	mgr, err := stage.New(stage.Config{
+		Sim: sim, Cache: local,
+		Budget: int64(scale.Dumps()) * int64(scale.N) * int64(scale.N) * int64(scale.N) * 4,
+		Health: health,
+	})
+	if err != nil {
+		return ChaosStageRow{}, err
+	}
+	defer mgr.Close()
+	consSys, err := core.NewSystem(core.SystemConfig{
+		Sim: sim, Meta: meta, LocalDisk: local, RemoteDisk: rb,
+		Stager: mgr,
+	})
+	if err != nil {
+		return ChaosStageRow{}, err
+	}
+
+	fb.SetPolicy(flaky.Policy{FailEvery: n})
+	row := ChaosStageRow{FailEvery: n}
+	if n > 0 {
+		row.Rate = 1 / float64(n)
+	}
+	var ioTime time.Duration
+	for _, id := range []string{"mse-a", "mse-b"} {
+		res, err := mse.Run(consSys, id, mse.Params{
+			ProducerRun: "prod", Dataset: "temp",
+			Iterations: scale.MaxIter, Procs: scale.Procs,
+		})
+		if err != nil {
+			row.Err = err.Error()
+			break
+		}
+		ioTime += res.IOTime
+	}
+	fb.SetPolicy(flaky.Policy{})
+
+	st := mgr.Stats()
+	wrapped := rb.Stats()
+	row.Injected = fb.Injected()
+	row.Retries = wrapped.Retries
+	row.StagedIn = st.StagedIn
+	row.Fallbacks = st.StageFailures
+	row.Hits = st.Hits
+	row.Completed = row.Err == ""
+	row.IOTime = ioTime
+
+	// The integrity check: every cached instance must equal its home
+	// copy, faults or not.
+	p := sim.NewProc("chaos-stage-verify")
+	csess, err := local.Connect(p)
+	if err != nil {
+		return ChaosStageRow{}, err
+	}
+	hsess, err := rdisk.Connect(p) // the unwrapped home: no faults here
+	if err != nil {
+		return ChaosStageRow{}, err
+	}
+	for _, me := range mgr.Manifest() {
+		cached, err := storage.GetFile(p, csess, me.Staged)
+		if err != nil {
+			row.Corrupt = true
+			break
+		}
+		home, err := storage.GetFile(p, hsess, me.Path)
+		if err != nil || !bytes.Equal(cached, home) {
+			row.Corrupt = true
+			break
+		}
+	}
+	return row, nil
+}
+
+// ChaosStageString renders the staging chaos table.
+func ChaosStageString(rows []ChaosStageRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-9s %-9s %-8s %-8s %-9s %-9s %-6s %-8s %s\n",
+		"fail_every", "rate", "completed", "injected", "retries", "staged_in", "fallback", "hits", "corrupt", "io_time")
+	for _, r := range rows {
+		status := "yes"
+		if !r.Completed {
+			status = "NO"
+		}
+		corrupt := "no"
+		if r.Corrupt {
+			corrupt = "YES"
+		}
+		fmt.Fprintf(&b, "%-10d %-9s %-9s %-8d %-8d %-9d %-9d %-6d %-8s %v\n",
+			r.FailEvery, fmt.Sprintf("%.1f%%", r.Rate*100), status,
+			r.Injected, r.Retries, r.StagedIn, r.Fallbacks, r.Hits, corrupt, r.IOTime)
+	}
+	return b.String()
 }
 
 // ChaosString renders the chaos table.

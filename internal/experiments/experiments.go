@@ -108,6 +108,18 @@ func NewEnv() (*Env, error) {
 	}, nil
 }
 
+// Names is the canonical list of experiment names, in report order.
+// cmd/benchreport derives its -exp flag help and validation from this
+// list (and a test keeps the command's doc comment in sync), so adding
+// an experiment here is the single registration step.
+func Names() []string {
+	return []string{
+		"table1", "table2",
+		"fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig10c", "fig11",
+		"worked", "naive", "srbnet", "chaos", "staging", "failover",
+	}
+}
+
 // Scale selects the problem size of an experiment run.
 type Scale struct {
 	N       int // grid edge (the paper: 128)

@@ -1,0 +1,78 @@
+package experiments
+
+import "testing"
+
+// TestStagingBeatsDirectReReads is the acceptance gate for the staging
+// engine: at test scale, the staged configuration's second pass must
+// beat direct tape reads on both the measured and the predicted I/O
+// time, with a non-trivial hit rate and bytes-moved accounting.
+func TestStagingBeatsDirectReReads(t *testing.T) {
+	rows, err := Staging(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want direct + staged rows, got %d", len(rows))
+	}
+	direct, staged := rows[0], rows[1]
+	if direct.Staged || !staged.Staged {
+		t.Fatalf("row order: want direct then staged, got %+v / %+v", direct.Staged, staged.Staged)
+	}
+	if staged.Pass2 >= direct.Pass2 {
+		t.Errorf("measured: staged re-read %v not faster than direct %v", staged.Pass2, direct.Pass2)
+	}
+	if staged.Pred2 >= direct.Pred2 {
+		t.Errorf("predicted: staged re-read %v not faster than direct %v", staged.Pred2, direct.Pred2)
+	}
+	if staged.HitRate <= 0 {
+		t.Errorf("staged run recorded no cache hits: %+v", staged)
+	}
+	if staged.BytesStagedIn <= 0 {
+		t.Errorf("staged run moved no bytes into the cache: %+v", staged)
+	}
+	if staged.PeakUsed > staged.Budget {
+		t.Errorf("cache peak use %d exceeded budget %d", staged.PeakUsed, staged.Budget)
+	}
+	if direct.Hits != 0 || direct.StagedIn != 0 {
+		t.Errorf("direct run shows cache traffic: %+v", direct)
+	}
+	if staged.SuggestedMaxRunTime <= staged.Pred1+staged.Pred2 {
+		t.Errorf("max-run-time suggestion %v lacks margin over prediction %v",
+			staged.SuggestedMaxRunTime, staged.Pred1+staged.Pred2)
+	}
+}
+
+// TestChaosStageNeverCorrupts runs the staging chaos case: under
+// injected faults the runs must either complete (retried stage-ins or
+// direct fallbacks) and every surviving cache entry must match its
+// home instance byte for byte.
+func TestChaosStageNeverCorrupts(t *testing.T) {
+	rows, err := ChaosStage(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want 3 fault-rate rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Corrupt {
+			t.Errorf("fail_every=%d: cached copy differs from home instance", r.FailEvery)
+		}
+		if !r.Completed {
+			t.Errorf("fail_every=%d: run failed: %s", r.FailEvery, r.Err)
+		}
+	}
+	clean, faulty := rows[0], rows[2]
+	if clean.Injected != 0 {
+		t.Errorf("clean row injected %d faults", clean.Injected)
+	}
+	if clean.StagedIn == 0 || clean.Hits == 0 {
+		t.Errorf("clean row shows no staging traffic: %+v", clean)
+	}
+	if faulty.Injected == 0 {
+		t.Errorf("faulty row injected no faults: %+v", faulty)
+	}
+	if faulty.Retries == 0 && faulty.Fallbacks == 0 {
+		t.Errorf("faulty row recovered nothing: %+v", faulty)
+	}
+}

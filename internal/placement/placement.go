@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/predict"
 	"repro/internal/resilient"
+	"repro/internal/stage"
 	"repro/internal/storage"
 )
 
@@ -30,6 +31,7 @@ type Option func(*opts)
 type opts struct {
 	deadline time.Duration
 	health   *resilient.Health
+	stager   *stage.Manager
 }
 
 // WithRequirement sets the per-dataset performance requirement: the
@@ -46,6 +48,20 @@ func WithRequirement(d time.Duration) Option {
 // clean one.
 func WithHealth(h *resilient.Health) Option {
 	return func(o *opts) { o.health = h }
+}
+
+// WithStaging makes AUTO placement aware of the staging engine in two
+// ways.  First, the cache budget is subtracted from its backend's free
+// capacity, so AUTO never picks a fast tier whose headroom the stage
+// cache will consume.  Second, a slow resource is credited with the
+// staged access path: when the cache can hold an instance, the
+// resource's effective predicted time is min(direct, staged cost
+// amortized over the engine's expected reads — one cold pass that
+// stages every dump plus cache-speed re-read passes).  That lets AUTO
+// choose "tape home + staged reads" — archival capacity at near-local
+// access cost.
+func WithStaging(m *stage.Manager) Option {
+	return func(o *opts) { o.stager = m }
 }
 
 // capacityOrder lists storage classes largest-capacity first, the
@@ -79,7 +95,7 @@ func Predictive(pdb *predict.DB, iterations, procs int, options ...Option) core.
 		var fallbackTime time.Duration
 		for _, kind := range capacityOrder {
 			be, ok := sys.Backend(kind)
-			if !ok || !usable(be, dumps*spec.Size()) {
+			if !ok || !usable(be, dumps*spec.Size(), o.stager) {
 				continue
 			}
 			// A tripped circuit disqualifies the resource exactly like a
@@ -103,6 +119,26 @@ func Predictive(pdb *predict.DB, iterations, procs int, options ...Option) core.
 				return nil, fmt.Errorf("placement: %w", err)
 			}
 			predicted := dp.VirtualTime
+			if o.stager != nil && spec.AMode == storage.ModeRead &&
+				kind != o.stager.CacheKind() && spec.Size() <= o.stager.Budget() {
+				req := predict.DatasetReq{
+					Name:      spec.Name,
+					AMode:     spec.AMode.String(),
+					Dims:      spec.Dims,
+					Etype:     spec.Etype,
+					Pattern:   spec.Pattern.String(),
+					Location:  kind.String(),
+					Frequency: freq,
+					Opt:       spec.Opt,
+					Procs:     procs,
+				}
+				if first, hit, err := o.stager.PredictStagedRead(req, iterations); err == nil {
+					n := time.Duration(o.stager.ExpectedReads())
+					if amortized := (first + (n-1)*hit) / n; amortized < predicted {
+						predicted = amortized
+					}
+				}
+			}
 			if o.health != nil {
 				// Failure history taxes the prediction: expected recovery
 				// time the resource would add if its flakiness continues.
@@ -125,11 +161,15 @@ func Predictive(pdb *predict.DB, iterations, procs int, options ...Option) core.
 }
 
 // usable mirrors core.DefaultPlacer's health and capacity checks but
-// for the whole run's volume.
-func usable(be storage.Backend, bytes int64) bool {
+// for the whole run's volume.  A staging engine's cache budget is
+// treated as already-spent capacity on its backend.
+func usable(be storage.Backend, bytes int64, stager *stage.Manager) bool {
 	if o, ok := be.(storage.Outage); ok && o.Down() {
 		return false
 	}
 	total, used := be.Capacity()
+	if stager != nil {
+		used += stager.Reserved(be.Name())
+	}
 	return total <= 0 || used+bytes <= total
 }

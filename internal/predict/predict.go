@@ -68,6 +68,22 @@ func (db *DB) Unit(resource, op string, size int64) (float64, error) {
 	return t, nil
 }
 
+// WholeFile returns the predicted seconds for transferring an entire
+// file of the given size on the resource class with one native call,
+// including the eq. (1) file-open and file-close constants.  This is
+// the cost model of the whole-file fast path (storage.PutFile /
+// storage.GetFile) that the staging engine uses for tier-to-tier
+// copies.
+func (db *DB) WholeFile(resource, op string, size int64) (float64, error) {
+	t, err := db.Unit(resource, op, size)
+	if err != nil {
+		return 0, err
+	}
+	t += db.meta.Constant(nil, resource, op, metadb.CompOpen)
+	t += db.meta.Constant(nil, resource, op, metadb.CompClose)
+	return t, nil
+}
+
 // DatasetReq describes one dataset for prediction, mirroring the
 // columns of the figure 11 screen.
 type DatasetReq struct {

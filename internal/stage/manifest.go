@@ -1,0 +1,184 @@
+package stage
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// manifestMagic heads every encoded manifest; bump the suffix when the
+// line format changes.
+const manifestMagic = "stagemanifest/1"
+
+// ManifestPath is where SaveManifest persists the cache inventory on
+// the cache backend.
+const ManifestPath = "stage/.manifest"
+
+// ManifestEntry is one cached instance as recorded in the manifest: the
+// minimum needed to re-adopt the copy after a restart.
+type ManifestEntry struct {
+	Path     string // path on the home backend
+	Home     string // home backend name
+	Staged   string // path on the cache backend
+	Bytes    int64
+	Dirty    bool
+	Accesses int64 // reads observed so far, seeding residual estimates
+}
+
+// EncodeManifest renders entries as the line-oriented manifest format:
+// a magic first line, then one tab-separated record per entry with
+// quoted strings.  Entries are sorted by home+path so encoding is
+// deterministic.
+func EncodeManifest(entries []ManifestEntry) []byte {
+	sorted := make([]ManifestEntry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Home != sorted[j].Home {
+			return sorted[i].Home < sorted[j].Home
+		}
+		return sorted[i].Path < sorted[j].Path
+	})
+	var b strings.Builder
+	b.WriteString(manifestMagic)
+	b.WriteByte('\n')
+	for _, e := range sorted {
+		fmt.Fprintf(&b, "%s\t%s\t%s\t%d\t%t\t%d\n",
+			strconv.Quote(e.Home), strconv.Quote(e.Path), strconv.Quote(e.Staged),
+			e.Bytes, e.Dirty, e.Accesses)
+	}
+	return []byte(b.String())
+}
+
+// DecodeManifest parses data produced by EncodeManifest.  It never
+// panics on arbitrary input: malformed bytes yield an error.
+func DecodeManifest(data []byte) ([]ManifestEntry, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || lines[0] != manifestMagic {
+		return nil, fmt.Errorf("stage: bad manifest magic")
+	}
+	var out []ManifestEntry
+	for i, line := range lines[1:] {
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("stage: manifest line %d: want 6 fields, got %d", i+2, len(fields))
+		}
+		var e ManifestEntry
+		var err error
+		if e.Home, err = strconv.Unquote(fields[0]); err != nil {
+			return nil, fmt.Errorf("stage: manifest line %d home: %w", i+2, err)
+		}
+		if e.Path, err = strconv.Unquote(fields[1]); err != nil {
+			return nil, fmt.Errorf("stage: manifest line %d path: %w", i+2, err)
+		}
+		if e.Staged, err = strconv.Unquote(fields[2]); err != nil {
+			return nil, fmt.Errorf("stage: manifest line %d staged: %w", i+2, err)
+		}
+		if e.Bytes, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("stage: manifest line %d bytes: %w", i+2, err)
+		}
+		if e.Dirty, err = strconv.ParseBool(fields[4]); err != nil {
+			return nil, fmt.Errorf("stage: manifest line %d dirty: %w", i+2, err)
+		}
+		if e.Accesses, err = strconv.ParseInt(fields[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("stage: manifest line %d accesses: %w", i+2, err)
+		}
+		if e.Home == "" || e.Path == "" || e.Staged == "" || e.Bytes < 0 || e.Accesses < 0 {
+			return nil, fmt.Errorf("stage: manifest line %d: invalid entry", i+2)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Manifest snapshots the current cache inventory (ready, non-superseded
+// entries only).
+func (m *Manager) Manifest() []ManifestEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []ManifestEntry
+	for _, e := range m.entries {
+		if !e.ready || e.superseded {
+			continue
+		}
+		out = append(out, ManifestEntry{
+			Path:     e.path,
+			Home:     e.home.Name(),
+			Staged:   e.staged,
+			Bytes:    e.bytes,
+			Dirty:    e.dirty,
+			Accesses: int64(m.seen[e.key]),
+		})
+	}
+	return out
+}
+
+// SaveManifest persists the cache inventory to ManifestPath on the
+// cache backend, so a restarted Manager can re-adopt warm copies.
+func (m *Manager) SaveManifest(p *vtime.Proc) error {
+	sess, err := m.cacheSession(p)
+	if err != nil {
+		return err
+	}
+	return storage.PutFile(p, sess, ManifestPath, storage.ModeOverWrite, EncodeManifest(m.Manifest()))
+}
+
+// LoadManifest re-adopts cached copies recorded at ManifestPath.  homes
+// maps backend names to live backends; entries whose home is unknown,
+// whose cache file is missing or resized, or which would overflow the
+// budget are skipped rather than trusted.  Returns the number adopted.
+func (m *Manager) LoadManifest(p *vtime.Proc, homes ...storage.Backend) (int, error) {
+	sess, err := m.cacheSession(p)
+	if err != nil {
+		return 0, err
+	}
+	data, err := storage.GetFile(p, sess, ManifestPath)
+	if err != nil {
+		return 0, err
+	}
+	entries, err := DecodeManifest(data)
+	if err != nil {
+		return 0, err
+	}
+	byName := make(map[string]storage.Backend, len(homes))
+	for _, b := range homes {
+		byName[b.Name()] = b
+	}
+	adopted := 0
+	for _, me := range entries {
+		home := byName[me.Home]
+		if home == nil {
+			continue
+		}
+		info, err := sess.Stat(p, me.Staged)
+		if err != nil || info.Size != me.Bytes {
+			continue
+		}
+		key := stageKey(me.Home, me.Path)
+		m.mu.Lock()
+		if m.closed || m.entries[key] != nil || m.used+me.Bytes > m.cfg.Budget {
+			m.mu.Unlock()
+			continue
+		}
+		m.clock++
+		m.entries[key] = &entry{
+			key: key, path: me.Path, staged: me.Staged,
+			home: home, bytes: me.Bytes,
+			ready: true, dirty: me.Dirty, lastUse: m.clock,
+		}
+		m.seen[key] = int(me.Accesses)
+		m.used += me.Bytes
+		if m.used > m.st.PeakUsed {
+			m.st.PeakUsed = m.used
+		}
+		m.mu.Unlock()
+		adopted++
+	}
+	return adopted, nil
+}

@@ -1,0 +1,146 @@
+package stage
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func sampleManifest() []ManifestEntry {
+	return []ManifestEntry{
+		{Home: "sdsc-hpss", Path: "run1/iter000000", Staged: "stage/sdsc-hpss/run1/iter000000", Bytes: 4096, Dirty: false, Accesses: 1},
+		{Home: "sdsc-disk", Path: "run1/restart", Staged: "stage/sdsc-disk/run1/restart", Bytes: 128, Dirty: true, Accesses: 0},
+		{Home: "sdsc-disk", Path: "odd \t\"name\"\n", Staged: "stage/sdsc-disk/odd", Bytes: 1, Dirty: false, Accesses: 7},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	in := sampleManifest()
+	out, err := DecodeManifest(EncodeManifest(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d entries, want %d", len(out), len(in))
+	}
+	byKey := make(map[string]ManifestEntry)
+	for _, e := range out {
+		byKey[e.Home+"/"+e.Path] = e
+	}
+	for _, e := range in {
+		if got := byKey[e.Home+"/"+e.Path]; !reflect.DeepEqual(got, e) {
+			t.Fatalf("entry %q: got %+v want %+v", e.Path, got, e)
+		}
+	}
+}
+
+func TestManifestDeterministic(t *testing.T) {
+	in := sampleManifest()
+	rev := []ManifestEntry{in[2], in[0], in[1]}
+	if !bytes.Equal(EncodeManifest(in), EncodeManifest(rev)) {
+		t.Fatal("encoding depends on input order")
+	}
+}
+
+func TestManifestDecodeRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("not-a-manifest\n"),
+		[]byte(manifestMagic + "\nonly\tthree\tfields\n"),
+		[]byte(manifestMagic + "\n\"h\"\t\"p\"\t\"s\"\tNaN\ttrue\t0\n"),
+		[]byte(manifestMagic + "\n\"h\"\t\"p\"\t\"s\"\t10\tmaybe\t0\n"),
+		[]byte(manifestMagic + "\nnoquote\t\"p\"\t\"s\"\t10\ttrue\t0\n"),
+		[]byte(manifestMagic + "\n\"\"\t\"p\"\t\"s\"\t10\ttrue\t0\n"),
+		[]byte(manifestMagic + "\n\"h\"\t\"p\"\t\"s\"\t-1\ttrue\t0\n"),
+	} {
+		if _, err := DecodeManifest(data); err == nil {
+			t.Fatalf("garbage accepted: %q", data)
+		}
+	}
+}
+
+func TestSaveLoadManifest(t *testing.T) {
+	e := newTestEnv(t, Config{})
+	want := bytes.Repeat([]byte("m"), 512)
+	e.put(t, "runX/iter000000", want)
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "runX/iter000000", int64(len(want)))
+	if !pl.Staged {
+		t.Fatal("not staged")
+	}
+	pl.Release()
+	if err := e.mgr.SaveManifest(e.p); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh Manager over the same cache store re-adopts the copy.
+	mgr2, err := New(Config{Sim: e.sim, Cache: e.cache, Budget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	n, err := mgr2.LoadManifest(e.p, e.home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("adopted %d entries, want 1", n)
+	}
+	hit := mgr2.StageRead(e.p, e.home, e.hsess, "runX/iter000000", int64(len(want)))
+	if !hit.Staged {
+		t.Fatal("adopted copy not a hit")
+	}
+	if got := readPlan(t, e.p, hit); !bytes.Equal(got, want) {
+		t.Fatal("adopted copy differs")
+	}
+	if st := mgr2.Stats(); st.StagedIn != 0 || st.Hits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Unknown homes are skipped, not trusted.
+	mgr3, err := New(Config{Sim: e.sim, Cache: e.cache, Budget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr3.Close()
+	if n, err := mgr3.LoadManifest(e.p); err != nil || n != 0 {
+		t.Fatalf("adopted %d entries without homes (err %v)", n, err)
+	}
+}
+
+func FuzzManifestRoundTrip(f *testing.F) {
+	f.Add("home", "path/a", "stage/home/path/a", int64(100), true, int64(3))
+	f.Add("h\t2", "p\nq", "s\"x", int64(0), false, int64(0))
+	f.Fuzz(func(t *testing.T, home, path, staged string, size int64, dirty bool, acc int64) {
+		if home == "" || path == "" || staged == "" || size < 0 || acc < 0 {
+			t.Skip()
+		}
+		in := []ManifestEntry{{Home: home, Path: path, Staged: staged, Bytes: size, Dirty: dirty, Accesses: acc}}
+		out, err := DecodeManifest(EncodeManifest(in))
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if len(out) != 1 || !reflect.DeepEqual(out[0], in[0]) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", out, in)
+		}
+	})
+}
+
+// FuzzManifestDecodeArbitrary asserts DecodeManifest never panics and
+// that every successfully decoded entry is well-formed.
+func FuzzManifestDecodeArbitrary(f *testing.F) {
+	f.Add([]byte(manifestMagic + "\n\"h\"\t\"p\"\t\"s\"\t10\ttrue\t2\n"))
+	f.Add([]byte("junk"))
+	f.Add([]byte(manifestMagic + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if e.Home == "" || e.Path == "" || e.Staged == "" || e.Bytes < 0 || e.Accesses < 0 {
+				t.Fatalf("decoded invalid entry: %+v", e)
+			}
+		}
+	})
+}

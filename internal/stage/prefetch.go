@@ -1,0 +1,114 @@
+package stage
+
+import (
+	"time"
+
+	"repro/internal/storage"
+)
+
+// prefetchJob asks the background worker to stage one instance.
+type prefetchJob struct {
+	home     storage.Backend
+	path     string
+	size     int64
+	issuedAt time.Duration // virtual time the hint was issued
+}
+
+// Prefetch hints that the instance at path on home will be read soon:
+// the background worker stages it while the caller computes.  The copy
+// costs virtual time, but on a *prefetch* process that starts at
+// issuedAt (the hinting rank's clock) — so a later hit pays only
+// max(0, completion − reader.Now), the paper's overlap of I/O with
+// computation.  Hints are dropped silently when prefetch is disabled,
+// the queue is full, or the instance is already cached.
+func (m *Manager) Prefetch(home storage.Backend, path string, size int64, issuedAt time.Duration) {
+	if m == nil || home == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.prefetchq == nil || m.closed {
+		m.mu.Unlock()
+		return
+	}
+	if home.Name() == m.cfg.Cache.Name() || m.entries[stageKey(home.Name(), path)] != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.st.PrefetchIssued++
+	m.pending.Add(1)
+	q := m.prefetchq
+	m.mu.Unlock()
+
+	select {
+	case q <- prefetchJob{home: home, path: path, size: size, issuedAt: issuedAt}:
+	default:
+		m.pending.Done() // queue full: drop the hint
+	}
+}
+
+// WaitPrefetch blocks until every accepted prefetch hint has been
+// processed (staged or dropped).  Tests and experiment harnesses call
+// it before measuring hit rates.
+func (m *Manager) WaitPrefetch() { m.pending.Wait() }
+
+// prefetchLoop is the background staging worker.  Each job runs on a
+// fresh prefetch Proc advanced to the hint's issue time, so the copy is
+// charged to virtual time concurrent with the hinting rank's compute
+// phase rather than serialized after it.
+func (m *Manager) prefetchLoop() {
+	defer m.workers.Done()
+	for job := range m.prefetchq {
+		m.prefetchOne(job)
+		m.pending.Done()
+	}
+}
+
+func (m *Manager) prefetchOne(job prefetchJob) {
+	p := m.cfg.Sim.NewProc("stage-prefetch")
+	p.AdvanceTo(job.issuedAt)
+	key := stageKey(job.home.Name(), job.path)
+
+	m.mu.Lock()
+	if m.closed || m.entries[key] != nil {
+		m.mu.Unlock()
+		return
+	}
+	residual := m.expectedResidualLocked(key)
+	m.mu.Unlock()
+
+	if !m.decide(residual, job.home.Kind(), job.size, true) {
+		return
+	}
+	if m.cfg.Health != nil && !m.cfg.Health.Available(job.home.Name()) {
+		return
+	}
+	hsess, err := m.homeSession(p, job.home)
+	if err != nil {
+		return
+	}
+	size := job.size
+	if size <= 0 {
+		info, err := hsess.Stat(p, job.path)
+		if err != nil {
+			return
+		}
+		size = info.Size
+	} else if _, err := hsess.Stat(p, job.path); err != nil {
+		return // the instance does not exist (yet)
+	}
+	plan, ok := m.stageIn(p, job.home, hsess, job.path, size, key)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	if e := m.entries[key]; e != nil {
+		e.prefetched = true
+		e.waitUntil = p.Now() // hitters wait out the remaining copy time
+		// stageIn counted a hit and a pin for its caller; a prefetch has
+		// no caller, so undo both.
+		m.st.Hits--
+		m.st.PrefetchDone++
+	}
+	m.mu.Unlock()
+	plan.Release()
+}

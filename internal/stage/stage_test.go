@@ -1,0 +1,523 @@
+package stage
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flaky"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/predict"
+	"repro/internal/remotedisk"
+	"repro/internal/resilient"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// testEnv is a remote-disk home in front of a local-disk cache over
+// in-memory stores.
+type testEnv struct {
+	sim   *vtime.Sim
+	home  storage.Backend
+	cache storage.Backend
+	mgr   *Manager
+	p     *vtime.Proc
+	hsess storage.Session
+}
+
+func newTestEnv(t *testing.T, cfg Config) *testEnv {
+	t.Helper()
+	sim := vtime.NewVirtual()
+	home, err := remotedisk.New("rdisk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Sim = sim
+	if cfg.Cache == nil {
+		cfg.Cache = cache
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = 1 << 20
+	}
+	mgr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	p := sim.NewProc("rank0")
+	hsess, err := home.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{sim: sim, home: home, cache: cache, mgr: mgr, p: p, hsess: hsess}
+}
+
+func (e *testEnv) put(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := storage.PutFile(e.p, e.hsess, path, storage.ModeCreate, data); err != nil {
+		t.Fatalf("put %s: %v", path, err)
+	}
+}
+
+// readPlan performs one staged-or-direct read end to end and returns
+// the bytes.
+func readPlan(t *testing.T, p *vtime.Proc, pl ReadPlan) []byte {
+	t.Helper()
+	defer pl.Release()
+	data, err := storage.GetFile(p, pl.Sess, pl.Path)
+	if err != nil {
+		t.Fatalf("read %s: %v", pl.Path, err)
+	}
+	return data
+}
+
+func TestStageReadMissThenHit(t *testing.T) {
+	e := newTestEnv(t, Config{})
+	want := bytes.Repeat([]byte("astro"), 100)
+	e.put(t, "run1/iter000000", want)
+
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "run1/iter000000", int64(len(want)))
+	if !pl.Staged {
+		t.Fatalf("first read not staged: %+v", e.mgr.Stats())
+	}
+	if got := readPlan(t, e.p, pl); !bytes.Equal(got, want) {
+		t.Fatalf("staged copy differs: got %d bytes", len(got))
+	}
+	pl2 := e.mgr.StageRead(e.p, e.home, e.hsess, "run1/iter000000", int64(len(want)))
+	if !pl2.Staged {
+		t.Fatal("second read not served from cache")
+	}
+	if got := readPlan(t, e.p, pl2); !bytes.Equal(got, want) {
+		t.Fatal("cached copy differs")
+	}
+	st := e.mgr.Stats()
+	if st.StagedIn != 1 || st.Hits != 2 || st.BytesStagedIn != int64(len(want)) {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Used != int64(len(want)) {
+		t.Fatalf("used = %d, want %d", st.Used, len(want))
+	}
+}
+
+func TestStageReadSameTierIsDirect(t *testing.T) {
+	e := newTestEnv(t, Config{})
+	csess, err := e.cache.Connect(e.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := e.mgr.StageRead(e.p, e.cache, csess, "x", 10)
+	if pl.Staged {
+		t.Fatal("cache-homed read must not stage")
+	}
+}
+
+// TestDecideInequality drives the eq. (2) decision with hand-built
+// performance curves: when the home tier is barely slower than the
+// cache, one residual access cannot amortize the copy-in cost and the
+// read must go direct.
+func TestDecideInequality(t *testing.T) {
+	meta := metadb.New()
+	for _, s := range []metadb.PerfSample{
+		{Resource: "remotedisk", Op: "read", Size: 1 << 10, Seconds: 0.011},
+		{Resource: "remotedisk", Op: "read", Size: 1 << 20, Seconds: 0.011 * 1024},
+		{Resource: "localdisk", Op: "read", Size: 1 << 10, Seconds: 0.010},
+		{Resource: "localdisk", Op: "read", Size: 1 << 20, Seconds: 0.010 * 1024},
+		{Resource: "localdisk", Op: "write", Size: 1 << 10, Seconds: 0.010},
+		{Resource: "localdisk", Op: "write", Size: 1 << 20, Seconds: 0.010 * 1024},
+	} {
+		meta.AddSample(nil, s)
+	}
+	pdb := predict.NewDB(meta)
+
+	// ExpectedReads=2: after the first access one residual remains.
+	// Saving per access = 0.001 s/KiB; copy-in = 0.010 s/KiB.  1×0.001
+	// < 0.010 → direct.
+	e := newTestEnv(t, Config{PDB: pdb, ExpectedReads: 2})
+	e.put(t, "d", make([]byte, 1<<10))
+	if pl := e.mgr.StageRead(e.p, e.home, e.hsess, "d", 1<<10); pl.Staged {
+		t.Fatal("unprofitable stage-in accepted")
+	}
+
+	// ExpectedReads=20: 19×0.001 > 0.010 → stage.
+	e2 := newTestEnv(t, Config{PDB: pdb, ExpectedReads: 20})
+	e2.put(t, "d", make([]byte, 1<<10))
+	pl := e2.mgr.StageRead(e2.p, e2.home, e2.hsess, "d", 1<<10)
+	if !pl.Staged {
+		t.Fatal("profitable stage-in rejected")
+	}
+	pl.Release()
+}
+
+func TestEvictionHonorsBudget(t *testing.T) {
+	const sz = 1000
+	e := newTestEnv(t, Config{Budget: 2 * sz})
+	for i := 0; i < 3; i++ {
+		e.put(t, fmt.Sprintf("f%d", i), make([]byte, sz))
+	}
+	for i := 0; i < 3; i++ {
+		pl := e.mgr.StageRead(e.p, e.home, e.hsess, fmt.Sprintf("f%d", i), sz)
+		if !pl.Staged {
+			t.Fatalf("f%d not staged", i)
+		}
+		pl.Release()
+	}
+	st := e.mgr.Stats()
+	if st.Used > st.Budget {
+		t.Fatalf("used %d exceeds budget %d", st.Used, st.Budget)
+	}
+	if st.PeakUsed > st.Budget {
+		t.Fatalf("peak %d exceeds budget %d", st.PeakUsed, st.Budget)
+	}
+	if st.Evictions != 1 || st.BytesEvicted != sz {
+		t.Fatalf("evictions: %+v", st)
+	}
+}
+
+func TestPinnedEntriesSurviveEviction(t *testing.T) {
+	const sz = 1000
+	e := newTestEnv(t, Config{Budget: 2 * sz})
+	e.put(t, "pinned", make([]byte, sz))
+	e.put(t, "lru", make([]byte, sz))
+	e.put(t, "next", make([]byte, sz))
+
+	plPinned := e.mgr.StageRead(e.p, e.home, e.hsess, "pinned", sz)
+	if !plPinned.Staged {
+		t.Fatal("pinned not staged")
+	}
+	// Hold the pin across the next stage-ins.
+	plLRU := e.mgr.StageRead(e.p, e.home, e.hsess, "lru", sz)
+	plLRU.Release()
+	plNext := e.mgr.StageRead(e.p, e.home, e.hsess, "next", sz)
+	plNext.Release()
+	if !plNext.Staged {
+		t.Fatal("next not staged")
+	}
+	// The unpinned LRU entry must have been the victim.
+	hit := e.mgr.StageRead(e.p, e.home, e.hsess, "pinned", sz)
+	if !hit.Staged {
+		t.Fatal("pinned entry was evicted")
+	}
+	hit.Release()
+	plPinned.Release()
+}
+
+// TestConcurrentRanksBudget staggers many ranks staging distinct
+// instances through a budget that holds only a few: the invariant under
+// -race is that PeakUsed never exceeds Budget and every cached byte is
+// accounted.
+func TestConcurrentRanksBudget(t *testing.T) {
+	const (
+		ranks = 8
+		files = 4 // per rank
+		sz    = 1 << 10
+	)
+	e := newTestEnv(t, Config{Budget: 3 * sz})
+	for r := 0; r < ranks; r++ {
+		for f := 0; f < files; f++ {
+			e.put(t, fmt.Sprintf("r%d/f%d", r, f), bytes.Repeat([]byte{byte(r), byte(f)}, sz/2))
+		}
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			p := e.sim.NewProc(fmt.Sprintf("rank%d", r))
+			hsess, err := e.home.Connect(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for f := 0; f < files; f++ {
+				want := bytes.Repeat([]byte{byte(r), byte(f)}, sz/2)
+				pl := e.mgr.StageRead(p, e.home, hsess, fmt.Sprintf("r%d/f%d", r, f), sz)
+				data, err := storage.GetFile(p, pl.Sess, pl.Path)
+				pl.Release()
+				if err != nil {
+					t.Errorf("rank %d f%d: %v", r, f, err)
+					return
+				}
+				if !bytes.Equal(data, want) {
+					t.Errorf("rank %d f%d: corrupt read", r, f)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	st := e.mgr.Stats()
+	if st.PeakUsed > st.Budget {
+		t.Fatalf("peak %d exceeded budget %d", st.PeakUsed, st.Budget)
+	}
+	if st.Used < 0 || st.Used > st.Budget {
+		t.Fatalf("final used %d out of range", st.Used)
+	}
+}
+
+func TestStageWriteCommitAndDrain(t *testing.T) {
+	e := newTestEnv(t, Config{})
+	data := bytes.Repeat([]byte("ckpt"), 64)
+
+	wp, ok := e.mgr.StageWrite(e.p, e.home, "run/restart", int64(len(data)))
+	if !ok {
+		t.Fatal("staged write rejected")
+	}
+	if err := storage.PutFile(e.p, wp.Sess, wp.Path, storage.ModeOverWrite, data); err != nil {
+		t.Fatal(err)
+	}
+	wp.Commit(e.p)
+
+	// The home tier must not have the instance yet (write-back is lazy).
+	if _, err := e.hsess.Stat(e.p, "run/restart"); err == nil {
+		t.Fatal("write-back happened eagerly")
+	}
+	// A read of the dirty instance is served from the cache.
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "run/restart", int64(len(data)))
+	if !pl.Staged {
+		t.Fatal("dirty instance not served from cache")
+	}
+	if got := readPlan(t, e.p, pl); !bytes.Equal(got, data) {
+		t.Fatal("dirty read differs")
+	}
+
+	if err := e.mgr.Drain(e.p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := storage.GetFile(e.p, e.hsess, "run/restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("drained bytes differ")
+	}
+	st := e.mgr.Stats()
+	if st.StagedWrites != 1 || st.WriteBacks != 1 || st.BytesWrittenBack != int64(len(data)) {
+		t.Fatalf("stats: %+v", st)
+	}
+	// A second drain is a no-op.
+	if err := e.mgr.Drain(e.p); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.mgr.Stats(); st.WriteBacks != 1 {
+		t.Fatal("clean entry drained twice")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	const sz = 1000
+	e := newTestEnv(t, Config{Budget: sz})
+	data := make([]byte, sz)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	wp, ok := e.mgr.StageWrite(e.p, e.home, "dirty", sz)
+	if !ok {
+		t.Fatal("staged write rejected")
+	}
+	if err := storage.PutFile(e.p, wp.Sess, wp.Path, storage.ModeOverWrite, data); err != nil {
+		t.Fatal(err)
+	}
+	wp.Commit(e.p)
+
+	// Staging a second instance must evict the dirty one — after
+	// draining it home.
+	e.put(t, "other", make([]byte, sz))
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "other", sz)
+	if !pl.Staged {
+		t.Fatal("second instance not staged")
+	}
+	pl.Release()
+	got, err := storage.GetFile(e.p, e.hsess, "dirty")
+	if err != nil {
+		t.Fatalf("evicted dirty instance lost: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("written-back bytes differ")
+	}
+}
+
+func TestStageWriteSupersededByDirectWrite(t *testing.T) {
+	e := newTestEnv(t, Config{})
+	old := []byte("old-bytes")
+	wp, ok := e.mgr.StageWrite(e.p, e.home, "ds", int64(len(old)))
+	if !ok {
+		t.Fatal("staged write rejected")
+	}
+	if err := storage.PutFile(e.p, wp.Sess, wp.Path, storage.ModeOverWrite, old); err != nil {
+		t.Fatal(err)
+	}
+	// The writer dies before Commit; a second writer asks to stage the
+	// same instance while the first plan is outstanding — it must be
+	// refused and the stale copy invalidated.
+	if _, ok := e.mgr.StageWrite(e.p, e.home, "ds", 9); ok {
+		t.Fatal("second staged write of a busy instance accepted")
+	}
+	wp.Commit(e.p)
+	fresh := []byte("new-bytes")
+	e.put(t, "ds", fresh)
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "ds", int64(len(fresh)))
+	if pl.Staged {
+		t.Fatal("superseded cache copy served")
+	}
+	if got := readPlan(t, e.p, pl); !bytes.Equal(got, fresh) {
+		t.Fatal("read did not see the direct write")
+	}
+}
+
+func TestPrefetchProducesHit(t *testing.T) {
+	e := newTestEnv(t, Config{PrefetchDepth: 2})
+	want := bytes.Repeat([]byte("pf"), 256)
+	e.put(t, "iter000010", want)
+
+	e.mgr.Prefetch(e.home, "iter000010", int64(len(want)), e.p.Now())
+	e.mgr.WaitPrefetch()
+
+	before := e.p.Now()
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "iter000010", int64(len(want)))
+	if !pl.Staged {
+		t.Fatal("prefetched instance not a hit")
+	}
+	if got := readPlan(t, e.p, pl); !bytes.Equal(got, want) {
+		t.Fatal("prefetched copy differs")
+	}
+	st := e.mgr.Stats()
+	if st.PrefetchIssued != 1 || st.PrefetchDone != 1 || st.PrefetchHits != 1 {
+		t.Fatalf("prefetch stats: %+v", st)
+	}
+	if st.Hits != 1 || st.StagedIn != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The hit waited out the prefetch completion (the copy started at
+	// the hint time, so completion > hint time in virtual time).
+	if e.p.Now() <= before {
+		t.Fatal("prefetch completion time not charged to the reader")
+	}
+}
+
+func TestPrefetchMissingInstanceDropped(t *testing.T) {
+	e := newTestEnv(t, Config{PrefetchDepth: 2})
+	e.mgr.Prefetch(e.home, "not-there", 100, 0)
+	e.mgr.WaitPrefetch()
+	if st := e.mgr.Stats(); st.StagedIn != 0 {
+		t.Fatalf("staged a missing instance: %+v", st)
+	}
+}
+
+// TestStageInFailureLeavesNoPartialCopy fails every cache write: the
+// stage-in must fall through to a direct read and leave nothing under
+// the cache's stage/ namespace.
+func TestStageInFailureLeavesNoPartialCopy(t *testing.T) {
+	sim := vtime.NewVirtual()
+	home, err := remotedisk.New("rdisk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := flaky.Wrap(inner, flaky.Policy{FailEvery: 1, Ops: []string{"write"}})
+	mgr, err := New(Config{
+		Sim: sim, Cache: cache, Budget: 1 << 20,
+		Retry: resilient.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	p := sim.NewProc("rank0")
+	hsess, err := home.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("must-survive")
+	if err := storage.PutFile(p, hsess, "d", storage.ModeCreate, want); err != nil {
+		t.Fatal(err)
+	}
+
+	pl := mgr.StageRead(p, home, hsess, "d", int64(len(want)))
+	if pl.Staged {
+		t.Fatal("failed stage-in reported as staged")
+	}
+	if got := readPlan(t, p, pl); !bytes.Equal(got, want) {
+		t.Fatal("direct fallback read differs")
+	}
+	st := mgr.Stats()
+	if st.StageFailures != 1 || st.StagedIn != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Used != 0 {
+		t.Fatalf("leaked reservation: used=%d", st.Used)
+	}
+	csess, err := inner.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := csess.List(p, "stage/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("partial copies left behind: %v", infos)
+	}
+}
+
+// TestBreakerVetoesStageIn opens the home circuit: StageRead must not
+// even attempt the copy.
+func TestBreakerVetoesStageIn(t *testing.T) {
+	health := resilient.NewHealth(resilient.BreakerConfig{})
+	e := newTestEnv(t, Config{Health: health})
+	e.put(t, "d", []byte("x"))
+	health.Breaker(e.home.Name()).Trip(e.p.Now())
+	if health.Available(e.home.Name()) {
+		t.Fatal("breaker did not open")
+	}
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "d", 1)
+	if pl.Staged {
+		t.Fatal("staged from a tripped home")
+	}
+	if st := e.mgr.Stats(); st.StagedIn != 0 {
+		t.Fatalf("copy attempted: %+v", st)
+	}
+}
+
+func TestMovementChargedToVtime(t *testing.T) {
+	e := newTestEnv(t, Config{})
+	want := bytes.Repeat([]byte("t"), 1<<16)
+	e.put(t, "d", want)
+	before := e.p.Now()
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "d", int64(len(want)))
+	if !pl.Staged {
+		t.Fatal("not staged")
+	}
+	pl.Release()
+	if e.p.Now() <= before {
+		t.Fatal("stage-in copy cost not charged to the caller's clock")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cache, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := vtime.NewVirtual()
+	for _, cfg := range []Config{
+		{Cache: cache, Budget: 1},
+		{Sim: sim, Budget: 1},
+		{Sim: sim, Cache: cache},
+		{Sim: sim, Cache: cache, Budget: -5},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("invalid config accepted: %+v", cfg)
+		}
+	}
+}

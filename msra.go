@@ -40,6 +40,7 @@ import (
 	"repro/internal/resilient"
 	"repro/internal/srb"
 	"repro/internal/srbnet"
+	"repro/internal/stage"
 	"repro/internal/storage"
 	"repro/internal/tape"
 	"repro/internal/vtime"
@@ -269,6 +270,31 @@ func WrapResilient(inner Backend, opts ...ResilientOption) *ResilientBackend {
 // NewHealth returns a shared breaker registry for WithHealth /
 // WithPlacementHealth.
 func NewHealth(cfg BreakerConfig) *Health { return resilient.NewHealth(cfg) }
+
+// Staging engine types (prediction-driven tiered migration).
+type (
+	// StageManager owns the capacity-budgeted fast-tier cache in front
+	// of slower storage resources: profitable reads are staged in,
+	// writes may land on the cache with write-back, and sequential
+	// consumers get background prefetch.
+	StageManager = stage.Manager
+	// StageConfig wires a StageManager (cache backend, byte budget,
+	// predictor, prefetch depth, retry policy).
+	StageConfig = stage.Config
+	// StageStats counts the staging engine's traffic (hits, misses,
+	// bytes moved, evictions, prefetch activity).
+	StageStats = stage.Stats
+)
+
+// WithPlacementStaging makes PredictivePlacer account for the stage
+// cache's capacity reservation and credit slow resources with the
+// staged access path ("tape home + staged reads").
+var WithPlacementStaging = placement.WithStaging
+
+// NewStageManager returns a staging engine over the given cache backend
+// and budget.  Hand it to SystemConfig.Stager to redirect dataset I/O
+// through the cache transparently.
+func NewStageManager(cfg StageConfig) (*StageManager, error) { return stage.New(cfg) }
 
 // MeasurePerformance runs PTool against the given backends, filling the
 // meta-data database's performance tables.
