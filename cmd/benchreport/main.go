@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchreport [-scale test|bench|paper]
-//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|failover]
+//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|calib|failover]
 //
 // The -exp list in this comment and in the flag help both come from
 // experiments.Names(); a test keeps this comment honest.
@@ -166,6 +166,14 @@ func run(scale experiments.Scale, exp string) error {
 		}
 		fmt.Fprintf(out, "== Staging: tape-homed re-reads, direct vs prediction-driven cache ==\n%s\n",
 			experiments.StagingString(rows))
+	}
+	if all || exp == "calib" {
+		res, err := experiments.Calib(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Calibration: skewed curves, traced run, refreshed predictions ==\n%s\n",
+			experiments.CalibString(res))
 	}
 	if all || exp == "failover" {
 		res, err := experiments.Failover(scale)

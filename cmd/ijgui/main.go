@@ -14,6 +14,7 @@ import (
 	"log"
 	"net/http"
 
+	"repro/internal/calib"
 	"repro/internal/experiments"
 	"repro/internal/metadb"
 	"repro/internal/predict"
@@ -28,6 +29,7 @@ func main() {
 	flag.Parse()
 
 	var pdb *predict.DB
+	var opts []webui.Option
 	if *dbPath != "" {
 		meta := metadb.New()
 		if err := meta.Load(*dbPath); err != nil {
@@ -35,12 +37,17 @@ func main() {
 		}
 		pdb = predict.NewDB(meta)
 	} else {
-		env, err := experiments.NewEnv()
+		// Measured on the fly: the environment is traced, so the window
+		// also serves /metrics and, once the process has recorded real
+		// I/O, measured-vs-predicted columns with drift flags.
+		env, err := experiments.NewTracedEnv()
 		if err != nil {
 			log.Fatal(err)
 		}
 		pdb = env.PDB
+		eng := calib.New(calib.Config{Meta: env.Meta, Classes: env.Classes()})
+		opts = append(opts, webui.WithMetrics(env.Metrics), webui.WithCalibration(eng))
 	}
 	fmt.Printf("ijgui prediction window on http://%s/\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, webui.New(pdb)))
+	log.Fatal(http.ListenAndServe(*addr, webui.New(pdb, opts...)))
 }

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/calib"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/predict"
+	"repro/internal/storage"
+)
+
+// ------------------------------------------------------------------
+// Calibration: the measured-vs-predicted loop closed online.  The
+// performance database is deliberately skewed (as if the resources had
+// drifted since PTool last ran: the remote disks degraded, the local
+// disks and tapes sped up), Astro3D runs with tracing on, and the
+// calibration engine then joins the run's metrics against the skewed
+// predictions, flags the drift, and writes refreshed curves back.  The
+// experiment reports per-dataset prediction error before and after —
+// the acceptance criterion is that calibration strictly shrinks it.
+
+// calibSkew is the drift injected per resource class: the factor the
+// write curve is divided by, so predictions are wrong by exactly its
+// inverse until calibration.
+var calibSkew = map[string]float64{
+	"localdisk":  0.35, // database believes local disks are ~3× slower than they are
+	"remotedisk": 2.6,  // …and remote disks ~2.6× faster
+	"remotetape": 0.45,
+}
+
+// CalibRow compares one dataset's measured I/O time against its
+// prediction before and after calibration.
+type CalibRow struct {
+	Dataset    string
+	Resource   string
+	Measured   time.Duration
+	PredBefore time.Duration
+	PredAfter  time.Duration
+}
+
+// errPct returns the absolute fractional error of pred vs measured.
+func errFrac(pred, meas time.Duration) float64 {
+	if meas <= 0 {
+		return 0
+	}
+	return math.Abs(pred.Seconds()-meas.Seconds()) / meas.Seconds()
+}
+
+// CalibResult is the calibration experiment's outcome.
+type CalibResult struct {
+	Rows      []CalibRow
+	Residuals []calib.Residual
+	// MeanAbsErrBefore/After are the mean absolute per-dataset
+	// prediction errors (fractions) against the skewed and the
+	// calibrated database.
+	MeanAbsErrBefore float64
+	MeanAbsErrAfter  float64
+	// Drifted counts residuals outside the band before calibration.
+	Drifted int
+}
+
+// calibDataset is one dataset of the calibration workload.  Dims are
+// sized so the native units land in the KiB–MiB regime of the PTool
+// sweep — the transfer-dominated regime of figures 9–11, where a
+// skewed curve visibly corrupts the prediction.  (The Astro3D test
+// scale writes units whose cost is dominated by the eq. (1) open/close
+// constants, which calibration deliberately leaves alone.)  The run is
+// single-process on purpose: like PTool's own sweep, the observed
+// per-call costs must be queue-free — with concurrent ranks the trace
+// costs include device queue wait, and calibration would bake the
+// contention of this particular run into the curve.
+type calibDataset struct {
+	name  string
+	loc   core.Location
+	class string
+	dims  []int
+}
+
+var calibDatasets = []calibDataset{
+	// 64×64×16×4 B = 256 KiB, 128×128×16×4 B = 1 MiB, ×64 = 4 MiB.
+	{"rdisk_s", core.LocRemoteDisk, "remotedisk", []int{64, 64, 16}},
+	{"rdisk_m", core.LocRemoteDisk, "remotedisk", []int{128, 128, 16}},
+	{"rdisk_l", core.LocRemoteDisk, "remotedisk", []int{128, 128, 64}},
+	{"ldisk_s", core.LocLocalDisk, "localdisk", []int{64, 64, 16}},
+	{"ldisk_m", core.LocLocalDisk, "localdisk", []int{128, 128, 16}},
+	{"ldisk_l", core.LocLocalDisk, "localdisk", []int{128, 128, 64}},
+	{"tape_s", core.LocRemoteTape, "remotetape", []int{64, 64, 16}},
+	{"tape_m", core.LocRemoteTape, "remotetape", []int{128, 128, 16}},
+	{"tape_l", core.LocRemoteTape, "remotetape", []int{128, 128, 64}},
+}
+
+// Calib skews the performance database, runs the traced workload, and
+// calibrates.
+func Calib(scale Scale) (CalibResult, error) {
+	env, err := NewTracedEnv()
+	if err != nil {
+		return CalibResult{}, err
+	}
+	// Inject the drift: the run-time system charges true costs, the
+	// database predicts skewed ones.
+	for class, factor := range calibSkew {
+		samples := env.Meta.Samples(nil, class, "write")
+		for i := range samples {
+			samples[i].Seconds /= factor
+		}
+		env.Meta.ReplaceSamples(nil, class, "write", samples)
+	}
+
+	pat, err := pattern.Parse("B**")
+	if err != nil {
+		return CalibResult{}, err
+	}
+	run, err := env.Sys.Initialize(core.RunConfig{
+		ID: "calib", App: "calib", Iterations: scale.MaxIter, Procs: 1,
+	})
+	if err != nil {
+		return CalibResult{}, err
+	}
+	measured := make(map[string]time.Duration, len(calibDatasets))
+	for _, cd := range calibDatasets {
+		d, err := run.OpenDataset(core.DatasetSpec{
+			Name: cd.name, AMode: storage.ModeCreate,
+			Dims: cd.dims, Etype: 4, Pattern: pat,
+			Location: cd.loc, Frequency: scale.Freq,
+		})
+		if err != nil {
+			return CalibResult{}, err
+		}
+		n, err := d.LocalSize(0)
+		if err != nil {
+			return CalibResult{}, err
+		}
+		bufs := [][]byte{make([]byte, n)}
+		for iter := 0; iter <= scale.MaxIter; iter += scale.Freq {
+			if err := d.WriteIter(iter, bufs); err != nil {
+				return CalibResult{}, err
+			}
+		}
+		measured[cd.name] = d.Stats().IOTime
+	}
+	if err := run.Finalize(); err != nil {
+		return CalibResult{}, err
+	}
+
+	predictOne := func(cd calibDataset) (predict.DatasetPrediction, error) {
+		return env.PDB.PredictDataset(predict.DatasetReq{
+			Name: cd.name, AMode: "create", Dims: cd.dims, Etype: 4,
+			Pattern: "B**", Location: cd.class,
+			Frequency: scale.Freq, Procs: 1,
+		}, scale.MaxIter)
+	}
+	before := make(map[string]predict.DatasetPrediction, len(calibDatasets))
+	for _, cd := range calibDatasets {
+		p, err := predictOne(cd)
+		if err != nil {
+			return CalibResult{}, err
+		}
+		before[cd.name] = p
+	}
+
+	eng := calib.New(calib.Config{Meta: env.Meta, Classes: env.Classes()})
+	residuals := eng.Calibrate(env.Metrics.Snapshot())
+
+	res := CalibResult{Residuals: residuals, Drifted: len(calib.Drifted(residuals))}
+	var sumBefore, sumAfter float64
+	n := 0
+	for _, cd := range calibDatasets {
+		after, err := predictOne(cd)
+		if err != nil {
+			return CalibResult{}, err
+		}
+		meas := measured[cd.name]
+		if meas <= 0 {
+			continue
+		}
+		row := CalibRow{
+			Dataset: cd.name, Resource: cd.class, Measured: meas,
+			PredBefore: before[cd.name].VirtualTime, PredAfter: after.VirtualTime,
+		}
+		res.Rows = append(res.Rows, row)
+		sumBefore += errFrac(row.PredBefore, meas)
+		sumAfter += errFrac(row.PredAfter, meas)
+		n++
+	}
+	if n > 0 {
+		res.MeanAbsErrBefore = sumBefore / float64(n)
+		res.MeanAbsErrAfter = sumAfter / float64(n)
+	}
+	return res, nil
+}
+
+// CalibString renders the calibration experiment report.
+func CalibString(r CalibResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-12s %12s %18s %17s\n",
+		"dataset", "resource", "measured(s)", "pred-before(s)", "pred-after(s)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %-12s %12.3f %12.3f (%+3.0f%%) %12.3f (%+3.0f%%)\n",
+			row.Dataset, row.Resource, row.Measured.Seconds(),
+			row.PredBefore.Seconds(), (row.PredBefore.Seconds()/row.Measured.Seconds()-1)*100,
+			row.PredAfter.Seconds(), (row.PredAfter.Seconds()/row.Measured.Seconds()-1)*100)
+	}
+	fmt.Fprintf(&b, "mean |error|: before %.1f%%   after %.1f%%   (%d resource/op cells drifted beyond ±%.0f%%)\n",
+		r.MeanAbsErrBefore*100, r.MeanAbsErrAfter*100, r.Drifted, calib.DefaultBand*100)
+	b.WriteString("\nper-resource residuals (pre-calibration):\n")
+	b.WriteString(calib.String(r.Residuals, calib.DefaultBand))
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCalibShrinksPredictionError is the experiment's acceptance
+// criterion: on the skewed-curve scenario, calibration must strictly
+// shrink the mean absolute per-dataset prediction error.
+func TestCalibShrinksPredictionError(t *testing.T) {
+	res, err := Calib(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(calibDatasets) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(calibDatasets))
+	}
+	if res.MeanAbsErrAfter >= res.MeanAbsErrBefore {
+		t.Fatalf("calibration did not shrink error: before %.3f after %.3f",
+			res.MeanAbsErrBefore, res.MeanAbsErrAfter)
+	}
+	// The injected skews (÷0.35, ÷2.6, ÷0.45) put every class far
+	// outside the ±15% band before calibration…
+	if res.Drifted != len(calibSkew) {
+		t.Fatalf("drifted cells = %d, want %d", res.Drifted, len(calibSkew))
+	}
+	// …and the single-proc workload observes queue-free costs, so the
+	// calibrated predictions land close to measured.
+	if res.MeanAbsErrAfter > 0.10 {
+		t.Fatalf("post-calibration error %.3f > 10%%", res.MeanAbsErrAfter)
+	}
+	for _, row := range res.Rows {
+		if row.Measured <= 0 || row.PredBefore <= 0 || row.PredAfter <= 0 {
+			t.Fatalf("non-positive time in row %+v", row)
+		}
+	}
+}
+
+// TestCalibResidualRatiosMatchSkew checks the engine recovers the
+// injected drift factors exactly: with queue-free observations the
+// measured/predicted ratio per class is the inverse of the curve skew.
+func TestCalibResidualRatiosMatchSkew(t *testing.T) {
+	res, err := Calib(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Residuals {
+		want, ok := calibSkew[r.Resource]
+		if !ok || r.Op != "write" {
+			continue
+		}
+		seen[r.Resource] = true
+		if diff := r.Ratio/want - 1; diff < -0.05 || diff > 0.05 {
+			t.Errorf("%s ratio = %.3f, want ≈%.3f", r.Resource, r.Ratio, want)
+		}
+		if !r.Drift {
+			t.Errorf("%s residual not flagged as drift", r.Resource)
+		}
+	}
+	for class := range calibSkew {
+		if !seen[class] {
+			t.Errorf("no residual for class %s", class)
+		}
+	}
+}
+
+func TestCalibString(t *testing.T) {
+	res, err := Calib(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := CalibString(res)
+	for _, want := range []string{
+		"dataset", "mean |error|", "per-resource residuals",
+		"rdisk_l", "remotetape", "±15%!",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/remotedisk"
 	"repro/internal/storage"
 	"repro/internal/tape"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -53,6 +54,23 @@ type Env struct {
 	RDisk   storage.Backend
 	RTape   *tape.Library
 	Reports []ptool.Report
+
+	// Rec/Metrics are set by NewTracedEnv: one shared recorder and
+	// metrics aggregation wired into all three backends, reset after
+	// the PTool sweep so only application traffic is folded.
+	Rec     *trace.Recorder
+	Metrics *trace.Metrics
+}
+
+// Classes maps the environment's backend instance names to the
+// resource classes the performance database is keyed by — the join key
+// the calibration engine needs.
+func (e *Env) Classes() map[string]string {
+	return map[string]string{
+		e.Local.Name(): e.Local.Kind().String(),
+		e.RDisk.Name(): e.RDisk.Kind().String(),
+		e.RTape.Name(): e.RTape.Kind().String(),
+	}
 }
 
 // ResetClocks returns every storage device to idle.  Experiments call
@@ -70,17 +88,39 @@ func (e *Env) ResetClocks() {
 }
 
 // NewEnv builds an environment and runs the PTool sweep.
-func NewEnv() (*Env, error) {
+func NewEnv() (*Env, error) { return newEnv(false) }
+
+// NewTracedEnv is NewEnv with one shared trace recorder and metrics
+// aggregation wired into every backend.  The recorder and metrics are
+// reset after the PTool sweep, so what they hold afterwards is purely
+// the application's native calls — the measured side of the
+// calibration join.
+func NewTracedEnv() (*Env, error) { return newEnv(true) }
+
+func newEnv(traced bool) (*Env, error) {
 	sim := vtime.NewVirtual()
-	local, err := localdisk.New("argonne-ssa", memfs.New())
+	var rec *trace.Recorder
+	var met *trace.Metrics
+	var lopts []localdisk.Option
+	var ropts []remotedisk.Option
+	if traced {
+		// The metrics fold covers the whole run regardless of the raw
+		// retention window, so a bounded window keeps memory flat.
+		rec = trace.New(1 << 16)
+		met = trace.NewMetrics()
+		rec.SetMetrics(met)
+		lopts = append(lopts, localdisk.WithTrace(rec))
+		ropts = append(ropts, remotedisk.WithTrace(rec))
+	}
+	local, err := localdisk.New("argonne-ssa", memfs.New(), lopts...)
 	if err != nil {
 		return nil, err
 	}
-	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New(), ropts...)
 	if err != nil {
 		return nil, err
 	}
-	rtape, err := tape.New(tape.Config{Name: "sdsc-hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	rtape, err := tape.New(tape.Config{Name: "sdsc-hpss", Params: model.RemoteTape2000(), Store: memfs.New(), Trace: rec})
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +135,10 @@ func NewEnv() (*Env, error) {
 	local.ResetClocks()
 	rdisk.ResetClocks()
 	rtape.ResetClocks()
+	// Drop the sweep's own traffic: calibration must see only what the
+	// application charges.
+	rec.Reset()
+	met.Reset()
 	sys, err := core.NewSystem(core.SystemConfig{
 		Sim: sim, Meta: meta,
 		LocalDisk: local, RemoteDisk: rdisk, RemoteTape: rtape,
@@ -105,6 +149,7 @@ func NewEnv() (*Env, error) {
 	return &Env{
 		Sim: sim, Sys: sys, Meta: meta, PDB: predict.NewDB(meta),
 		Local: local, RDisk: rdisk, RTape: rtape, Reports: reports,
+		Rec: rec, Metrics: met,
 	}, nil
 }
 
@@ -116,7 +161,7 @@ func Names() []string {
 	return []string{
 		"table1", "table2",
 		"fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig10c", "fig11",
-		"worked", "naive", "srbnet", "chaos", "staging", "failover",
+		"worked", "naive", "srbnet", "chaos", "staging", "calib", "failover",
 	}
 }
 

@@ -231,6 +231,30 @@ func (db *DB) AddSample(p *vtime.Proc, s PerfSample) {
 	db.samples = append(db.samples, s)
 }
 
+// ReplaceSamples atomically replaces the whole performance curve for
+// (resource, op) with the given samples.  This is the write-back path
+// of the online calibration loop: a refreshed curve supersedes PTool's
+// one-shot sweep rather than averaging with it (AddSample would blend
+// stale and fresh measurements forever).  Samples for other
+// (resource, op) pairs are untouched.  Rows whose Resource/Op fields
+// disagree with the arguments are rewritten to match.
+func (db *DB) ReplaceSamples(p *vtime.Proc, resource, op string, samples []PerfSample) {
+	db.charge(p, model.Write)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	kept := db.samples[:0]
+	for _, s := range db.samples {
+		if s.Resource != resource || s.Op != op {
+			kept = append(kept, s)
+		}
+	}
+	db.samples = kept
+	for _, s := range samples {
+		s.Resource, s.Op = resource, op
+		db.samples = append(db.samples, s)
+	}
+}
+
 // Samples returns the samples for (resource, op) sorted by size.
 // Duplicate sizes are averaged, matching how PTool's repeated
 // measurements are consumed by the predictor.

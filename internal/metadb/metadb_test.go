@@ -173,6 +173,40 @@ func TestTable1String(t *testing.T) {
 	}
 }
 
+func TestReplaceSamples(t *testing.T) {
+	db := New()
+	db.AddSample(nil, PerfSample{Resource: "r", Op: "write", Size: 100, Seconds: 1})
+	db.AddSample(nil, PerfSample{Resource: "r", Op: "write", Size: 200, Seconds: 2})
+	db.AddSample(nil, PerfSample{Resource: "r", Op: "read", Size: 100, Seconds: 5})
+	db.AddSample(nil, PerfSample{Resource: "other", Op: "write", Size: 100, Seconds: 9})
+
+	db.ReplaceSamples(nil, "r", "write", []PerfSample{
+		{Size: 150, Seconds: 3},
+		{Size: 300, Seconds: 6},
+	})
+	got := db.Samples(nil, "r", "write")
+	if len(got) != 2 || got[0].Size != 150 || got[0].Seconds != 3 || got[1].Size != 300 {
+		t.Fatalf("replaced curve = %+v", got)
+	}
+	// Other (resource, op) pairs untouched.
+	if rd := db.Samples(nil, "r", "read"); len(rd) != 1 || rd[0].Seconds != 5 {
+		t.Fatalf("r/read disturbed: %+v", rd)
+	}
+	if o := db.Samples(nil, "other", "write"); len(o) != 1 || o[0].Seconds != 9 {
+		t.Fatalf("other/write disturbed: %+v", o)
+	}
+	// Mismatched key fields in the input are rewritten to the arguments.
+	db.ReplaceSamples(nil, "r", "read", []PerfSample{{Resource: "bogus", Op: "write", Size: 50, Seconds: 7}})
+	if rd := db.Samples(nil, "r", "read"); len(rd) != 1 || rd[0].Size != 50 {
+		t.Fatalf("keyed replace = %+v", rd)
+	}
+	// Replacing with nil clears the curve.
+	db.ReplaceSamples(nil, "r", "read", nil)
+	if rd := db.Samples(nil, "r", "read"); len(rd) != 0 {
+		t.Fatalf("clear failed: %+v", rd)
+	}
+}
+
 // Property: Samples returns sizes strictly increasing for any insert order.
 func TestQuickSamplesSorted(t *testing.T) {
 	f := func(sizes []uint16) bool {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/localdisk"
 	"repro/internal/memfs"
@@ -15,12 +16,14 @@ import (
 	"repro/internal/resilient"
 	"repro/internal/storage"
 	"repro/internal/tape"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
 type fixture struct {
 	sys   *core.System
 	pdb   *predict.DB
+	meta  *metadb.DB
 	rtape *tape.Library
 }
 
@@ -56,7 +59,7 @@ func newFixture(t *testing.T, placerOf func(*predict.DB) core.Placer) *fixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &fixture{sys: sys, pdb: pdb, rtape: rtape}
+	return &fixture{sys: sys, pdb: pdb, meta: meta, rtape: rtape}
 }
 
 func spec(name string) core.DatasetSpec {
@@ -150,6 +153,67 @@ func TestAutoAvoidsOpenCircuit(t *testing.T) {
 	health.Breaker("sdsc-hpss").Trip(0)
 	if got := place(t, f, spec("a")); got.Kind() != storage.KindRemoteDisk {
 		t.Fatalf("placed on %v, want remote disk with tape circuit open", got.Kind())
+	}
+}
+
+// TestCalibrationFlipsAutoPlacement closes the loop between the
+// calibration engine and AUTO placement: a stale database that
+// believes the tape archive is 4× faster than it is lures AUTO onto
+// tape; calibrating against a traced run's true costs refreshes the
+// curve in place, and the very same placer (no rebuild — predict.DB
+// reads the metadata live) flips the next dataset to remote disks.
+func TestCalibrationFlipsAutoPlacement(t *testing.T) {
+	f := newFixture(t, func(pdb *predict.DB) core.Placer {
+		return Predictive(pdb, 120, 8, WithRequirement(2000*time.Second))
+	})
+	// Honest curves: tape (≈3000 s predicted) blows the 2000 s
+	// requirement, remote disk (≈700–800 s) meets it.
+	if got := place(t, f, spec("honest")); got.Kind() != storage.KindRemoteDisk {
+		t.Fatalf("honest curves placed on %v, want remote disk", got.Kind())
+	}
+
+	// Capture the true per-call unit costs before corrupting the curve —
+	// they become the "measured" side of the calibration join.
+	sizes := []int64{1 << 18, 1 << 20, 1 << 22}
+	trueUnit := make(map[int64]float64, len(sizes))
+	for _, size := range sizes {
+		u, err := f.pdb.Unit("remotetape", "write", size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueUnit[size] = u
+	}
+
+	// Stale database: tape transfer curve 4× too optimistic.
+	samples := f.meta.Samples(nil, "remotetape", "write")
+	for i := range samples {
+		samples[i].Seconds /= 4
+	}
+	f.meta.ReplaceSamples(nil, "remotetape", "write", samples)
+	if got := place(t, f, spec("stale")); got.Kind() != storage.KindRemoteTape {
+		t.Fatalf("stale curves placed on %v, want tape (lured by the skew)", got.Kind())
+	}
+
+	// A traced run observed the archive at its true speed; calibration
+	// joins those observations against the stale curve and writes the
+	// refreshed one back.
+	m := trace.NewMetrics()
+	for _, size := range sizes {
+		for i := 0; i < 4; i++ {
+			m.Observe(trace.Event{
+				Backend: "sdsc-hpss", Op: trace.OpWrite, Bytes: size,
+				Cost: time.Duration(trueUnit[size] * float64(time.Second)),
+			})
+		}
+	}
+	eng := calib.New(calib.Config{Meta: f.meta, Classes: map[string]string{"sdsc-hpss": "remotetape"}})
+	residuals := eng.Calibrate(m.Snapshot())
+	if n := len(calib.Drifted(residuals)); n != 1 {
+		t.Fatalf("drifted residuals = %d, want 1 (the skewed tape curve)", n)
+	}
+
+	if got := place(t, f, spec("calibrated")); got.Kind() != storage.KindRemoteDisk {
+		t.Fatalf("calibrated curves placed on %v, want remote disk again", got.Kind())
 	}
 }
 

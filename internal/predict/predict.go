@@ -62,6 +62,17 @@ func (db *DB) Unit(resource, op string, size int64) (float64, error) {
 	}
 	frac := float64(size-a.Size) / float64(b.Size-a.Size)
 	t := a.Seconds + frac*(b.Seconds-a.Seconds)
+	if size < samples[0].Size && samples[0].Size > 0 {
+		// Extrapolating below the smallest PTool sample: a steep first
+		// segment can drive the linear extension negative, which the old
+		// code clamped to exactly 0 — "free" small native calls that made
+		// the staging inequality and AUTO placement favor absurd plans.
+		// Floor at the smallest sample pro-rata (pure-bandwidth scaling),
+		// which stays positive and monotone in size.
+		if floor := samples[0].Seconds * float64(size) / float64(samples[0].Size); t < floor {
+			t = floor
+		}
+	}
 	if t < 0 {
 		t = 0
 	}

@@ -64,6 +64,45 @@ func TestUnitInterpolation(t *testing.T) {
 	}
 }
 
+// TestUnitSmallSizeFloor is the regression test for the free-small-I/O
+// bug: with a steep first segment — (1000 B, 1 s) → (2000 B, 3 s) — the
+// linear extension through size 100 evaluates to −0.8 s, which the old
+// code clamped to exactly 0.  The fix floors at the smallest sample
+// pro-rata: 1 s × 100/1000 = 0.1 s.
+func TestUnitSmallSizeFloor(t *testing.T) {
+	meta := metadb.New()
+	meta.AddSample(nil, metadb.PerfSample{Resource: "r", Op: "write", Size: 1000, Seconds: 1})
+	meta.AddSample(nil, metadb.PerfSample{Resource: "r", Op: "write", Size: 2000, Seconds: 3})
+	db := NewDB(meta)
+	got, err := db.Unit("r", "write", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("Unit(100) = %v, want pro-rata floor 0.1 (old code predicted 0: free I/O)", got)
+	}
+	// Monotone in size through the extrapolation regime.
+	prev := 0.0
+	for _, size := range []int64{1, 10, 100, 500, 900, 1000} {
+		u, err := db.Unit("r", "write", size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u <= prev && size > 1 {
+			t.Fatalf("Unit not increasing: Unit(%d) = %v after %v", size, u, prev)
+		}
+		if u <= 0 {
+			t.Fatalf("Unit(%d) = %v, must stay positive", size, u)
+		}
+		prev = u
+	}
+	// Above the smallest sample the interpolation is untouched.
+	got, _ = db.Unit("r", "write", 1500)
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("Unit(1500) = %v, want 2", got)
+	}
+}
+
 func TestUnitSingleSampleScales(t *testing.T) {
 	meta := metadb.New()
 	meta.AddSample(nil, metadb.PerfSample{Resource: "r", Op: "read", Size: 100, Seconds: 2})

@@ -224,6 +224,24 @@ func MeasureAll(sim *vtime.Sim, meta *metadb.DB, cfg Config, backends ...storage
 	return reports, nil
 }
 
+// StoreCurve replaces the (resource, op) transfer-time curve in the
+// performance database with the given points.  This is the "online
+// PTool" entry point: the calibration engine publishes refreshed curves
+// through the same schema Measure fills, so predict.DB.Unit cannot tell
+// a calibrated curve from a measured one.  Non-positive sizes or
+// negative times are dropped; points are not required to be sorted
+// (metadb sorts on read).
+func StoreCurve(meta *metadb.DB, resource, op string, pts []Point) {
+	samples := make([]metadb.PerfSample, 0, len(pts))
+	for _, pt := range pts {
+		if pt.Size <= 0 || pt.Seconds < 0 {
+			continue
+		}
+		samples = append(samples, metadb.PerfSample{Resource: resource, Op: op, Size: pt.Size, Seconds: pt.Seconds})
+	}
+	meta.ReplaceSamples(nil, resource, op, samples)
+}
+
 // CurveString renders a report's size sweep as the paper's figures 6–8:
 // one row per size with read and write seconds.
 func (r Report) CurveString() string {

@@ -136,3 +136,18 @@ func TestMeasureDownBackend(t *testing.T) {
 		t.Fatal("measuring a down backend succeeded")
 	}
 }
+
+func TestStoreCurve(t *testing.T) {
+	meta := metadb.New()
+	meta.AddSample(nil, metadb.PerfSample{Resource: "localdisk", Op: "write", Size: 1 << 20, Seconds: 9})
+	StoreCurve(meta, "localdisk", "write", []Point{
+		{Size: 2 << 20, Seconds: 0.5},
+		{Size: 1 << 20, Seconds: 0.25},
+		{Size: 0, Seconds: 1},   // dropped: non-positive size
+		{Size: 10, Seconds: -1}, // dropped: negative time
+	})
+	got := meta.Samples(nil, "localdisk", "write")
+	if len(got) != 2 || got[0].Size != 1<<20 || got[0].Seconds != 0.25 || got[1].Size != 2<<20 {
+		t.Fatalf("stored curve = %+v", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // prefetchJob asks the background worker to stage one instance.
@@ -96,7 +97,7 @@ func (m *Manager) prefetchOne(job prefetchJob) {
 	} else if _, err := hsess.Stat(p, job.path); err != nil {
 		return // the instance does not exist (yet)
 	}
-	plan, ok := m.stageIn(p, job.home, hsess, job.path, size, key)
+	plan, ok := m.stageIn(p, job.home, hsess, job.path, size, key, trace.OpPrefetch)
 	if !ok {
 		return
 	}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/resilient"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -84,6 +85,11 @@ type Config struct {
 	// circuit is open: the copy would only fast-fail, so the read falls
 	// through directly.
 	Health *resilient.Health
+	// Trace, when set, records one span per completed tier-to-tier copy
+	// (trace.OpStageIn / OpPrefetch / OpWriteBack) with the home
+	// resource as Backend and the home path, so cache traffic is
+	// attributable next to the native calls it causes.  Nil disables.
+	Trace *trace.Recorder
 }
 
 // Stats counts the Manager's traffic.
@@ -469,7 +475,7 @@ func (m *Manager) StageRead(p *vtime.Proc, home storage.Backend, homeSess storag
 		m.countMiss()
 		return direct
 	}
-	plan, ok := m.stageIn(p, home, homeSess, path, size, key)
+	plan, ok := m.stageIn(p, home, homeSess, path, size, key, trace.OpStageIn)
 	if !ok {
 		return direct
 	}
@@ -556,11 +562,23 @@ func (m *Manager) adjustReserve(p *vtime.Proc, key string, actual int64) bool {
 	return true
 }
 
+// span records one completed tier-to-tier copy against the home
+// resource on the caller's clock; start is the copy's begin time.
+func (m *Manager) span(p *vtime.Proc, op trace.Op, home, path string, bytes int64, start time.Duration) {
+	m.cfg.Trace.Record(trace.Event{
+		At: p.Now(), Proc: p.Name(), Backend: home, Op: op,
+		Path: path, Bytes: bytes, Cost: p.Now() - start,
+	})
+}
+
 // stageIn copies one instance from its home tier into the cache and
 // returns a pinned plan over the copy.  Any failure unwinds cleanly —
 // no partial copy survives — and reports (ReadPlan{}, false) so the
-// caller serves the read directly.
-func (m *Manager) stageIn(p *vtime.Proc, home storage.Backend, homeSess storage.Session, path string, size int64, key string) (ReadPlan, bool) {
+// caller serves the read directly.  op labels the span recorded for
+// the copy: OpStageIn for foreground reads, OpPrefetch for background
+// jobs.
+func (m *Manager) stageIn(p *vtime.Proc, home storage.Backend, homeSess storage.Session, path string, size int64, key string, op trace.Op) (ReadPlan, bool) {
+	start := p.Now()
 	csess, err := m.cacheSession(p)
 	if err != nil {
 		m.countFailure()
@@ -603,6 +621,7 @@ func (m *Manager) stageIn(p *vtime.Proc, home storage.Backend, homeSess storage.
 	m.st.BytesStagedIn += int64(len(data))
 	m.st.Hits++ // this read is now served from the copy
 	m.mu.Unlock()
+	m.span(p, op, home.Name(), path, int64(len(data)), start)
 	return ReadPlan{Sess: csess, Path: e.staged, Staged: true, release: func() { m.unpin(key) }}, true
 }
 
@@ -749,6 +768,7 @@ func (pl *WritePlan) Abort(p *vtime.Proc) {
 
 // writeBack drains one dirty entry to its home tier, charged to p.
 func (m *Manager) writeBack(p *vtime.Proc, e *entry) error {
+	start := p.Now()
 	csess, err := m.cacheSession(p)
 	if err != nil {
 		return err
@@ -777,6 +797,7 @@ func (m *Manager) writeBack(p *vtime.Proc, e *entry) error {
 	m.st.WriteBacks++
 	m.st.BytesWrittenBack += int64(len(data))
 	m.mu.Unlock()
+	m.span(p, trace.OpWriteBack, e.home.Name(), e.path, int64(len(data)), start)
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/remotedisk"
 	"repro/internal/resilient"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -518,6 +519,55 @@ func TestConfigValidation(t *testing.T) {
 	} {
 		if _, err := New(cfg); err == nil {
 			t.Fatalf("invalid config accepted: %+v", cfg)
+		}
+	}
+}
+
+// TestStageSpansRecorded pins the trace spans: a foreground stage-in, a
+// prefetch and a write-back each leave one attributable event naming
+// the home resource and home path.
+func TestStageSpansRecorded(t *testing.T) {
+	rec := trace.New(0)
+	e := newTestEnv(t, Config{PrefetchDepth: 2, Trace: rec})
+	data := bytes.Repeat([]byte{7}, 4096)
+	e.put(t, "spans/a", data)
+	e.put(t, "spans/b", data)
+
+	// Foreground stage-in.
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "spans/a", int64(len(data)))
+	readPlan(t, e.p, pl)
+	if n := rec.Count(e.home.Name(), trace.OpStageIn); n != 1 {
+		t.Fatalf("stagein spans = %d, events:\n%s", n, rec.SummaryString())
+	}
+
+	// Background prefetch.
+	e.mgr.Prefetch(e.home, "spans/b", int64(len(data)), e.p.Now())
+	e.mgr.WaitPrefetch()
+	if n := rec.Count(e.home.Name(), trace.OpPrefetch); n != 1 {
+		t.Fatalf("prefetch spans = %d, events:\n%s", n, rec.SummaryString())
+	}
+
+	// Staged write drained back home.
+	wp, ok := e.mgr.StageWrite(e.p, e.home, "spans/wb", int64(len(data)))
+	if !ok {
+		t.Fatal("StageWrite declined")
+	}
+	if err := storage.PutFile(e.p, wp.Sess, wp.Path, storage.ModeOverWrite, data); err != nil {
+		t.Fatal(err)
+	}
+	wp.Commit(e.p)
+	if err := e.mgr.Drain(e.p); err != nil {
+		t.Fatal(err)
+	}
+	if n := rec.Count(e.home.Name(), trace.OpWriteBack); n != 1 {
+		t.Fatalf("writeback spans = %d, events:\n%s", n, rec.SummaryString())
+	}
+	for _, ev := range rec.Events() {
+		if ev.Bytes != int64(len(data)) || ev.Cost <= 0 {
+			t.Fatalf("span %+v: want %d bytes and positive cost", ev, len(data))
+		}
+		if ev.Backend != e.home.Name() {
+			t.Fatalf("span backend = %q, want home %q", ev.Backend, e.home.Name())
 		}
 	}
 }

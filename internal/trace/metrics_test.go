@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.Observe(ev("d", OpRead, 1, time.Second)) // must not panic
+	m.Reset()
+	if m.Snapshot() != nil {
+		t.Fatal("nil metrics returned data")
+	}
+}
+
+func TestMetricsFold(t *testing.T) {
+	m := NewMetrics()
+	m.Observe(ev("disk", OpWrite, 100, 2*time.Millisecond))
+	m.Observe(ev("disk", OpWrite, 200, 4*time.Millisecond))
+	m.Observe(ev("disk", OpRead, 50, time.Millisecond))
+	m.Observe(ev("tape", OpMount, 0, time.Second))
+	snap := m.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot rows = %d: %+v", len(snap), snap)
+	}
+	// Sorted: disk/read, disk/write, tape/mount.
+	w := snap[1]
+	if w.Backend != "disk" || w.Op != OpWrite || w.Calls != 2 || w.Bytes != 300 || w.Cost != 6*time.Millisecond {
+		t.Fatalf("disk/write = %+v", w)
+	}
+	if w.CostMax != 4*time.Millisecond {
+		t.Fatalf("CostMax = %v", w.CostMax)
+	}
+	if w.MeanCost() != 3*time.Millisecond {
+		t.Fatalf("MeanCost = %v", w.MeanCost())
+	}
+	// 100 and 200 bytes fall in different log2 buckets: [64,128) and [128,256).
+	if len(w.Sizes) != 2 || w.Sizes[0].Lo != 64 || w.Sizes[1].Lo != 128 {
+		t.Fatalf("size buckets = %+v", w.Sizes)
+	}
+	if w.Sizes[0].MeanBytes() != 100 || w.Sizes[0].MeanCost() != 2*time.Millisecond {
+		t.Fatalf("bucket[0] = %+v", w.Sizes[0])
+	}
+	// Mount moved no bytes: no size buckets.
+	if len(snap[2].Sizes) != 0 {
+		t.Fatalf("tape/mount sizes = %+v", snap[2].Sizes)
+	}
+}
+
+func TestMetricsQuantiles(t *testing.T) {
+	m := NewMetrics()
+	// 90 cheap calls (~8 µs bucket) and 10 expensive ones (~1 ms bucket):
+	// p50 must land in the cheap bucket, p95 in the expensive one.
+	for i := 0; i < 90; i++ {
+		m.Observe(ev("d", OpRead, 1, 10*time.Microsecond))
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe(ev("d", OpRead, 1, time.Millisecond))
+	}
+	s := m.Snapshot()[0]
+	if s.CostP50 > 100*time.Microsecond {
+		t.Fatalf("p50 = %v, want in the cheap regime", s.CostP50)
+	}
+	if s.CostP95 < 500*time.Microsecond {
+		t.Fatalf("p95 = %v, want in the expensive regime", s.CostP95)
+	}
+	if s.CostP95 > s.CostMax || s.CostMax != time.Millisecond {
+		t.Fatalf("p95 %v / max %v", s.CostP95, s.CostMax)
+	}
+}
+
+func TestMetricsReset(t *testing.T) {
+	m := NewMetrics()
+	m.Observe(ev("d", OpRead, 1, time.Second))
+	m.Reset()
+	if len(m.Snapshot()) != 0 {
+		t.Fatal("reset kept cells")
+	}
+}
+
+func TestRecorderFoldsIntoMetrics(t *testing.T) {
+	r := New(2) // tiny retention window
+	m := NewMetrics()
+	r.SetMetrics(m)
+	for i := 0; i < 10; i++ {
+		r.Record(ev("disk", OpWrite, 1000, time.Millisecond))
+	}
+	// The recorder only kept 2 raw events, but the metrics saw all 10.
+	if r.Len() != 2 {
+		t.Fatalf("recorder retained %d", r.Len())
+	}
+	s := m.Snapshot()
+	if len(s) != 1 || s[0].Calls != 10 || s[0].Bytes != 10000 {
+		t.Fatalf("metrics = %+v", s)
+	}
+	if r.Metrics() != m {
+		t.Fatal("Metrics() accessor")
+	}
+	if !strings.Contains(m.String(), "disk") {
+		t.Fatalf("String():\n%s", m.String())
+	}
+}

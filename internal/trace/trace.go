@@ -8,9 +8,11 @@
 package trace
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -30,6 +32,16 @@ const (
 	OpStat      Op = "stat"
 	OpList      Op = "list"
 	OpRemove    Op = "remove"
+)
+
+// Span labels recorded by the staging engine (package stage), so cache
+// traffic is attributable in the same trace as the native calls it
+// causes.  Backend names the *home* resource the copy moves data for;
+// Path is the home-tier path.
+const (
+	OpStageIn   Op = "stagein"   // foreground copy into the fast-tier cache
+	OpPrefetch  Op = "prefetch"  // background copy into the cache
+	OpWriteBack Op = "writeback" // dirty cache copy drained to its home tier
 )
 
 // Event is one native call.
@@ -53,14 +65,38 @@ type Event struct {
 // Recorder collects events.  A nil *Recorder is valid and records
 // nothing, so backends can hold one unconditionally.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
-	limit  int
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	metrics *Metrics
 }
 
 // New returns a recorder; limit > 0 caps the number of retained events
 // (oldest dropped), limit <= 0 retains everything.
 func New(limit int) *Recorder { return &Recorder{limit: limit} }
+
+// SetMetrics attaches a metrics aggregation: every subsequent Record
+// folds the event into m as well.  The fold survives Reset and the
+// retention limit, so the aggregates cover the whole run even when only
+// a window of raw events is retained.  nil detaches.
+func (r *Recorder) SetMetrics(m *Metrics) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.metrics = m
+	r.mu.Unlock()
+}
+
+// Metrics returns the attached metrics aggregation (nil when none).
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics
+}
 
 // Record appends one event.  Safe for concurrent use; no-op on nil.
 func (r *Recorder) Record(e Event) {
@@ -68,11 +104,13 @@ func (r *Recorder) Record(e Event) {
 		return
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.events = append(r.events, e)
 	if r.limit > 0 && len(r.events) > r.limit {
 		r.events = r.events[len(r.events)-r.limit:]
 	}
+	m := r.metrics
+	r.mu.Unlock()
+	m.Observe(e)
 }
 
 // Events returns a copy of the recorded events in arrival order.
@@ -106,10 +144,17 @@ func (r *Recorder) Reset() {
 }
 
 // Count returns the number of events matching backend and op (empty
-// strings match everything).
+// strings match everything).  It scans under the lock without copying
+// the retained slice, so calling it in a loop stays allocation-free.
 func (r *Recorder) Count(backend string, op Op) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	n := 0
-	for _, e := range r.Events() {
+	for i := range r.events {
+		e := &r.events[i]
 		if (backend == "" || e.Backend == backend) && (op == "" || e.Op == op) {
 			n++
 		}
@@ -126,10 +171,17 @@ type Line struct {
 	Cost    time.Duration
 }
 
-// Summary aggregates events per (backend, op), sorted.
+// Summary aggregates events per (backend, op), sorted.  The fold runs
+// over the retained slice under the lock — no per-call copy of the
+// whole event log.
 func (r *Recorder) Summary() []Line {
+	if r == nil {
+		return nil
+	}
 	agg := make(map[string]*Line)
-	for _, e := range r.Events() {
+	r.mu.Lock()
+	for i := range r.events {
+		e := &r.events[i]
 		key := e.Backend + "\x00" + string(e.Op)
 		l, ok := agg[key]
 		if !ok {
@@ -140,6 +192,7 @@ func (r *Recorder) Summary() []Line {
 		l.Bytes += e.Bytes
 		l.Cost += e.Cost
 	}
+	r.mu.Unlock()
 	out := make([]Line, 0, len(agg))
 	for _, l := range agg {
 		out = append(out, *l)
@@ -162,17 +215,76 @@ func (r *Recorder) SummaryString() string {
 	return s
 }
 
+// csvHeader is the column layout of WriteCSV/ReadCSV.
+var csvHeader = []string{"at_s", "proc", "backend", "op", "path", "bytes", "cost_s"}
+
 // WriteCSV emits the raw events as CSV (header + one row per event).
+// Fields are RFC 4180 quoted, so commas, quotes and newlines in paths
+// or process names survive a round trip through ReadCSV.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "at_s,proc,backend,op,path,bytes,cost_s"); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
 		return fmt.Errorf("trace csv: %w", err)
 	}
-	for _, e := range r.Events() {
-		_, err := fmt.Fprintf(w, "%.6f,%s,%s,%s,%s,%d,%.6f\n",
-			e.At.Seconds(), e.Proc, e.Backend, e.Op, e.Path, e.Bytes, e.Cost.Seconds())
-		if err != nil {
+	r.mu.Lock()
+	for i := range r.events {
+		e := &r.events[i]
+		rec := []string{
+			strconv.FormatFloat(e.At.Seconds(), 'f', 6, 64),
+			e.Proc,
+			e.Backend,
+			string(e.Op),
+			e.Path,
+			strconv.FormatInt(e.Bytes, 10),
+			strconv.FormatFloat(e.Cost.Seconds(), 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			r.mu.Unlock()
 			return fmt.Errorf("trace csv: %w", err)
 		}
 	}
+	r.mu.Unlock()
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace csv: %w", err)
+	}
 	return nil
+}
+
+// ReadCSV parses events previously emitted by WriteCSV.
+func ReadCSV(rd io.Reader) ([]Event, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace csv: missing header")
+	}
+	var events []Event
+	for _, rec := range rows[1:] {
+		at, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace csv: bad at_s %q: %w", rec[0], err)
+		}
+		bytes, err := strconv.ParseInt(rec[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace csv: bad bytes %q: %w", rec[5], err)
+		}
+		cost, err := strconv.ParseFloat(rec[6], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace csv: bad cost_s %q: %w", rec[6], err)
+		}
+		events = append(events, Event{
+			At:      time.Duration(at * float64(time.Second)),
+			Proc:    rec[1],
+			Backend: rec[2],
+			Op:      Op(rec[3]),
+			Path:    rec[4],
+			Bytes:   bytes,
+			Cost:    time.Duration(cost * float64(time.Second)),
+		})
+	}
+	return events, nil
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -75,6 +76,129 @@ func TestSummaryAggregates(t *testing.T) {
 	if !strings.Contains(s, "disk") || !strings.Contains(s, "tape") {
 		t.Fatalf("summary string:\n%s", s)
 	}
+}
+
+// TestCSVRoundTripHostilePaths is the regression test for the
+// unescaped-CSV bug: paths and proc names containing commas, quotes and
+// newlines must survive a write/read round trip with the event stream
+// intact.  The old fmt.Fprintf writer sheared the "a,b" path into two
+// fields.
+func TestCSVRoundTripHostilePaths(t *testing.T) {
+	hostile := []Event{
+		{At: time.Second, Proc: "p,0", Backend: "disk", Op: OpWrite, Path: `data/a,b.dat`, Bytes: 7, Cost: time.Millisecond},
+		{At: 2 * time.Second, Proc: `p"quote`, Backend: "tape", Op: OpRead, Path: `odd "name".h5`, Bytes: 9, Cost: 2 * time.Millisecond},
+		{At: 3 * time.Second, Proc: "p2", Backend: "disk", Op: OpOpen, Path: "line\nbreak", Bytes: 0, Cost: time.Microsecond},
+	}
+	r := New(0)
+	for _, e := range hostile {
+		r.Record(e)
+	}
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v\ncsv:\n%s", err, sb.String())
+	}
+	if len(got) != len(hostile) {
+		t.Fatalf("round trip: %d events, want %d\ncsv:\n%s", len(got), len(hostile), sb.String())
+	}
+	for i, e := range hostile {
+		if got[i].Proc != e.Proc || got[i].Path != e.Path || got[i].Backend != e.Backend ||
+			got[i].Op != e.Op || got[i].Bytes != e.Bytes {
+			t.Errorf("event %d round-tripped to %+v, want %+v", i, got[i], e)
+		}
+	}
+}
+
+// TestCountNoAlloc is the regression test for the Events()-copy bug:
+// Count in a loop used to copy the whole retained slice per call.
+func TestCountNoAlloc(t *testing.T) {
+	r := New(0)
+	for i := 0; i < 4096; i++ {
+		r.Record(ev("disk", OpWrite, int64(i), time.Millisecond))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if r.Count("disk", OpWrite) != 4096 {
+			t.Fatal("bad count")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Count allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	r := New(0)
+	for i := 0; i < 8192; i++ {
+		r.Record(ev("disk", OpWrite, int64(i), time.Millisecond))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Count("disk", OpWrite)
+	}
+}
+
+func BenchmarkSummary(b *testing.B) {
+	r := New(0)
+	for i := 0; i < 8192; i++ {
+		r.Record(ev("disk", Op([]string{"read", "write"}[i%2]), int64(i), time.Millisecond))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Summary()
+	}
+}
+
+// TestConcurrentStress interleaves Record/Count/Summary/Reset/WriteCSV
+// with the metrics fold; run with -race this pins the locking scheme.
+func TestConcurrentStress(t *testing.T) {
+	r := New(512)
+	m := NewMetrics()
+	r.SetMetrics(m)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				r.Record(Event{Proc: "p", Backend: "disk", Op: OpWrite, Path: "x,y", Bytes: int64(i), Cost: time.Duration(i) * time.Microsecond})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			r.Count("disk", OpWrite)
+			r.Summary()
+			m.Snapshot()
+			var sb strings.Builder
+			if err := r.WriteCSV(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+			r.Reset()
+			m.Reset()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(done)
+	wg.Wait()
 }
 
 func TestWriteCSV(t *testing.T) {

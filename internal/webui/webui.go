@@ -15,27 +15,67 @@ import (
 	"html/template"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/apps/astro3d"
+	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/predict"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Handler renders the prediction window.
 type Handler struct {
-	pdb  *predict.DB
-	tmpl *template.Template
+	pdb     *predict.DB
+	tmpl    *template.Template
+	metrics *trace.Metrics
+	calib   *calib.Engine
+}
+
+// Option configures optional handler features.
+type Option func(*Handler)
+
+// WithMetrics attaches a live trace metrics aggregation: the handler
+// gains a Prometheus-style text endpoint at /metrics and, combined
+// with WithCalibration, measured-vs-predicted columns in the
+// prediction table.
+func WithMetrics(m *trace.Metrics) Option {
+	return func(h *Handler) { h.metrics = m }
+}
+
+// WithCalibration attaches a calibration engine so the prediction
+// table carries measured times, error percentages and drift flags, and
+// /metrics exports per-resource residual ratios.
+func WithCalibration(e *calib.Engine) Option {
+	return func(h *Handler) { h.calib = e }
 }
 
 // New returns a handler over a measured predictor database.
-func New(pdb *predict.DB) *Handler {
-	return &Handler{
+func New(pdb *predict.DB, opts ...Option) *Handler {
+	h := &Handler{
 		pdb:  pdb,
 		tmpl: template.Must(template.New("page").Parse(pageTemplate)),
 	}
+	for _, opt := range opts {
+		opt(h)
+	}
+	return h
+}
+
+// row is one prediction table line, optionally annotated with the
+// measured side of the calibration join.
+type row struct {
+	predict.DatasetPrediction
+	// Measured is VirtualTime rescaled by the resource's observed
+	// measured/predicted ratio ("-" when the run gave no evidence).
+	Measured string
+	// ErrPct is the resource's signed prediction error percentage.
+	ErrPct string
+	// Drift marks residuals outside the calibration band.
+	Drift bool
 }
 
 // pageData feeds the template.
@@ -43,7 +83,8 @@ type pageData struct {
 	N, Iter, Freq, Procs int
 	TempLoc, DefaultLoc  string
 	Locations            []string
-	Rows                 []predict.DatasetPrediction
+	Rows                 []row
+	HaveMeasured         bool
 	Total                string
 	Suggested            string
 	Error                string
@@ -54,6 +95,10 @@ var locations = []string{"LOCALDISK", "REMOTEDISK", "SDSCHPSS", "DISABLE"}
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/metrics" {
+		h.serveMetrics(w, r)
+		return
+	}
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
@@ -64,11 +109,14 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		Locations: locations,
 	}
 	q := r.URL.Query()
+	// Validation problems accumulate so the user sees every bad
+	// parameter at once, not just whichever was parsed last.
+	var errs []string
 	getInt := func(key string, dst *int) {
 		if v := q.Get(key); v != "" {
 			n, err := strconv.Atoi(v)
 			if err != nil || n <= 0 {
-				data.Error = fmt.Sprintf("bad %s: %q", key, v)
+				errs = append(errs, fmt.Sprintf("bad %s: %q", key, v))
 				return
 			}
 			*dst = n
@@ -84,6 +132,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("default"); v != "" {
 		data.DefaultLoc = v
 	}
+	data.Error = strings.Join(errs, "; ")
 	if data.Error == "" {
 		if err := h.predictInto(&data); err != nil {
 			data.Error = err.Error()
@@ -113,7 +162,20 @@ func (h *Handler) predictInto(data *pageData) error {
 	if err != nil {
 		return err
 	}
-	data.Rows = rp.Datasets
+	residuals := h.residualsByResource("write")
+	for _, d := range rp.Datasets {
+		rw := row{DatasetPrediction: d, Measured: "-", ErrPct: "-"}
+		if res, ok := residuals[d.Resource]; ok && d.VirtualTime > 0 {
+			// The observed measured/predicted ratio for this resource
+			// class rescales the row's prediction to its measured-rate
+			// equivalent.
+			rw.Measured = fmt.Sprintf("%.4f", d.VirtualTime.Seconds()*res.Ratio)
+			rw.ErrPct = fmt.Sprintf("%+.1f%%", res.ErrPct())
+			rw.Drift = res.Drift
+			data.HaveMeasured = true
+		}
+		data.Rows = append(data.Rows, rw)
+	}
 	data.Total = fmt.Sprintf("%.2f", rp.Total.Seconds())
 	if suggest, err := sched.SuggestMaxRunTime(rp.Total, 0, 0.15); err == nil {
 		data.Suggested = suggest.Round(time.Second).String()
@@ -123,6 +185,77 @@ func (h *Handler) predictInto(data *pageData) error {
 		return fmt.Errorf("internal: %d rows for %d datasets", len(rp.Datasets), len(astro3d.AllNames()))
 	}
 	return nil
+}
+
+// residualsByResource joins the live metrics against the calibration
+// engine and indexes the residuals by resource class for the given op.
+// Empty when metrics or calibration are not attached.
+func (h *Handler) residualsByResource(op string) map[string]calib.Residual {
+	if h.metrics == nil || h.calib == nil {
+		return nil
+	}
+	out := make(map[string]calib.Residual)
+	for _, r := range h.calib.Residuals(h.metrics.Snapshot()) {
+		if r.Op == op {
+			out[r.Resource] = r
+		}
+	}
+	return out
+}
+
+// serveMetrics renders the trace metrics (and calibration residuals,
+// when attached) in the Prometheus text exposition format.
+func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if h.metrics == nil {
+		http.Error(w, "metrics not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("# HELP msra_native_calls_total Native storage calls served, by backend and op.\n")
+	b.WriteString("# TYPE msra_native_calls_total counter\n")
+	snap := h.metrics.Snapshot()
+	labels := func(s trace.OpStats) string {
+		return fmt.Sprintf(`backend=%q,op=%q`, s.Backend, string(s.Op))
+	}
+	for _, s := range snap {
+		fmt.Fprintf(&b, "msra_native_calls_total{%s} %d\n", labels(s), s.Calls)
+	}
+	b.WriteString("# HELP msra_native_bytes_total Bytes moved by native calls.\n")
+	b.WriteString("# TYPE msra_native_bytes_total counter\n")
+	for _, s := range snap {
+		fmt.Fprintf(&b, "msra_native_bytes_total{%s} %d\n", labels(s), s.Bytes)
+	}
+	b.WriteString("# HELP msra_native_cost_seconds_total Summed simulated cost of native calls.\n")
+	b.WriteString("# TYPE msra_native_cost_seconds_total counter\n")
+	for _, s := range snap {
+		fmt.Fprintf(&b, "msra_native_cost_seconds_total{%s} %g\n", labels(s), s.Cost.Seconds())
+	}
+	b.WriteString("# HELP msra_native_cost_seconds Approximate per-call cost quantiles.\n")
+	b.WriteString("# TYPE msra_native_cost_seconds summary\n")
+	for _, s := range snap {
+		fmt.Fprintf(&b, "msra_native_cost_seconds{%s,quantile=\"0.5\"} %g\n", labels(s), s.CostP50.Seconds())
+		fmt.Fprintf(&b, "msra_native_cost_seconds{%s,quantile=\"0.95\"} %g\n", labels(s), s.CostP95.Seconds())
+		fmt.Fprintf(&b, "msra_native_cost_seconds_max{%s} %g\n", labels(s), s.CostMax.Seconds())
+	}
+	if h.calib != nil {
+		residuals := h.calib.Residuals(snap)
+		b.WriteString("# HELP msra_calib_ratio Measured/predicted cost ratio per resource class and op.\n")
+		b.WriteString("# TYPE msra_calib_ratio gauge\n")
+		for _, res := range residuals {
+			fmt.Fprintf(&b, "msra_calib_ratio{resource=%q,op=%q} %g\n", res.Resource, res.Op, res.Ratio)
+		}
+		b.WriteString("# HELP msra_calib_drift Whether the residual left the calibration band (1 = drifted).\n")
+		b.WriteString("# TYPE msra_calib_drift gauge\n")
+		for _, res := range residuals {
+			v := 0
+			if res.Drift {
+				v = 1
+			}
+			fmt.Fprintf(&b, "msra_calib_drift{resource=%q,op=%q} %d\n", res.Resource, res.Op, v)
+		}
+	}
+	fmt.Fprint(w, b.String())
 }
 
 const pageTemplate = `<!DOCTYPE html>
@@ -148,11 +281,11 @@ th, td:first-child { text-align: left; }
 {{if .Error}}<p class="err">{{.Error}}</p>{{end}}
 {{if .Rows}}
 <table>
-<tr><th>NAME</th><th>EXPECTEDLOC</th><th>DUMPS</th><th>n(j)</th><th>UNIT (bytes)</th><th>VIRTUALTIME (s)</th></tr>
+<tr><th>NAME</th><th>EXPECTEDLOC</th><th>DUMPS</th><th>n(j)</th><th>UNIT (bytes)</th><th>VIRTUALTIME (s)</th>{{if .HaveMeasured}}<th>MEASURED (s)</th><th>ERR%</th>{{end}}</tr>
 {{range .Rows}}
-<tr><td>{{.Name}}</td><td>{{.Resource}}</td><td>{{.Dumps}}</td><td>{{.NativeCalls}}</td><td>{{.UnitBytes}}</td><td>{{printf "%.4f" .VirtualTime.Seconds}}</td></tr>
+<tr><td>{{.Name}}</td><td>{{.Resource}}</td><td>{{.Dumps}}</td><td>{{.NativeCalls}}</td><td>{{.UnitBytes}}</td><td>{{printf "%.4f" .VirtualTime.Seconds}}</td>{{if $.HaveMeasured}}<td>{{.Measured}}</td><td{{if .Drift}} class="err"{{end}}>{{.ErrPct}}{{if .Drift}} (drift){{end}}</td>{{end}}</tr>
 {{end}}
-<tr><th>TOTAL</th><td></td><td></td><td></td><td></td><th>{{.Total}}</th></tr>
+<tr><th>TOTAL</th><td></td><td></td><td></td><td></td><th>{{.Total}}</th>{{if .HaveMeasured}}<td></td><td></td>{{end}}</tr>
 </table>
 <p>suggested batch max run time (I/O only, +15%): {{.Suggested}}</p>
 {{end}}

@@ -6,7 +6,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/calib"
 	"repro/internal/localdisk"
 	"repro/internal/memfs"
 	"repro/internal/metadb"
@@ -15,10 +17,11 @@ import (
 	"repro/internal/ptool"
 	"repro/internal/remotedisk"
 	"repro/internal/tape"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
-func newHandler(t *testing.T) *Handler {
+func newHandlerMeta(t *testing.T, opts ...Option) (*Handler, *metadb.DB) {
 	t.Helper()
 	meta := metadb.New()
 	local, err := localdisk.New("l", memfs.New())
@@ -36,7 +39,13 @@ func newHandler(t *testing.T) *Handler {
 	if _, err := ptool.MeasureAll(vtime.NewVirtual(), meta, ptool.Config{Repeats: 1}, local, rdisk, rtape); err != nil {
 		t.Fatal(err)
 	}
-	return New(predict.NewDB(meta))
+	return New(predict.NewDB(meta), opts...), meta
+}
+
+func newHandler(t *testing.T) *Handler {
+	t.Helper()
+	h, _ := newHandlerMeta(t)
+	return h
 }
 
 func get(t *testing.T, h http.Handler, url string) (int, string) {
@@ -95,6 +104,85 @@ func TestBadInput(t *testing.T) {
 	_, body = get(t, newHandler(t), "/?n=4&procs=8")
 	if !strings.Contains(body, "smaller than") {
 		t.Fatal("n < procs not reported")
+	}
+}
+
+// TestAllBadParamsReported is the regression test for the
+// last-error-wins bug: with several invalid query parameters the old
+// getInt overwrote data.Error each time, so only the final one was
+// shown.  Every bad parameter must appear in the page together.
+func TestAllBadParamsReported(t *testing.T) {
+	code, body := get(t, newHandler(t), "/?n=potato&iter=-1&freq=0&procs=x")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"bad n", "bad iter", "bad freq", "bad procs"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("page missing %q (old code kept only the last error):\n%s", want, body[:min(len(body), 400)])
+		}
+	}
+}
+
+// tracedHandler builds a handler with live metrics and a calibration
+// engine attached, plus a synthetic remotedisk write workload folded
+// into the metrics at twice the database's predicted speed — enough to
+// drift outside the 15% band.
+func tracedHandler(t *testing.T) (*Handler, *trace.Metrics) {
+	t.Helper()
+	m := trace.NewMetrics()
+	h, meta := newHandlerMeta(t)
+	eng := calib.New(calib.Config{Meta: meta, Classes: map[string]string{"r": "remotedisk"}})
+	pdb := predict.NewDB(meta)
+	u, err := pdb.Unit("remotedisk", "write", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		m.Observe(trace.Event{Backend: "r", Op: trace.OpWrite, Bytes: 1 << 20,
+			Cost: time.Duration(u * 2 * float64(time.Second))})
+	}
+	h.metrics = m
+	h.calib = eng
+	return h, m
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	// Without WithMetrics the endpoint is 404.
+	code, _ := get(t, newHandler(t), "/metrics")
+	if code != http.StatusNotFound {
+		t.Fatalf("/metrics without metrics: status = %d, want 404", code)
+	}
+
+	h, _ := tracedHandler(t)
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		`msra_native_calls_total{backend="r",op="write"} 8`,
+		`msra_native_bytes_total{backend="r",op="write"} 8388608`,
+		`quantile="0.95"`,
+		`msra_calib_ratio{resource="remotedisk",op="write"}`,
+		`msra_calib_drift{resource="remotedisk",op="write"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMeasuredColumn(t *testing.T) {
+	h, _ := tracedHandler(t)
+	_, body := get(t, h, "/?n=32&iter=24&freq=6&procs=8&temp=REMOTEDISK&default=DISABLE")
+	for _, want := range []string{"MEASURED (s)", "ERR%", "(drift)"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("page missing %q:\n%s", want, body)
+		}
+	}
+	// A handler without calibration keeps the plain table.
+	_, plain := get(t, newHandler(t), "/?n=32&iter=24&freq=6&procs=8")
+	if strings.Contains(plain, "MEASURED (s)") {
+		t.Fatal("measured column rendered without calibration attached")
 	}
 }
 

@@ -23,6 +23,7 @@ package msra
 import (
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/dbstore"
 	"repro/internal/device"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/stage"
 	"repro/internal/storage"
 	"repro/internal/tape"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -295,6 +297,51 @@ var WithPlacementStaging = placement.WithStaging
 // and budget.  Hand it to SystemConfig.Stager to redirect dataset I/O
 // through the cache transparently.
 func NewStageManager(cfg StageConfig) (*StageManager, error) { return stage.New(cfg) }
+
+// Observability and calibration types (the measured-vs-predicted loop).
+type (
+	// TraceRecorder collects per-native-call I/O events from instrumented
+	// backends and the staging engine.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded native call.
+	TraceEvent = trace.Event
+	// TraceMetrics folds events into always-on per-(backend,op)
+	// histograms of cost versus transfer size.
+	TraceMetrics = trace.Metrics
+	// TraceOpStats is one (backend,op) aggregate from a metrics snapshot.
+	TraceOpStats = trace.OpStats
+	// CalibEngine joins run metrics against eq. (2) predictions, flags
+	// drifted resources, and writes refreshed curves back to the
+	// meta-data database.
+	CalibEngine = calib.Engine
+	// CalibConfig wires a CalibEngine (meta DB, backend→class map, drift
+	// band, minimum calls per cell).
+	CalibConfig = calib.Config
+	// CalibResidual is one per-(resource,op) measured/predicted residual.
+	CalibResidual = calib.Residual
+)
+
+// CalibDefaultBand is the paper's ±15% prediction accuracy band, used
+// as the drift threshold when CalibConfig.Band is zero.
+const CalibDefaultBand = calib.DefaultBand
+
+// NewTraceRecorder returns a bounded in-memory event recorder; hand it
+// to the backends' WithTrace options.  limit <= 0 keeps every event.
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.New(limit) }
+
+// NewTraceMetrics returns an empty metrics aggregation.  Attach it with
+// TraceRecorder.SetMetrics to fold events as they are recorded — cheap
+// enough to leave enabled for whole runs.
+func NewTraceMetrics() *TraceMetrics { return trace.NewMetrics() }
+
+// NewCalibration returns a calibration engine over the meta-data
+// database that NewPredictor reads, closing the measured-vs-predicted
+// loop online.
+func NewCalibration(cfg CalibConfig) *CalibEngine { return calib.New(cfg) }
+
+// CalibDrifted filters a residual set down to the resources outside
+// the band.
+func CalibDrifted(rs []CalibResidual) []CalibResidual { return calib.Drifted(rs) }
 
 // MeasurePerformance runs PTool against the given backends, filling the
 // meta-data database's performance tables.
