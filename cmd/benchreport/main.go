@@ -5,10 +5,15 @@
 // Usage:
 //
 //	benchreport [-scale test|bench|paper]
-//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|calib|failover]
+//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|calib|qos|failover]
+//	            [-json dir]
 //
 // The -exp list in this comment and in the flag help both come from
 // experiments.Names(); a test keeps this comment honest.
+//
+// With -json, experiments that publish machine-readable results (qos,
+// srbnet) additionally write BENCH_<exp>.json into dir: the full result
+// struct plus a flat "headline" map of the scalar metrics CI gates on.
 //
 // The paper scale (128³, N=120) runs the real solver and moves ≈2.2 GB
 // per figure-9 scenario; expect minutes.  The bench scale keeps the
@@ -17,10 +22,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"slices"
 	"strings"
 
@@ -34,6 +41,7 @@ func main() {
 	scaleName := flag.String("scale", "bench", "problem scale: test, bench or paper")
 	exp := flag.String("exp", "all",
 		"experiment to run (all, "+strings.Join(names, ", ")+")")
+	jsonDir := flag.String("json", "", "directory to write BENCH_<exp>.json machine-readable results into")
 	flag.Parse()
 	if *exp != "all" && !slices.Contains(names, *exp) {
 		log.Fatalf("unknown experiment %q; choose all or one of %s", *exp, strings.Join(names, ", "))
@@ -50,12 +58,12 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleName)
 	}
-	if err := run(scale, *exp); err != nil {
+	if err := run(scale, *exp, *jsonDir); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(scale experiments.Scale, exp string) error {
+func run(scale experiments.Scale, exp, jsonDir string) error {
 	all := exp == "all"
 	out := os.Stdout
 
@@ -144,6 +152,14 @@ func run(scale experiments.Scale, exp string) error {
 		fmt.Fprintf(out, "== Wire protocol v2: pipelined vs serialized (%d ranks × %d chunks of %d B) ==\nserialized %8.1f ms   pipelined %8.1f ms   (%.1f× wall-clock win; virtual costs identical)\n\n",
 			res.Ranks, res.ChunksPerRank, res.ChunkBytes,
 			float64(res.Serialized.Microseconds())/1000, float64(res.Pipelined.Microseconds())/1000, res.Speedup())
+		err = writeJSON(jsonDir, "srbnet", scale, map[string]float64{
+			"speedup_x":     res.Speedup(),
+			"serialized_ms": float64(res.Serialized.Microseconds()) / 1000,
+			"pipelined_ms":  float64(res.Pipelined.Microseconds()) / 1000,
+		}, res)
+		if err != nil {
+			return err
+		}
 	}
 	if all || exp == "chaos" {
 		rows, err := experiments.Chaos(scale)
@@ -175,6 +191,26 @@ func run(scale experiments.Scale, exp string) error {
 		fmt.Fprintf(out, "== Calibration: skewed curves, traced run, refreshed predictions ==\n%s\n",
 			experiments.CalibString(res))
 	}
+	if all || exp == "qos" {
+		res, err := experiments.QoS(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== QoS: multi-tenant scheduler vs FIFO ablation ==\n%s\n",
+			experiments.QoSString(res))
+		err = writeJSON(jsonDir, "qos", scale, map[string]float64{
+			"isolation_x":  res.Isolation(),
+			"fifo_p95_s":   res.FIFOP95.Seconds(),
+			"qos_p95_s":    res.QoSP95.Seconds(),
+			"fifo_mounts":  float64(res.FIFOMounts),
+			"batch_mounts": float64(res.BatchMounts),
+			"mount_win_x":  res.MountWin(),
+			"batches":      float64(res.Batches),
+		}, res)
+		if err != nil {
+			return err
+		}
+	}
 	if all || exp == "failover" {
 		res, err := experiments.Failover(scale)
 		if err != nil {
@@ -187,5 +223,34 @@ func run(scale experiments.Scale, exp string) error {
 				res.PlacedOn, res.IOTime.Seconds())
 		}
 	}
+	return nil
+}
+
+// benchJSON is the envelope -json writes per experiment: the scale it
+// ran at, a flat map of the scalar metrics CI gates on, and the full
+// result struct for anything else a consumer wants.
+type benchJSON struct {
+	Experiment string             `json:"experiment"`
+	Scale      experiments.Scale  `json:"scale"`
+	Headline   map[string]float64 `json:"headline"`
+	Result     any                `json:"result"`
+}
+
+func writeJSON(dir, exp string, scale experiments.Scale, headline map[string]float64, result any) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(benchJSON{Experiment: exp, Scale: scale, Headline: headline, Result: result}, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+exp+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stdout, "wrote %s\n\n", path)
 	return nil
 }

@@ -8,9 +8,22 @@
 // simulation in scaled mode: device costs are slept at -timescale of
 // real time (default 1/1000, so a 25 s tape mount takes 25 ms).
 //
+// The data plane runs through a multi-tenant qos scheduler: deficit
+// round robin over predictor-priced cost per user, cartridge-batched
+// tape reads, and bounded queue budgets that shed excess load with a
+// retry-after hint.  -max-inflight 0 disables the scheduler entirely
+// (the FIFO-free ablation: every opcode executes on arrival).  Users
+// absent from -tenants are scheduled at weight 1.
+//
 // Usage:
 //
 //	srbd [-addr :5544] [-root /var/srb] [-user shen -secret nwu] [-timescale 0.001]
+//	     [-tenants astro3d:3,viewer:1] [-max-inflight 8] [-queue-bytes 268435456]
+//
+// Example: give the simulation account 3× the share of the viewer and
+// cap the backlog at 64 MiB:
+//
+//	srbd -user astro3d -secret x -tenants astro3d:3,viewer:1 -queue-bytes 67108864
 package main
 
 import (
@@ -25,8 +38,12 @@ import (
 	"repro/internal/dbstore"
 	"repro/internal/localdisk"
 	"repro/internal/memfs"
+	"repro/internal/metadb"
 	"repro/internal/model"
 	"repro/internal/osfs"
+	"repro/internal/predict"
+	"repro/internal/ptool"
+	"repro/internal/qos"
 	"repro/internal/remotedisk"
 	"repro/internal/srb"
 	"repro/internal/srbnet"
@@ -43,7 +60,21 @@ func main() {
 	user := flag.String("user", "shen", "account name")
 	secret := flag.String("secret", "nwu", "account secret")
 	timescale := flag.Float64("timescale", 0.001, "wall seconds slept per simulated second")
+	tenantsFlag := flag.String("tenants", "", "per-tenant DRR weights, name:weight,... (unknown tenants get weight 1)")
+	maxInflight := flag.Int("max-inflight", 8, "concurrently executing requests; 0 disables the scheduler")
+	queueBytes := flag.Int64("queue-bytes", 0, "global queued-byte budget before requests are shed; 0 unlimited")
 	flag.Parse()
+
+	tenants, err := qos.ParseTenants(*tenantsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *maxInflight < 0 {
+		log.Fatalf("-max-inflight must be >= 0, got %d", *maxInflight)
+	}
+	if *queueBytes < 0 {
+		log.Fatalf("-queue-bytes must be >= 0, got %d", *queueBytes)
+	}
 
 	store := func(sub string) storage.Store {
 		if *root == "" {
@@ -80,16 +111,55 @@ func main() {
 	}
 	broker.AddUser(*user, *secret)
 
-	srv, err := srbnet.Serve(*addr, broker, vtime.NewScaled(*timescale))
+	var opts []srbnet.ServerOption
+	var sched *qos.Scheduler
+	if *maxInflight > 0 {
+		// Populate a performance database the way PTool populates the
+		// MCAT, so admission prices requests by eq. (2) predicted service
+		// time rather than raw byte counts.  Measurement runs on its own
+		// virtual clock (no wall sleeps) and removes its probe files.
+		meta := metadb.New()
+		if _, err := ptool.MeasureAll(vtime.NewVirtual(), meta, ptool.Config{Repeats: 1}, local, rdisk, rtape); err != nil {
+			log.Fatal(err)
+		}
+		// The sweep advanced the shared device clocks; return every
+		// device to idle or the first client pays the probes' queue wait.
+		local.ResetClocks()
+		rdisk.ResetClocks()
+		rtape.ResetClocks()
+		sched, err = qos.New(qos.Config{
+			Tenants:        tenants,
+			MaxInFlight:    *maxInflight,
+			MaxQueuedBytes: *queueBytes,
+			Price:          qos.PredictPricer(predict.NewDB(meta)),
+			Tape:           rtape,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, srbnet.WithScheduler(sched))
+	}
+
+	srv, err := srbnet.Serve(*addr, broker, vtime.NewScaled(*timescale), opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("srbd listening on %s (resources: %v, timescale %g)\n", srv.Addr(), broker.Resources(), *timescale)
+	mode := "unscheduled"
+	if sched != nil {
+		mode = fmt.Sprintf("qos max-inflight %d, tenants %q", *maxInflight, qos.FormatTenants(tenants))
+	}
+	fmt.Printf("srbd listening on %s (resources: %v, timescale %g, %s)\n",
+		srv.Addr(), broker.Resources(), *timescale, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	// Close the scheduler first: queued requests fail out, so the
+	// server's handler drain cannot wait on them.
+	if sched != nil {
+		sched.Close()
+	}
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestQoSHeadlines pins the PR's two acceptance criteria: the
+// interactive tenant's p95 improves at least 3× over the FIFO
+// ablation, and the batched tape re-read mounts strictly fewer
+// cartridges than FIFO replaying the shuffle.
+func TestQoSHeadlines(t *testing.T) {
+	res, err := QoS(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", QoSString(res))
+	if res.FIFOP95 <= 0 || res.QoSP95 <= 0 {
+		t.Fatalf("degenerate latencies: fifo %v qos %v", res.FIFOP95, res.QoSP95)
+	}
+	if iso := res.Isolation(); iso < 3 {
+		t.Errorf("isolation %.2f× < 3× (fifo p95 %v, qos p95 %v)", iso, res.FIFOP95, res.QoSP95)
+	}
+	if res.BatchMounts >= res.FIFOMounts {
+		t.Errorf("batching did not reduce mounts: fifo %d, batched %d", res.FIFOMounts, res.BatchMounts)
+	}
+	if res.Batches == 0 || res.Batched == 0 {
+		t.Errorf("no batches formed (batches %d, batched %d)", res.Batches, res.Batched)
+	}
+}

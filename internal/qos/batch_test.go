@@ -1,0 +1,358 @@
+package qos
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// stubTape is a TapeInfo whose layout the test mutates directly.
+type stubTape struct {
+	mu  sync.Mutex
+	gen int64
+	loc map[string]tape.Placement
+}
+
+func (st *stubTape) LocateAll(paths []string) ([]tape.Placement, int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]tape.Placement, len(paths))
+	for i, p := range paths {
+		out[i] = st.loc[p] // unknown paths stay OK=false
+	}
+	return out, st.gen
+}
+
+func (st *stubTape) Generation() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.gen
+}
+
+// tapeReq builds a batch-eligible request.
+func tapeReq(tenant, path string) Request {
+	return Request{
+		Tenant: tenant,
+		Class:  storage.KindRemoteTape.String(),
+		Op:     "read",
+		Path:   path,
+		Bytes:  1,
+	}
+}
+
+// submit enqueues req on a paused scheduler and waits until it is
+// visibly queued.  The granted fn appends id to order.
+func submit(t *testing.T, s *Scheduler, sim *vtime.Sim, req Request, id string, order *[]string, mu *sync.Mutex, fn func()) *sync.WaitGroup {
+	t.Helper()
+	depth := s.QueueDepth()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p := sim.NewProc(id)
+		err := s.Do(p, req, func() error {
+			mu.Lock()
+			*order = append(*order, id)
+			mu.Unlock()
+			if fn != nil {
+				fn()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("Do(%s): %v", id, err)
+		}
+	}()
+	waitDepthAbove(t, s, depth)
+	return &wg
+}
+
+// TestBatchGroupsAndOrders: the DRR winner pulls every queued read on
+// its cartridge into one batch, served in tape-position order; reads
+// on other cartridges stay queued.
+func TestBatchGroupsAndOrders(t *testing.T) {
+	sim := vtime.NewVirtual()
+	st := &stubTape{gen: 1, loc: map[string]tape.Placement{
+		"v/a1": {Cart: 1, Off: 300, OK: true},
+		"v/a2": {Cart: 1, Off: 100, OK: true},
+		"v/a3": {Cart: 1, Off: 200, OK: true},
+		"v/b1": {Cart: 2, Off: 0, OK: true},
+	}}
+	rec := trace.New(64)
+	s, err := New(Config{MaxInFlight: 1, Price: unitPricer, Tape: st, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Pause()
+
+	var mu sync.Mutex
+	var order []string
+	var wgs []*sync.WaitGroup
+	// Arrival order interleaves the cartridges; position order does not
+	// match arrival order on purpose.
+	for _, id := range []string{"v/a1", "v/b1", "v/a2", "v/a3"} {
+		wgs = append(wgs, submit(t, s, sim, tapeReq("v", id), id, &order, &mu, nil))
+	}
+	s.Resume()
+	for _, wg := range wgs {
+		wg.Wait()
+	}
+
+	want := []string{"v/a2", "v/a3", "v/a1", "v/b1"}
+	if got := strings.Join(order, " "); got != strings.Join(want, " ") {
+		t.Errorf("grant order %v, want %v", order, want)
+	}
+	stats := s.Stats()
+	if stats.Batches != 1 || stats.Batched != 3 {
+		t.Errorf("batches %d batched %d, want 1 and 3", stats.Batches, stats.Batched)
+	}
+	carts := batchCarts(rec)
+	if len(carts) != 1 || carts[0] != "cartridge1" {
+		t.Errorf("batch trace events %v, want [cartridge1]", carts)
+	}
+}
+
+func batchCarts(rec *trace.Recorder) []string {
+	var out []string
+	for _, ev := range rec.Events() {
+		if ev.Op == trace.OpQueueBatch {
+			out = append(out, ev.Path)
+		}
+	}
+	return out
+}
+
+// TestBatchAbandonedOnGenerationChange: when the library layout
+// generation moves under an in-flight batch (a Reclaim), the remaining
+// members are requeued and re-batched against the new layout — a
+// reclaimed cartridge is never served from a stale batch.
+func TestBatchAbandonedOnGenerationChange(t *testing.T) {
+	sim := vtime.NewVirtual()
+	st := &stubTape{gen: 1, loc: map[string]tape.Placement{
+		"v/f0": {Cart: 1, Off: 0, OK: true},
+		"v/f1": {Cart: 1, Off: 100, OK: true},
+		"v/f2": {Cart: 1, Off: 200, OK: true},
+		"v/f3": {Cart: 1, Off: 300, OK: true},
+	}}
+	rec := trace.New(64)
+	s, err := New(Config{MaxInFlight: 1, Price: unitPricer, Tape: st, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Pause()
+
+	var mu sync.Mutex
+	var order []string
+	var wgs []*sync.WaitGroup
+	// f0's fn simulates a reclaim completing while f0 is on the drive:
+	// the generation moves and the surviving files land on cartridge 7
+	// in reverse position order.
+	reclaim := func() {
+		st.mu.Lock()
+		st.gen++
+		st.loc["v/f1"] = tape.Placement{Cart: 7, Off: 30, OK: true}
+		st.loc["v/f2"] = tape.Placement{Cart: 7, Off: 20, OK: true}
+		st.loc["v/f3"] = tape.Placement{Cart: 7, Off: 10, OK: true}
+		st.mu.Unlock()
+	}
+	for i, id := range []string{"v/f0", "v/f1", "v/f2", "v/f3"} {
+		fn := func() {}
+		if i == 0 {
+			fn = reclaim
+		}
+		wgs = append(wgs, submit(t, s, sim, tapeReq("v", id), id, &order, &mu, fn))
+	}
+	s.Resume()
+	for _, wg := range wgs {
+		wg.Wait()
+	}
+
+	// f0 first (head of the original batch), then the re-formed batch
+	// on cartridge 7 in its new position order.
+	want := []string{"v/f0", "v/f3", "v/f2", "v/f1"}
+	if got := strings.Join(order, " "); got != strings.Join(want, " ") {
+		t.Errorf("grant order %v, want %v", order, want)
+	}
+	stats := s.Stats()
+	if stats.BatchAbandoned != 3 {
+		t.Errorf("abandoned %d, want 3", stats.BatchAbandoned)
+	}
+	if stats.Batches != 2 || stats.Batched != 7 {
+		t.Errorf("batches %d batched %d, want 2 and 7", stats.Batches, stats.Batched)
+	}
+	carts := batchCarts(rec)
+	if len(carts) != 2 || carts[0] != "cartridge1" || carts[1] != "cartridge7" {
+		t.Errorf("batch trace events %v, want [cartridge1 cartridge7]", carts)
+	}
+}
+
+// TestBatchVsReclaimRace drives a real tape library through the
+// scheduler's batch lane while a concurrent reclaimer compacts the
+// media (run under -race).  Every read must return the file's exact
+// contents, batches must form, and the layout generation must move.
+func TestBatchVsReclaimRace(t *testing.T) {
+	const (
+		files = 24
+		fsize = 1 << 10
+	)
+	sim := vtime.NewVirtual()
+	lib, err := tape.New(tape.Config{
+		Name:              "hpss",
+		Params:            model.RemoteTape2000(),
+		Store:             memfs.New(),
+		Drives:            2,
+		CartridgeCapacity: 4 * fsize,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := func(i int) []byte {
+		b := make([]byte, fsize)
+		for j := range b {
+			b[j] = byte(i*31 + j)
+		}
+		return b
+	}
+	wp := sim.NewProc("writer")
+	wsess, err := lib.Connect(wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < files; i++ {
+		h, err := wsess.Open(wp, fmt.Sprintf("arc/f%02d", i), storage.ModeWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.WriteAt(wp, content(i), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(wp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	genBefore := lib.Generation()
+
+	s, err := New(Config{MaxInFlight: 2, Tape: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Pause()
+
+	// Queue a full backlog of shuffled tape reads so batches are
+	// guaranteed to form at Resume, then let a reclaimer run under it.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		for j := 0; j < files/4; j++ {
+			i := (g*7 + j*5) % files
+			depth := s.QueueDepth()
+			wg.Add(1)
+			go func(g, i int) {
+				defer wg.Done()
+				p := sim.NewProc(fmt.Sprintf("r%d", g))
+				sess, err := lib.Connect(p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer sess.Close(p)
+				path := fmt.Sprintf("arc/f%02d", i)
+				err = s.Do(p, Request{
+					Tenant: fmt.Sprintf("r%d", g),
+					Class:  storage.KindRemoteTape.String(),
+					Op:     "read", Path: path, Bytes: fsize,
+				}, func() error {
+					h, err := sess.Open(p, path, storage.ModeRead)
+					if err != nil {
+						return err
+					}
+					defer h.Close(p)
+					buf := make([]byte, fsize)
+					if _, err := h.ReadAt(p, buf, 0); err != nil {
+						return err
+					}
+					if !bytes.Equal(buf, content(i)) {
+						return fmt.Errorf("%s: content mismatch after reclaim", path)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("read %s: %v", path, err)
+				}
+			}(g, i)
+			waitDepthAbove(t, s, depth)
+		}
+	}
+
+	// Reclaimer: generate waste with junk files, then compact, racing
+	// the batch lane.
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		p := sim.NewProc("reclaimer")
+		sess, err := lib.Connect(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer sess.Close(p)
+		for k := 0; ; k++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			junk := fmt.Sprintf("junk/j%d", k)
+			h, err := sess.Open(p, junk, storage.ModeWrite)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := h.WriteAt(p, content(k), 0); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := h.Close(p); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := sess.Remove(p, junk); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := lib.Reclaim(p); err != nil {
+				t.Errorf("reclaim: %v", err)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	s.Resume()
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+
+	if gen := lib.Generation(); gen <= genBefore {
+		t.Errorf("generation %d did not advance past %d; reclaims never ran", gen, genBefore)
+	}
+	stats := s.Stats()
+	if stats.Batches == 0 {
+		t.Error("no batches formed under a full backlog")
+	}
+	t.Logf("batches %d batched %d abandoned %d", stats.Batches, stats.Batched, stats.BatchAbandoned)
+}

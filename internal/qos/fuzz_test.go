@@ -1,0 +1,51 @@
+package qos
+
+import (
+	"testing"
+)
+
+// FuzzParseTenants fuzzes the -tenants flag parser: it must never
+// panic, any map it accepts must be a valid Config.Tenants, and
+// FormatTenants must round-trip it exactly.
+func FuzzParseTenants(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"astro3d:3,viewer:1",
+		"a:1",
+		" a : 2 , b : 3 ",
+		"a:0",
+		"a:-1",
+		"a",
+		"a:1,a:2",
+		":5",
+		"a:1,",
+		"a:9999999999999999999999",
+		"a:1:2",
+		"☃:7",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseTenants(s)
+		if err != nil {
+			return
+		}
+		// Accepted maps must be directly usable as scheduler config.
+		if _, err := New(Config{Tenants: m}); err != nil {
+			t.Fatalf("ParseTenants(%q) accepted a map New rejects: %v", s, err)
+		}
+		// And must round-trip through the formatter.
+		back, err := ParseTenants(FormatTenants(m))
+		if err != nil {
+			t.Fatalf("round-trip parse of %q failed: %v", s, err)
+		}
+		if len(back) != len(m) {
+			t.Fatalf("round-trip of %q: %v != %v", s, back, m)
+		}
+		for name, w := range m {
+			if back[name] != w {
+				t.Fatalf("round-trip of %q: tenant %q weight %d != %d", s, name, back[name], w)
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package qos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseTenants parses a tenant-weight configuration string of the form
+// "name:weight,name:weight" — the format of srbd's -tenants flag, e.g.
+// "astro3d:3,viewer:1".  Whitespace around entries is ignored; names
+// must be non-empty and unique; weights must be positive integers.
+// The empty string parses to nil (every tenant at the default weight).
+func ParseTenants(s string) (map[string]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("qos: empty tenant entry in %q", s)
+		}
+		name, weight, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("qos: tenant entry %q is not name:weight", part)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("qos: empty tenant name in %q", part)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("qos: duplicate tenant %q", name)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(weight))
+		if err != nil {
+			return nil, fmt.Errorf("qos: tenant %q: bad weight %q", name, weight)
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("qos: tenant %q: weight must be positive, got %d", name, w)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+// FormatTenants renders a tenant-weight map back into the -tenants
+// flag syntax, deterministically ordered by name.  For any valid map,
+// ParseTenants(FormatTenants(m)) round-trips (the fuzz target pins
+// this).
+func FormatTenants(m map[string]int) string {
+	if len(m) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", name, m[name]))
+	}
+	return strings.Join(parts, ",")
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -65,10 +66,13 @@ func MarkPermanent(err error) error {
 //     chain decides;
 //  2. storage.ErrDown is transient — the paper's outages are scheduled
 //     maintenance windows that end;
-//  3. network-level failures (net.Error, connection resets, EOF from a
+//  3. storage.ErrOverload is transient — the request was shed by
+//     admission control before it started, and the server usually says
+//     when to come back (RetryAfterOf);
+//  4. network-level failures (net.Error, connection resets, EOF from a
 //     desynced or dropped wire stream) are transient — the srbnet
 //     client redials;
-//  4. every other error — the storage sentinels ErrNotExist, ErrExist,
+//  5. every other error — the storage sentinels ErrNotExist, ErrExist,
 //     ErrReadOnly, ErrBadPath, ErrCapacity, ErrClosed, authentication
 //     failures, and anything unknown — is permanent.
 //
@@ -88,6 +92,9 @@ func Transient(err error) bool {
 	if errors.Is(err, storage.ErrDown) {
 		return true
 	}
+	if errors.Is(err, storage.ErrOverload) {
+		return true
+	}
 	var nerr net.Error
 	if errors.As(err, &nerr) {
 		return true
@@ -103,4 +110,20 @@ func Transient(err error) bool {
 // fix.  Permanent(nil) is false: no error is not a failure.
 func Permanent(err error) bool {
 	return err != nil && !Transient(err)
+}
+
+// RetryAfterOf extracts a server-provided honor-after hint from an
+// overload error chain: any error exposing RetryAfter() time.Duration
+// (qos.OverloadError server-side, the srbnet client's decoded wire
+// error remotely).  Retry loops use the hint instead of their own
+// exponential schedule so a shed fleet of clients does not stampede
+// back in lockstep before the queue has drained.
+func RetryAfterOf(err error) (time.Duration, bool) {
+	var ra interface{ RetryAfter() time.Duration }
+	if errors.As(err, &ra) {
+		if d := ra.RetryAfter(); d > 0 {
+			return d, true
+		}
+	}
+	return 0, false
 }

@@ -1,0 +1,96 @@
+package resilient
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// hintedErr is a transient error carrying an admission-control drain
+// hint, shaped like qos.OverloadError without importing it.
+type hintedErr struct{ after time.Duration }
+
+func (e *hintedErr) Error() string             { return "server overloaded, come back later" }
+func (e *hintedErr) Unwrap() error             { return storage.ErrOverload }
+func (e *hintedErr) RetryAfter() time.Duration { return e.after }
+
+func TestRetryAfterOf(t *testing.T) {
+	if d, ok := RetryAfterOf(errors.New("plain")); ok || d != 0 {
+		t.Errorf("plain error: RetryAfterOf = (%v, %v), want (0, false)", d, ok)
+	}
+	// Zero hints are treated as absent.
+	if _, ok := RetryAfterOf(&hintedErr{}); ok {
+		t.Error("zero hint reported as present")
+	}
+	hint := &hintedErr{after: 3 * time.Second}
+	if d, ok := RetryAfterOf(hint); !ok || d != 3*time.Second {
+		t.Errorf("RetryAfterOf = (%v, %v), want (3s, true)", d, ok)
+	}
+	// The hint survives wrapping.
+	if d, ok := RetryAfterOf(errors.Join(errors.New("ctx"), hint)); !ok || d != 3*time.Second {
+		t.Errorf("wrapped RetryAfterOf = (%v, %v), want (3s, true)", d, ok)
+	}
+}
+
+// TestDoHonorsRetryAfter: when a transient error carries a drain hint,
+// the policy charges at least the hint (never less — a shorter local
+// guess would just be shed again), skewed upward by at most Jitter.
+func TestDoHonorsRetryAfter(t *testing.T) {
+	sim := vtime.NewVirtual()
+	p := sim.NewProc("client")
+	po := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: 0.25}
+	const after = 5 * time.Second
+
+	calls := 0
+	var delays []time.Duration
+	err := po.Do(p, "hpss/read", func(d time.Duration) { delays = append(delays, d) }, func() error {
+		calls++
+		if calls < 3 {
+			return &hintedErr{after: after}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 || len(delays) != 2 {
+		t.Fatalf("calls %d delays %d, want 3 and 2", calls, len(delays))
+	}
+	for i, d := range delays {
+		if d < after {
+			t.Errorf("retry %d charged %v, below the server hint %v", i+1, d, after)
+		}
+		if max := time.Duration(float64(after) * 1.25); d > max {
+			t.Errorf("retry %d charged %v, above hint+jitter %v", i+1, d, max)
+		}
+	}
+	// The jitter skew is deterministic and per-attempt, so identical
+	// runs charge identical virtual time and the two delays differ.
+	if delays[0] == delays[1] {
+		t.Errorf("attempt jitter did not vary: %v", delays)
+	}
+	if got := p.Now(); got != delays[0]+delays[1] {
+		t.Errorf("virtual clock %v, want %v", got, delays[0]+delays[1])
+	}
+
+	// Without a hint the exponential schedule still applies.
+	p2 := sim.NewProc("client2")
+	var plain []time.Duration
+	calls = 0
+	err = po.Do(p2, "hpss/read", func(d time.Duration) { plain = append(plain, d) }, func() error {
+		calls++
+		if calls < 2 {
+			return MarkTransient(errors.New("blip"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("plain Do: %v", err)
+	}
+	if len(plain) != 1 || plain[0] >= after {
+		t.Errorf("plain backoff %v, want one small exponential delay", plain)
+	}
+}

@@ -93,6 +93,13 @@ func (po Policy) Backoff(retry int, key string) time.Duration {
 // name plus operation).  onRetry, if non-nil, observes each charged
 // backoff.  When the budget runs out the last error is wrapped with
 // ErrRetriesExhausted and marked permanent.
+//
+// When the error carries an admission-control honor-after hint
+// (RetryAfterOf), the hint replaces the exponential schedule for that
+// retry: the server knows how long its queue needs to drain, and a
+// shorter local guess would just be shed again.  The policy's jitter
+// is still applied — upward only — so many shed clients do not return
+// in lockstep.
 func (po Policy) Do(p *vtime.Proc, key string, onRetry func(delay time.Duration), f func() error) error {
 	po = po.withDefaults()
 	var err error
@@ -105,9 +112,26 @@ func (po Policy) Do(p *vtime.Proc, key string, onRetry func(delay time.Duration)
 			return MarkPermanent(fmt.Errorf("%w (%d attempts): %w", ErrRetriesExhausted, po.MaxAttempts, err))
 		}
 		delay := po.Backoff(attempt, key)
+		if after, ok := RetryAfterOf(err); ok {
+			delay = po.honorAfter(after, attempt, key)
+		}
 		p.Advance(delay)
 		if onRetry != nil {
 			onRetry(delay)
 		}
 	}
+}
+
+// honorAfter turns a server hint into the charged delay: never earlier
+// than the server asked, skewed upward by up to the policy's jitter
+// fraction with the same deterministic hash as Backoff.
+func (po Policy) honorAfter(after time.Duration, retry int, key string) time.Duration {
+	d := float64(after)
+	if po.Jitter > 0 {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%s@%d", key, retry)
+		frac := float64(h.Sum64()%2048) / 2048 // [0, 1)
+		d *= 1 + po.Jitter*frac
+	}
+	return time.Duration(d)
 }

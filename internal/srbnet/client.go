@@ -485,7 +485,7 @@ func (m *mux) call(p *vtime.Proc, req *request) (*response, error) {
 	}
 	p.AdvanceTo(resp.Now)
 	if resp.Err != errNone {
-		return resp, decodeErr(resp.Err, resp.ErrMsg)
+		return resp, decodeRespErr(resp)
 	}
 	return resp, nil
 }

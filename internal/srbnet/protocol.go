@@ -103,6 +103,7 @@ const (
 	errBadPath
 	errAuth
 	errNoResource
+	errOverload
 	errOther
 )
 
@@ -124,6 +125,8 @@ func encodeErr(err error) (errCode, string) {
 		return errCapacity, err.Error()
 	case errors.Is(err, storage.ErrBadPath):
 		return errBadPath, err.Error()
+	case errors.Is(err, storage.ErrOverload):
+		return errOverload, err.Error()
 	case errors.Is(err, srb.ErrAuth):
 		return errAuth, err.Error()
 	case errors.Is(err, srb.ErrNoResource):
@@ -162,6 +165,8 @@ func decodeErr(code errCode, msg string) error {
 		sentinel = storage.ErrCapacity
 	case errBadPath:
 		sentinel = storage.ErrBadPath
+	case errOverload:
+		sentinel = storage.ErrOverload
 	case errAuth:
 		sentinel = srb.ErrAuth
 	case errNoResource:
@@ -180,13 +185,42 @@ type response struct {
 	Tag    uint64 // echo of the request's tag
 	Err    errCode
 	ErrMsg string
-	Now    time.Duration // server-side completion time
-	Sess   uint64        // connect: the new session's wire id
-	Handle uint64
-	N      int
-	Size   int64
-	Data   []byte
-	Vecs   [][]byte // vectored reads: one buffer per chunk
-	Info   storage.FileInfo
-	Infos  []storage.FileInfo
+	// RetryAfterNs carries the scheduler's honor-after hint alongside
+	// errOverload: nanoseconds until the server expects its queue to
+	// have drained enough to admit the request.
+	RetryAfterNs int64
+	Now          time.Duration // server-side completion time
+	Sess         uint64        // connect: the new session's wire id
+	Handle       uint64
+	N            int
+	Size         int64
+	Data         []byte
+	Vecs         [][]byte // vectored reads: one buffer per chunk
+	Info         storage.FileInfo
+	Infos        []storage.FileInfo
+}
+
+// overloadWireError is the client-side decoding of errOverload + a
+// RetryAfterNs hint.  It keeps the wireError sentinel chain (so
+// errors.Is(err, storage.ErrOverload) and resilient.Transient hold)
+// and re-exposes the hint to resilient.RetryAfterOf.
+type overloadWireError struct {
+	wireError
+	after time.Duration
+}
+
+func (e *overloadWireError) RetryAfter() time.Duration { return e.after }
+
+// decodeRespErr reconstructs the full client-side error for a failed
+// response, attaching the honor-after hint when present.
+func decodeRespErr(resp *response) error {
+	err := decodeErr(resp.Err, resp.ErrMsg)
+	if err == nil {
+		return nil
+	}
+	if resp.Err == errOverload && resp.RetryAfterNs > 0 {
+		we := err.(*wireError)
+		return &overloadWireError{wireError: *we, after: time.Duration(resp.RetryAfterNs)}
+	}
+	return err
 }

@@ -10,6 +10,8 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/qos"
+	"repro/internal/resilient"
 	"repro/internal/srb"
 	"repro/internal/storage"
 	"repro/internal/vtime"
@@ -25,6 +27,7 @@ type Server struct {
 	sim    *vtime.Sim
 	lis    net.Listener
 	logf   func(format string, args ...any)
+	sched  *qos.Scheduler
 
 	mu     sync.Mutex
 	closed bool
@@ -36,10 +39,29 @@ type Server struct {
 	nextSess uint64
 }
 
+// ServerOption configures Serve.
+type ServerOption func(*Server)
+
+// WithScheduler routes every data-plane opcode (open, read, write,
+// vectored and whole-file transfers) through the given qos scheduler:
+// admission control may shed the request with ErrOverload (the
+// honor-after hint crosses the wire), and granted requests run in the
+// scheduler's order, so device time is charged fairly across tenants.
+// Control-plane opcodes (connect, close, stat, list, remove) bypass
+// the queue.  Without this option the server keeps its greedy
+// arrival-order behaviour — the ablation baseline.
+//
+// The scheduler is not owned by the server: close it (qos.Scheduler
+// Close fails queued requests) before waiting on Server.Close if
+// requests may still be queued, and share it across servers freely.
+func WithScheduler(sched *qos.Scheduler) ServerOption {
+	return func(s *Server) { s.sched = sched }
+}
+
 // Serve starts a server on addr ("127.0.0.1:0" picks a free port) using
 // the given Sim for server-side clocks.  It returns once the listener is
 // ready; Close stops it.
-func Serve(addr string, broker *srb.Broker, sim *vtime.Sim) (*Server, error) {
+func Serve(addr string, broker *srb.Broker, sim *vtime.Sim, opts ...ServerOption) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("srbnet: listen %s: %w", addr, err)
@@ -51,6 +73,9 @@ func Serve(addr string, broker *srb.Broker, sim *vtime.Sim) (*Server, error) {
 		logf:     log.Printf,
 		conns:    make(map[net.Conn]struct{}),
 		sessions: make(map[uint64]*srvSession),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -108,6 +133,12 @@ func (s *Server) acceptLoop() {
 // many ranks share one wire session.
 type srvSession struct {
 	id uint64
+
+	// user, resource and class identify the tenant and target for the
+	// qos scheduler; set once at connect, immutable afterwards.
+	user     string
+	resource string
+	class    string
 
 	mu      sync.Mutex
 	sess    storage.Session
@@ -215,7 +246,9 @@ func (s *Server) lookup(id uint64) *srvSession {
 
 // handle executes one request.  The serving rank's clock is first
 // pushed forward to the client's clock so device contention is charged
-// at the right instant.
+// at the right instant.  With a scheduler attached, data-plane opcodes
+// first pass admission control and then wait for their grant, so the
+// device acquisitions inside execute happen in scheduler order.
 func (s *Server) handle(req *request) *response {
 	resp := &response{Tag: req.Tag}
 	if req.Op == opConnect {
@@ -229,6 +262,79 @@ func (s *Server) handle(req *request) *response {
 	}
 	proc := ss.proc(s.sim, req.PID)
 	proc.AdvanceTo(req.Now)
+	if s.sched != nil {
+		if q, ok := schedRequest(ss, req); ok {
+			var out *response
+			err := s.sched.Do(proc, q, func() error {
+				out = s.execute(ss, proc, req, resp)
+				return nil
+			})
+			if err != nil {
+				resp.Err, resp.ErrMsg = encodeErr(err)
+				if after, ok := resilient.RetryAfterOf(err); ok {
+					resp.RetryAfterNs = int64(after)
+				}
+				resp.Now = proc.Now()
+				return resp
+			}
+			return out
+		}
+	}
+	return s.execute(ss, proc, req, resp)
+}
+
+// schedRequest maps a wire request onto a qos.Request.  Only the
+// data-plane opcodes are schedulable; session lifecycle and metadata
+// ops return ok == false and run unqueued.
+func schedRequest(ss *srvSession, req *request) (qos.Request, bool) {
+	q := qos.Request{
+		Tenant:  ss.user,
+		Backend: ss.resource,
+		Class:   ss.class,
+		Path:    req.Path,
+	}
+	handlePath := func() {
+		if h, ok := ss.handle(req.Handle); ok {
+			q.Path = h.Path()
+		}
+	}
+	switch req.Op {
+	case opOpen:
+		if req.Mode == storage.ModeRead {
+			q.Op = "read"
+		} else {
+			q.Op = "write"
+		}
+	case opRead:
+		q.Op, q.Bytes = "read", int64(req.N)
+		handlePath()
+	case opReadV:
+		q.Op = "read"
+		for _, v := range req.Vecs {
+			q.Bytes += int64(v.N)
+		}
+		handlePath()
+	case opWrite:
+		q.Op, q.Bytes = "write", int64(len(req.Data))
+		handlePath()
+	case opWriteV:
+		q.Op = "write"
+		for _, v := range req.Vecs {
+			q.Bytes += int64(len(v.Data))
+		}
+		handlePath()
+	case opGetFile:
+		q.Op = "read" // size unknown until opened
+	case opPutFile:
+		q.Op, q.Bytes = "write", int64(len(req.Data))
+	default:
+		return qos.Request{}, false
+	}
+	return q, true
+}
+
+// execute runs one already-admitted request against the session.
+func (s *Server) execute(ss *srvSession, proc *vtime.Proc, req *request, resp *response) *response {
 	fail := func(err error) *response {
 		resp.Err, resp.ErrMsg = encodeErr(err)
 		resp.Now = proc.Now()
@@ -396,10 +502,15 @@ func (s *Server) handleConnect(req *request, resp *response) *response {
 		return resp
 	}
 	ss := &srvSession{
-		id:      id,
-		sess:    sess,
-		handles: make(map[uint64]storage.Handle),
-		procs:   map[uint64]*vtime.Proc{req.PID: proc},
+		id:       id,
+		user:     req.User,
+		resource: req.Resource,
+		sess:     sess,
+		handles:  make(map[uint64]storage.Handle),
+		procs:    map[uint64]*vtime.Proc{req.PID: proc},
+	}
+	if be, ok := s.broker.Resource(req.Resource); ok {
+		ss.class = be.Kind().String()
 	}
 	s.sessMu.Lock()
 	s.sessions[id] = ss

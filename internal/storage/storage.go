@@ -101,6 +101,11 @@ var (
 	ErrDown     = errors.New("storage: resource is down")
 	ErrCapacity = errors.New("storage: capacity exceeded")
 	ErrBadPath  = errors.New("storage: invalid path")
+	// ErrOverload is returned by admission control when a scheduler's
+	// queue budget is exhausted.  It is backpressure, not failure: the
+	// request was never started, and the server usually attaches a
+	// RetryAfter() hint (see internal/qos and internal/resilient).
+	ErrOverload = errors.New("storage: server overloaded")
 )
 
 // FileInfo describes a stored file.

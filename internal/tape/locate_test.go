@@ -1,0 +1,204 @@
+package tape
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// TestLocateAllSnapshot: LocateAll returns a consistent (placement,
+// generation) snapshot — known paths with cartridge/offset, unknown
+// paths with OK=false — and the generation matches Generation().
+func TestLocateAllSnapshot(t *testing.T) {
+	l := newLib(t, func(c *Config) { c.CartridgeCapacity = 1 << 10 })
+	p := vtime.NewVirtual().NewProc("p")
+	paths := make([]string, 6)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("a/f%d", i)
+		writeFile(t, l, p, paths[i], make([]byte, 512))
+	}
+	pl, gen := l.LocateAll(append(paths, "a/nope", "bad//path"))
+	if gen != l.Generation() {
+		t.Errorf("snapshot gen %d != Generation() %d", gen, l.Generation())
+	}
+	carts := map[int64]bool{}
+	for i := range paths {
+		if !pl[i].OK {
+			t.Fatalf("%s not located", paths[i])
+		}
+		carts[pl[i].Cart] = true
+	}
+	// 512-byte files on 1 KiB cartridges: two per cartridge, offsets 0
+	// and 512.
+	if len(carts) != 3 {
+		t.Errorf("placements span %d cartridges, want 3", len(carts))
+	}
+	for i := range paths {
+		if want := int64(i%2) * 512; pl[i].Off != want {
+			t.Errorf("%s at offset %d, want %d", paths[i], pl[i].Off, want)
+		}
+	}
+	for _, bad := range pl[len(paths):] {
+		if bad.OK {
+			t.Errorf("unknown path located: %+v", bad)
+		}
+	}
+}
+
+// TestReclaimNeverReusesCartridgeIDs pins the invariant the scheduler's
+// batch lane depends on: cartridge ids are monotonic across Reclaim, so
+// a stale batch's cartridge id can never alias a fresh cartridge, and
+// each Reclaim moves the layout generation at least twice (once when
+// data starts moving, once when the pass ends).
+func TestReclaimNeverReusesCartridgeIDs(t *testing.T) {
+	l := newLib(t, func(c *Config) { c.CartridgeCapacity = 1 << 10 })
+	p := vtime.NewVirtual().NewProc("p")
+	var paths []string
+	for i := 0; i < 8; i++ {
+		paths = append(paths, fmt.Sprintf("a/f%d", i))
+		writeFile(t, l, p, paths[i], make([]byte, 512))
+	}
+	// Create waste so Reclaim has work.
+	s, err := l.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close(p)
+	if err := s.Remove(p, paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	live := paths[1:]
+
+	before, gen0 := l.LocateAll(live)
+	maxBefore := int64(-1)
+	for _, pl := range before {
+		if pl.Cart > maxBefore {
+			maxBefore = pl.Cart
+		}
+	}
+	if n, err := l.Reclaim(p); err != nil || n != 512 {
+		t.Fatalf("Reclaim = (%d, %v), want 512 recovered", n, err)
+	}
+	after, gen1 := l.LocateAll(live)
+	for i, pl := range after {
+		if !pl.OK {
+			t.Fatalf("%s lost by reclaim", live[i])
+		}
+		if pl.Cart <= maxBefore {
+			t.Errorf("%s on cartridge %d, which aliases a retired id (max before %d)",
+				live[i], pl.Cart, maxBefore)
+		}
+	}
+	if gen1 < gen0+2 {
+		t.Errorf("generation moved %d -> %d, want at least +2 per reclaim", gen0, gen1)
+	}
+	// A no-op reclaim (no waste) must not move the generation: batches
+	// formed against the current layout stay valid.
+	if _, err := l.Reclaim(p); err != nil {
+		t.Fatal(err)
+	}
+	if g := l.Generation(); g != gen1 {
+		t.Errorf("no-op reclaim moved generation %d -> %d", gen1, g)
+	}
+}
+
+// TestLocateAllVsReclaimRace runs LocateAll and readers against
+// concurrent reclaims (run under -race).  Every snapshot must be
+// internally consistent: all live paths located, none on a negative
+// offset, and generations never decreasing.
+func TestLocateAllVsReclaimRace(t *testing.T) {
+	l := newLib(t, func(c *Config) { c.CartridgeCapacity = 1 << 10 })
+	sim := vtime.NewVirtual()
+	wp := sim.NewProc("w")
+	var paths []string
+	for i := 0; i < 8; i++ {
+		paths = append(paths, fmt.Sprintf("a/f%d", i))
+		writeFile(t, l, wp, paths[i], make([]byte, 512))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := sim.NewProc(fmt.Sprintf("loc%d", g))
+			sess, err := l.Connect(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer sess.Close(p)
+			var lastGen int64
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pl, gen := l.LocateAll(paths)
+				if gen < lastGen {
+					t.Errorf("generation went backwards: %d -> %d", lastGen, gen)
+					return
+				}
+				lastGen = gen
+				for i, x := range pl {
+					if !x.OK || x.Off < 0 {
+						t.Errorf("inconsistent snapshot for %s: %+v", paths[i], x)
+						return
+					}
+				}
+				// Read one file through the normal path too.
+				h, err := sess.Open(p, paths[j%len(paths)], storage.ModeRead)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				buf := make([]byte, 512)
+				if _, err := h.ReadAt(p, buf, 0); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := h.Close(p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	rp := sim.NewProc("reclaimer")
+	rsess, err := l.Connect(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsess.Close(rp)
+	for k := 0; k < 20; k++ {
+		junk := fmt.Sprintf("junk/j%d", k)
+		h, err := rsess.Open(rp, junk, storage.ModeCreate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.WriteAt(rp, make([]byte, 256), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(rp); err != nil {
+			t.Fatal(err)
+		}
+		if err := rsess.Remove(rp, junk); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Reclaim(rp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if !l.segmentsDisjoint() {
+		t.Error("segments overlap after concurrent reclaims")
+	}
+}

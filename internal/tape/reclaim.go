@@ -41,7 +41,12 @@ func (l *Library) Reclaim(p *vtime.Proc) (reclaimed int64, err error) {
 		return live[i].seg.offset < live[j].seg.offset
 	})
 	oldCarts := l.carts
-	// Fresh staging cartridge for the compacted layout.
+	// Fresh staging cartridge for the compacted layout.  Bump the
+	// layout generation before the first segment moves *and* after the
+	// last (below): a scheduler batch formed before this line is stale
+	// the moment data starts moving, and one formed mid-pass (Reclaim
+	// releases l.mu around drive time) is stale once the pass ends.
+	l.gen++
 	l.carts = nil
 	l.current = l.newCartridgeLocked()
 	dest := l.current
@@ -79,6 +84,7 @@ func (l *Library) Reclaim(p *vtime.Proc) (reclaimed int64, err error) {
 		}
 	}
 	l.wasted = 0
+	l.gen++
 	l.mu.Unlock()
 	return wasted, nil
 }

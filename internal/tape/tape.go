@@ -59,14 +59,16 @@ type Library struct {
 	cfg   Config
 	robot *vtime.Resource
 
-	mu      sync.Mutex
-	drives  []*drive
-	carts   []*cartridge
-	catalog map[string]*segment
-	current *cartridge // cartridge receiving newly closed files
-	wasted  int64      // dead bytes from over_write
-	mounts  int64
-	down    atomic.Bool
+	mu       sync.Mutex
+	drives   []*drive
+	carts    []*cartridge
+	catalog  map[string]*segment
+	current  *cartridge // cartridge receiving newly closed files
+	wasted   int64      // dead bytes from over_write
+	mounts   int64
+	nextCart int   // next cartridge id; never reused, even across Reclaim
+	gen      int64 // layout generation, bumped by Reclaim
+	down     atomic.Bool
 }
 
 type drive struct {
@@ -187,9 +189,54 @@ func (l *Library) ResetClocks() {
 }
 
 func (l *Library) newCartridgeLocked() *cartridge {
-	c := &cartridge{id: len(l.carts)}
+	// Ids come from a monotonic counter, not len(l.carts): Reclaim
+	// retires the whole shelf, and a reused id would alias a retired
+	// cartridge in anything that keys on ids across the compaction
+	// (the qos scheduler's batch lane does).
+	c := &cartridge{id: l.nextCart}
+	l.nextCart++
 	l.carts = append(l.carts, c)
 	return c
+}
+
+// Placement locates one file on the shelf: the cartridge id holding its
+// live segment and the segment's offset on that cartridge.  OK is false
+// when the path is not in the catalog (not yet sealed, or removed).
+type Placement struct {
+	Cart int64
+	Off  int64
+	OK   bool
+}
+
+// LocateAll maps paths to their current placements in one atomic
+// catalog snapshot, and returns the layout generation the snapshot
+// belongs to.  The qos scheduler's tape batch lane groups queued reads
+// by Cart and orders them by Off; the generation lets it detect that a
+// Reclaim moved the data after the batch was formed.
+func (l *Library) LocateAll(paths []string) ([]Placement, int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Placement, len(paths))
+	for i, p := range paths {
+		cp, err := storage.CleanPath(p)
+		if err != nil {
+			continue
+		}
+		if seg, ok := l.catalog[cp]; ok {
+			out[i] = Placement{Cart: int64(seg.cart.id), Off: seg.offset, OK: true}
+		}
+	}
+	return out, l.gen
+}
+
+// Generation returns the current layout generation.  It changes (at
+// least twice) across every Reclaim: once when the compaction starts
+// rewriting the shelf and once when it finishes, so a batch formed at
+// generation g is stale if Generation() != g.
+func (l *Library) Generation() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
 }
 
 // record emits one trace event covering [start, now] on p's clock.

@@ -44,6 +44,16 @@ const (
 	OpWriteBack Op = "writeback" // dirty cache copy drained to its home tier
 )
 
+// Queue-decision labels recorded by the multi-tenant scheduler
+// (package qos).  Proc carries the tenant; Cost carries the decision's
+// latency dimension (wall wait for grants, the honor-after hint for
+// rejections), not device time.
+const (
+	OpQueueGrant  Op = "qgrant"  // request left the queue and started
+	OpQueueReject Op = "qreject" // admission control shed the request
+	OpQueueBatch  Op = "qbatch"  // a tape batch was formed (Path names the cartridge)
+)
+
 // Event is one native call.
 type Event struct {
 	// At is the simulated completion time on the calling process clock.

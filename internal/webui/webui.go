@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/predict"
+	"repro/internal/qos"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -33,6 +34,7 @@ type Handler struct {
 	tmpl    *template.Template
 	metrics *trace.Metrics
 	calib   *calib.Engine
+	qos     *qos.Scheduler
 }
 
 // Option configures optional handler features.
@@ -51,6 +53,14 @@ func WithMetrics(m *trace.Metrics) Option {
 // /metrics exports per-resource residual ratios.
 func WithCalibration(e *calib.Engine) Option {
 	return func(h *Handler) { h.calib = e }
+}
+
+// WithQoS attaches a request scheduler: /metrics gains the msra_qos_*
+// families — per-tenant queue depth, queued bytes, grant/overload
+// counters, wall wait and virtual service totals, plus the global
+// in-flight gauge and tape-batch counters.
+func WithQoS(s *qos.Scheduler) Option {
+	return func(h *Handler) { h.qos = s }
 }
 
 // New returns a handler over a measured predictor database.
@@ -203,15 +213,23 @@ func (h *Handler) residualsByResource(op string) map[string]calib.Residual {
 	return out
 }
 
-// serveMetrics renders the trace metrics (and calibration residuals,
-// when attached) in the Prometheus text exposition format.
+// serveMetrics renders the trace metrics (and calibration residuals
+// and scheduler gauges, when attached) in the Prometheus text
+// exposition format.
 func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
-	if h.metrics == nil {
+	if h.metrics == nil && h.qos == nil {
 		http.Error(w, "metrics not enabled", http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
+	if h.qos != nil {
+		h.qosMetrics(&b)
+	}
+	if h.metrics == nil {
+		fmt.Fprint(w, b.String())
+		return
+	}
 	b.WriteString("# HELP msra_native_calls_total Native storage calls served, by backend and op.\n")
 	b.WriteString("# TYPE msra_native_calls_total counter\n")
 	snap := h.metrics.Snapshot()
@@ -256,6 +274,53 @@ func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	fmt.Fprint(w, b.String())
+}
+
+// qosMetrics renders the scheduler snapshot as msra_qos_* families.
+func (h *Handler) qosMetrics(b *strings.Builder) {
+	st := h.qos.Stats()
+	b.WriteString("# HELP msra_qos_inflight Requests currently executing under the scheduler.\n")
+	b.WriteString("# TYPE msra_qos_inflight gauge\n")
+	fmt.Fprintf(b, "msra_qos_inflight %d\n", st.InFlight)
+	b.WriteString("# HELP msra_qos_queue_depth Queued (not yet granted) requests per tenant.\n")
+	b.WriteString("# TYPE msra_qos_queue_depth gauge\n")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(b, "msra_qos_queue_depth{tenant=%q} %d\n", t.Tenant, t.Depth)
+	}
+	b.WriteString("# HELP msra_qos_queued_bytes Queued payload bytes per tenant.\n")
+	b.WriteString("# TYPE msra_qos_queued_bytes gauge\n")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(b, "msra_qos_queued_bytes{tenant=%q} %d\n", t.Tenant, t.QueuedBytes)
+	}
+	b.WriteString("# HELP msra_qos_granted_total Requests granted per tenant.\n")
+	b.WriteString("# TYPE msra_qos_granted_total counter\n")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(b, "msra_qos_granted_total{tenant=%q} %d\n", t.Tenant, t.Granted)
+	}
+	b.WriteString("# HELP msra_qos_overload_total Requests shed by admission control per tenant.\n")
+	b.WriteString("# TYPE msra_qos_overload_total counter\n")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(b, "msra_qos_overload_total{tenant=%q} %d\n", t.Tenant, t.Overloads)
+	}
+	b.WriteString("# HELP msra_qos_wait_seconds_total Wall time requests spent queued, per tenant.\n")
+	b.WriteString("# TYPE msra_qos_wait_seconds_total counter\n")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(b, "msra_qos_wait_seconds_total{tenant=%q} %g\n", t.Tenant, t.Wait.Seconds())
+	}
+	b.WriteString("# HELP msra_qos_service_seconds_total Virtual service time of finished requests, per tenant.\n")
+	b.WriteString("# TYPE msra_qos_service_seconds_total counter\n")
+	for _, t := range st.Tenants {
+		fmt.Fprintf(b, "msra_qos_service_seconds_total{tenant=%q} %g\n", t.Tenant, t.Service.Seconds())
+	}
+	b.WriteString("# HELP msra_qos_tape_batches_total Cartridge batches formed by the tape lane.\n")
+	b.WriteString("# TYPE msra_qos_tape_batches_total counter\n")
+	fmt.Fprintf(b, "msra_qos_tape_batches_total %d\n", st.Batches)
+	b.WriteString("# HELP msra_qos_tape_batched_total Requests served through a cartridge batch.\n")
+	b.WriteString("# TYPE msra_qos_tape_batched_total counter\n")
+	fmt.Fprintf(b, "msra_qos_tape_batched_total %d\n", st.Batched)
+	b.WriteString("# HELP msra_qos_tape_batch_abandoned_total Batch members requeued by a layout generation change.\n")
+	b.WriteString("# TYPE msra_qos_tape_batch_abandoned_total counter\n")
+	fmt.Fprintf(b, "msra_qos_tape_batch_abandoned_total %d\n", st.BatchAbandoned)
 }
 
 const pageTemplate = `<!DOCTYPE html>

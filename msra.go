@@ -37,6 +37,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/predict"
 	"repro/internal/ptool"
+	"repro/internal/qos"
 	"repro/internal/remotedisk"
 	"repro/internal/resilient"
 	"repro/internal/srb"
@@ -200,10 +201,21 @@ func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
 // NewBroker returns an empty SRB-like middleware registry.
 func NewBroker() *Broker { return srb.NewBroker() }
 
-// ServeSRB exposes a broker over TCP.
-func ServeSRB(addr string, b *Broker, sim *Sim) (*SRBServer, error) {
-	return srbnet.Serve(addr, b, sim)
+// ServeSRB exposes a broker over TCP.  Server options (currently
+// WithSRBScheduler) shape how the server executes data-plane opcodes.
+func ServeSRB(addr string, b *Broker, sim *Sim, opts ...SRBServerOption) (*SRBServer, error) {
+	return srbnet.Serve(addr, b, sim, opts...)
 }
+
+// SRBServerOption configures ServeSRB.
+type SRBServerOption = srbnet.ServerOption
+
+// WithSRBScheduler routes the server's data-plane opcodes through a
+// multi-tenant request scheduler.  Control-plane opcodes (connect,
+// stat, list, close) bypass the queue.  The scheduler is not owned by
+// the server: close it before the server if requests may still be
+// queued.
+var WithSRBScheduler = srbnet.WithScheduler
 
 // SRBOption configures an SRB client (pool size, dial timeout,
 // read-ahead, or the serialized v1 wire discipline).
@@ -364,6 +376,56 @@ func PredictivePlacer(pdb *Predictor, iterations, procs int, opts ...placement.O
 func WithRequirement(d time.Duration) placement.Option {
 	return placement.WithRequirement(d)
 }
+
+// Multi-tenant request scheduler types (server-side QoS: weighted fair
+// queueing, tape-aware batching, priced admission control).
+type (
+	// QoSScheduler queues data-plane requests per tenant: deficit round
+	// robin over predictor-priced cost, a cartridge batch lane for tape
+	// reads, and bounded queue budgets with typed backpressure.
+	QoSScheduler = qos.Scheduler
+	// QoSConfig parameterizes a scheduler (weights, budgets, pricer,
+	// tape library, FIFO ablation switch).
+	QoSConfig = qos.Config
+	// QoSRequest describes one unit of schedulable work.
+	QoSRequest = qos.Request
+	// QoSPricer converts a request into predicted seconds of service.
+	QoSPricer = qos.Pricer
+	// QoSOverloadError is the typed backpressure carrying a retry-after
+	// drain hint; it unwraps to ErrOverload.
+	QoSOverloadError = qos.OverloadError
+	// QoSStats is a scheduler snapshot (per-tenant accounts, batching
+	// and overload counters) — the source of webui's msra_qos_* families.
+	QoSStats = qos.Stats
+	// QoSTenantStats is one tenant's cumulative scheduling account.
+	QoSTenantStats = qos.TenantStats
+)
+
+// ErrOverload is the sentinel under every shed request, preserved
+// across the SRB wire; resilient classifies it transient and honors the
+// attached retry-after hint.
+var ErrOverload = storage.ErrOverload
+
+// RetryAfterOf extracts an admission-control drain hint from an error
+// chain (zero hints count as absent).
+var RetryAfterOf = resilient.RetryAfterOf
+
+// NewQoSScheduler validates cfg and returns a ready scheduler for
+// WithSRBScheduler.
+func NewQoSScheduler(cfg QoSConfig) (*QoSScheduler, error) { return qos.New(cfg) }
+
+// QoSParseTenants parses srbd's -tenants syntax ("astro3d:3,viewer:1")
+// into a QoSConfig.Tenants map.
+func QoSParseTenants(s string) (map[string]int, error) { return qos.ParseTenants(s) }
+
+// QoSFormatTenants renders a tenant-weight map back into the -tenants
+// flag syntax.
+func QoSFormatTenants(m map[string]int) string { return qos.FormatTenants(m) }
+
+// QoSPredictPricer prices requests by eq. (2) predicted service time
+// from a measured predictor, falling back to a bytes-based price for
+// classes the predictor has no curve for.
+func QoSPredictPricer(pdb *Predictor) QoSPricer { return qos.PredictPricer(pdb) }
 
 // ParsePattern parses a distribution string such as "BBB" or "B**".
 func ParsePattern(s string) (Pattern, error) { return pattern.Parse(s) }

@@ -1,0 +1,109 @@
+package msra_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	msra "repro"
+	"repro/internal/storage"
+)
+
+// TestFacadeQoSScheduledSRB drives the whole QoS surface through the
+// public facade: parse tenant weights, build a scheduler, serve a
+// broker with it, trip admission control, and honor the retry hint.
+func TestFacadeQoSScheduledSRB(t *testing.T) {
+	sim := msra.NewVirtualTime()
+	broker := msra.NewBroker()
+	rdisk, err := msra.NewRemoteDisk("wan-disk", msra.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.Register(rdisk); err != nil {
+		t.Fatal(err)
+	}
+	broker.AddUser("astro3d", "s")
+	broker.AddUser("viewer", "s")
+
+	tenants, err := msra.QoSParseTenants("astro3d:3,viewer:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := msra.QoSFormatTenants(tenants); got != "astro3d:3,viewer:1" {
+		t.Fatalf("FormatTenants = %q", got)
+	}
+	sched, err := msra.NewQoSScheduler(msra.QoSConfig{
+		Tenants:        tenants,
+		MaxInFlight:    1,
+		MaxQueuedBytes: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	srv, err := msra.ServeSRB("127.0.0.1:0", broker, sim, msra.WithSRBScheduler(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	open := func(user, path string) (storage.Handle, *msra.Proc) {
+		t.Helper()
+		c := msra.NewSRBClient(srv.Addr(), user, "s", "wan-disk", storage.KindRemoteDisk)
+		p := sim.NewProc(user)
+		sess, err := c.Connect(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := sess.Open(p, path, msra.ModeCreate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h, p
+	}
+	h1, p1 := open("astro3d", "a/f")
+	h2, p2 := open("viewer", "v/f")
+
+	// Happy path through the scheduler.
+	if n, err := h1.WriteAt(p1, []byte("scheduled"), 0); n != 9 || err != nil {
+		t.Fatalf("write = (%d, %v)", n, err)
+	}
+
+	// Backlog + over-budget request = typed overload with a hint.
+	sched.Pause()
+	queued := make(chan error, 1)
+	go func() {
+		_, err := h1.WriteAt(p1, make([]byte, 32), 16)
+		queued <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for sched.QueueDepth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("write never queued")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	_, err = h2.WriteAt(p2, make([]byte, 128), 0)
+	if !errors.Is(err, msra.ErrOverload) {
+		t.Fatalf("want ErrOverload through the facade, got %v", err)
+	}
+	if after, ok := msra.RetryAfterOf(err); !ok || after <= 0 {
+		t.Fatalf("RetryAfterOf = (%v, %v), want positive hint", after, ok)
+	}
+	sched.Resume()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued write: %v", err)
+	}
+
+	st := sched.Stats()
+	if st.Overloads != 1 {
+		t.Errorf("overloads %d, want 1", st.Overloads)
+	}
+	weights := map[string]int{}
+	for _, ts := range st.Tenants {
+		weights[ts.Tenant] = ts.Weight
+	}
+	if weights["astro3d"] != 3 || weights["viewer"] != 1 {
+		t.Errorf("tenant weights %v, want astro3d=3 viewer=1", weights)
+	}
+}
