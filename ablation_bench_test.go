@@ -496,8 +496,18 @@ func BenchmarkSRBNetSerialized(b *testing.B) {
 	benchSRBNet(b, srbnet.WithSerialized())
 }
 
-// BenchmarkSRBNetPipelined is the v2 default: tagged frames from all 8
-// ranks multiplexed over the pooled connections simultaneously.
+// BenchmarkSRBNetPipelinedV2 is the gob ablation: tagged multiplexing
+// with the v2 gob codec instead of v3 binary frames, so the delta to
+// BenchmarkSRBNetPipelined is the codec alone.
+func BenchmarkSRBNetPipelinedV2(b *testing.B) {
+	benchSRBNet(b, srbnet.WithWireV2())
+}
+
+// BenchmarkSRBNetPipelined is the default wire: tagged frames from all
+// 8 ranks multiplexed over the pooled connections simultaneously,
+// encoded with the v3 zero-copy binary codec (pooled frame buffers,
+// writev-coalesced small frames).  CI gates allocs/op on this
+// benchmark — see .github/workflows/ci.yml.
 func BenchmarkSRBNetPipelined(b *testing.B) {
 	benchSRBNet(b)
 }

@@ -15,24 +15,46 @@ import (
 )
 
 // SRBNetResult compares the wall-clock cost of the serialized (wire
-// protocol v1) and pipelined (v2) disciplines for the same multi-rank
-// workload.  The virtual-time cost is identical under both: the
-// Now/AdvanceTo handshake replays every operation at its logical
-// instant regardless of how frames share the TCP stream.
+// protocol v1), gob-pipelined (v2) and binary-framed (v3) disciplines
+// for the same multi-rank workload.  The virtual-time cost is
+// identical under all three: the Now/AdvanceTo handshake replays every
+// operation at its logical instant regardless of how frames share the
+// TCP stream.
 type SRBNetResult struct {
 	Ranks         int
 	ChunksPerRank int
 	ChunkBytes    int
 	Serialized    time.Duration // wall clock, one request in flight
-	Pipelined     time.Duration // wall clock, tagged multiplexing
+	PipelinedV2   time.Duration // wall clock, tagged multiplexing over gob
+	Pipelined     time.Duration // wall clock, tagged multiplexing over v3 binary frames
+
+	// The codec-bound leg: the same multi-rank workload with larger
+	// chunks over a purely virtual sim, so device waits cost no wall
+	// time and encode/decode/copy on the wire dominates.  This is
+	// where the v3-vs-gob ablation delta is measurable; in the scaled
+	// legs above, the eq. (1) waits drown the codec in noise.
+	WireChunkBytes int
+	WireV2         time.Duration // codec-bound wall clock, gob
+	WireV3         time.Duration // codec-bound wall clock, v3 binary frames
 }
 
-// Speedup is the pipelined wall-clock win.
+// Speedup is the pipelined (v3) wall-clock win over the serialized
+// discipline.
 func (r SRBNetResult) Speedup() float64 {
 	if r.Pipelined <= 0 {
 		return 0
 	}
 	return r.Serialized.Seconds() / r.Pipelined.Seconds()
+}
+
+// V3OverV2 is the binary codec's wall-clock win over gob at the same
+// pipelining discipline, measured on the codec-bound leg — the wire-v3
+// ablation delta.
+func (r SRBNetResult) V3OverV2() float64 {
+	if r.WireV3 <= 0 {
+		return 0
+	}
+	return r.WireV2.Seconds() / r.WireV3.Seconds()
 }
 
 // SRBNetConcurrency runs 8 ranks of chunked writes and reads through
@@ -43,11 +65,8 @@ func (r SRBNetResult) Speedup() float64 {
 // operates in; with one request in flight the array's channels idle
 // while ranks take turns on the wire.
 func SRBNetConcurrency() (SRBNetResult, error) {
-	res := SRBNetResult{Ranks: 8, ChunksPerRank: 8, ChunkBytes: 4096}
-	runOne := func(opts ...srbnet.Option) (time.Duration, error) {
-		// 1 virtual second = 1 wall millisecond: a 4 KiB remote call
-		// (~45 ms virtual) waits ~45 µs of real time.
-		sim := vtime.NewScaled(1e-3)
+	res := SRBNetResult{Ranks: 8, ChunksPerRank: 8, ChunkBytes: 4096, WireChunkBytes: 64 << 10}
+	run := func(sim *vtime.Sim, chunkBytes int, opts ...srbnet.Option) (time.Duration, error) {
 		broker := srb.NewBroker()
 		be, err := device.New(device.Config{
 			Name: "sdsc-array", Kind: storage.KindRemoteDisk,
@@ -91,9 +110,9 @@ func SRBNetConcurrency() (SRBNetResult, error) {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				buf := make([]byte, res.ChunkBytes)
+				buf := make([]byte, chunkBytes)
 				for k := 0; k < res.ChunksPerRank; k++ {
-					off := int64(k * res.ChunkBytes)
+					off := int64(k * chunkBytes)
 					if _, err := handles[r].WriteAt(procs[r], buf, off); err != nil {
 						errs[r] = err
 						return
@@ -122,11 +141,42 @@ func SRBNetConcurrency() (SRBNetResult, error) {
 		}
 		return elapsed, nil
 	}
+	// Scaled legs: 1 virtual second = 1 wall millisecond, so a 4 KiB
+	// remote call (~45 ms virtual) waits ~45 µs of real time and the
+	// pipelining discipline is what shows.
+	scaled := func() *vtime.Sim { return vtime.NewScaled(1e-3) }
 	var err error
-	if res.Serialized, err = runOne(srbnet.WithSerialized()); err != nil {
+	if res.Serialized, err = run(scaled(), res.ChunkBytes, srbnet.WithSerialized()); err != nil {
 		return res, err
 	}
-	if res.Pipelined, err = runOne(); err != nil {
+	if res.PipelinedV2, err = run(scaled(), res.ChunkBytes, srbnet.WithWireV2()); err != nil {
+		return res, err
+	}
+	if res.Pipelined, err = run(scaled(), res.ChunkBytes); err != nil {
+		return res, err
+	}
+	// Codec-bound legs: a purely virtual sim makes the eq. (1) waits
+	// free, so wall clock is encode/decode/copy on the wire — the
+	// regime where the v3 codec's pooled frames and writev batching
+	// are the difference.  Run each leg a few times and keep the best
+	// to shed scheduler noise.
+	best := func(chunkBytes int, opts ...srbnet.Option) (time.Duration, error) {
+		var min time.Duration
+		for i := 0; i < 3; i++ {
+			d, err := run(vtime.NewVirtual(), chunkBytes, opts...)
+			if err != nil {
+				return 0, err
+			}
+			if min == 0 || d < min {
+				min = d
+			}
+		}
+		return min, nil
+	}
+	if res.WireV2, err = best(res.WireChunkBytes, srbnet.WithWireV2()); err != nil {
+		return res, err
+	}
+	if res.WireV3, err = best(res.WireChunkBytes); err != nil {
 		return res, err
 	}
 	return res, nil

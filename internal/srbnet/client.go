@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/resilient"
@@ -89,17 +90,53 @@ func WithRedial(attempts int, backoff time.Duration) Option {
 
 // WithSerialized restores the protocol-v1 discipline for ablation: each
 // session dials a private connection and allows one request in flight
-// at a time.  Virtual-time results are identical to the pipelined path;
-// only wall-clock concurrency differs.
+// at a time (and speaks the v1/v2 gob codec).  Virtual-time results are
+// identical to the pipelined path; only wall-clock concurrency differs.
 func WithSerialized() Option {
 	return func(c *Client) { c.serialized = true }
 }
 
+// WithWireV2 keeps the wire-protocol-v2 gob codec on the multiplexed
+// connections for ablation: same tagged pipelining, but every frame
+// pays gob's reflective encode/decode and a fresh allocation per
+// payload.  `benchreport -exp srbnet` contrasts it against the v3
+// binary framing that is the default.
+func WithWireV2() Option {
+	return func(c *Client) { c.wireV2 = true }
+}
+
+// WithChunkBytes sets the wire-v3 streaming chunk size: an
+// opPutFile/opGetFile body larger than this travels as a sequence of
+// bounded chunk frames, so neither side ever materializes the whole
+// file as one wire message.  Bodies at or below the threshold keep the
+// exact single-transfer virtual-time cost of v2; chunked bodies charge
+// one device transfer per chunk.  Default DefaultChunkBytes.
+func WithChunkBytes(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.chunkBytes = n
+		}
+	}
+}
+
+// WithMaxFrame caps the declared body length the client will accept
+// for one inbound frame.  A corrupt or hostile length prefix beyond
+// the cap poisons the connection before any allocation happens.
+// Default DefaultMaxFrame.
+func WithMaxFrame(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxFrame = n
+		}
+	}
+}
+
 // Client reaches a remote srbnet server.  It implements storage.Backend.
 // Sessions share a pool of multiplexed TCP connections: every request
-// carries a tag, a writer goroutine per connection encodes frames, and
-// a reader goroutine routes responses back to per-tag waiters, so many
-// ranks keep RPCs in flight simultaneously.
+// carries a tag, a writer goroutine per connection encodes frames (v3
+// coalesces queued frames into one writev), and a reader goroutine
+// routes responses back to per-tag waiters, so many ranks keep RPCs in
+// flight simultaneously.
 type Client struct {
 	addr     string
 	user     string
@@ -112,6 +149,9 @@ type Client struct {
 	dialTimeout    time.Duration
 	readAhead      int
 	serialized     bool
+	wireV2         bool
+	chunkBytes     int
+	maxFrame       int
 	redialAttempts int
 	redialBackoff  time.Duration
 
@@ -131,14 +171,16 @@ var _ storage.Backend = (*Client)(nil)
 // resource's class so the placement layer treats it correctly.
 func NewClient(addr, user, secret, resource string, kind storage.Kind, opts ...Option) *Client {
 	c := &Client{
-		addr:        addr,
-		user:        user,
-		secret:      secret,
-		resource:    resource,
-		kind:        kind,
-		name:        "srb://" + addr + "/" + resource,
+		addr:           addr,
+		user:           user,
+		secret:         secret,
+		resource:       resource,
+		kind:           kind,
+		name:           "srb://" + addr + "/" + resource,
 		poolSize:       DefaultPoolSize,
 		dialTimeout:    DefaultDialTimeout,
+		chunkBytes:     DefaultChunkBytes,
+		maxFrame:       DefaultMaxFrame,
 		redialAttempts: DefaultRedialAttempts,
 		redialBackoff:  DefaultRedialBackoff,
 		pids:           make(map[*vtime.Proc]uint64),
@@ -148,6 +190,9 @@ func NewClient(addr, user, secret, resource string, kind storage.Kind, opts ...O
 	}
 	return c
 }
+
+// v3 reports whether this client speaks the binary wire codec.
+func (c *Client) v3() bool { return !c.serialized && !c.wireV2 }
 
 // Name implements storage.Backend.
 func (c *Client) Name() string { return c.name }
@@ -174,25 +219,38 @@ func (c *Client) pid(p *vtime.Proc) uint64 {
 	return id
 }
 
-// dial opens and starts one multiplexed connection.
+// dial opens and starts one multiplexed connection.  A v3 connection
+// announces its codec with the magic preamble; serialized and wireV2
+// clients keep the gob stream, which the server serves unchanged.
 func (c *Client) dial() (*mux, error) {
 	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("srbnet client: dial %s: %w: %w", c.addr, errConnFailed, err)
 	}
-	bw := bufio.NewWriter(conn)
 	m := &mux{
 		c:       c,
 		conn:    conn,
-		bw:      bw,
-		enc:     gob.NewEncoder(bw),
-		dec:     gob.NewDecoder(bufio.NewReader(conn)),
 		sendq:   make(chan *request, 64),
 		stop:    make(chan struct{}),
 		waiters: make(map[uint64]chan *response),
 	}
-	go m.writeLoop()
-	go m.readLoop()
+	if !c.v3() {
+		bw := bufio.NewWriter(conn)
+		m.bw = bw
+		m.enc = gob.NewEncoder(bw)
+		m.dec = gob.NewDecoder(bufio.NewReader(conn))
+		go m.writeLoopGob()
+		go m.readLoopGob()
+		return m, nil
+	}
+	if _, err := conn.Write(wireMagic[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("srbnet client: preamble %s: %w: %w", c.addr, errConnFailed, err)
+	}
+	m.v3 = true
+	m.br = bufio.NewReader(conn)
+	go m.writeLoopV3()
+	go m.readLoopV3()
 	return m, nil
 }
 
@@ -259,19 +317,23 @@ func (c *Client) pickMux() (*mux, error) {
 // never redialed.  When the redial budget runs out the last transport
 // error is surfaced as a classified permanent failure, so an outer
 // resilient wrapper stops retrying too.
+//
+// A non-nil response is returned even alongside a server error: it
+// proves the request frame was fully written, so the caller may
+// recycle the pooled request.
 func (c *Client) roundTrip(p *vtime.Proc, req *request) (*response, error) {
 	po := resilient.Policy{MaxAttempts: c.redialAttempts, BaseDelay: c.redialBackoff}
 	for attempt := 1; ; attempt++ {
 		m, err := c.pickMux()
+		var resp *response
 		if err == nil {
-			var resp *response
 			resp, err = m.call(p, req)
 			if err == nil {
 				return resp, nil
 			}
 		}
 		if !errors.Is(err, errConnFailed) || errors.Is(err, storage.ErrClosed) {
-			return nil, err
+			return resp, err
 		}
 		if attempt >= c.redialAttempts {
 			return nil, resilient.MarkPermanent(fmt.Errorf(
@@ -313,30 +375,40 @@ func (c *Client) Close() error {
 
 // Connect implements storage.Backend.
 func (c *Client) Connect(p *vtime.Proc) (storage.Session, error) {
-	req := &request{
-		Op:       opConnect,
-		PID:      c.pid(p),
-		User:     c.user,
-		Secret:   c.secret,
-		Resource: c.resource,
-	}
+	req := getRequest()
+	req.Op = opConnect
+	req.PID = c.pid(p)
+	req.User, req.Secret, req.Resource = c.user, c.secret, c.resource
 	if c.serialized {
 		m, err := c.dial()
 		if err != nil {
+			putRequest(req)
 			return nil, err
 		}
 		resp, err := m.call(p, req)
+		if resp != nil && atomic.LoadUint32(&req.sent) == 1 {
+			putRequest(req)
+		}
 		if err != nil {
+			resp.release()
 			m.fail(fmt.Errorf("srbnet client: %w", storage.ErrClosed))
 			return nil, err
 		}
-		return &clientSession{c: c, sid: resp.Sess, own: m}, nil
+		sid := resp.Sess
+		resp.release()
+		return &clientSession{c: c, sid: sid, own: m}, nil
 	}
 	resp, err := c.roundTrip(p, req)
+	if resp != nil && atomic.LoadUint32(&req.sent) == 1 {
+		putRequest(req)
+	}
 	if err != nil {
+		resp.release()
 		return nil, err
 	}
-	return &clientSession{c: c, sid: resp.Sess}, nil
+	sid := resp.Sess
+	resp.release()
+	return &clientSession{c: c, sid: sid}, nil
 }
 
 // mux is one multiplexed TCP connection.  callers register a per-tag
@@ -344,13 +416,18 @@ func (c *Client) Connect(p *vtime.Proc) (storage.Session, error) {
 // waiter until the reader goroutine routes the matching response back.
 // Any stream error poisons the whole connection: every outstanding
 // waiter is woken with the error and the connection leaves the pool, so
-// a desynced gob stream can never serve another request.
+// a desynced or corrupt stream can never serve another request.
 type mux struct {
-	c     *Client
-	conn  net.Conn
-	bw    *bufio.Writer
-	enc   *gob.Encoder
-	dec   *gob.Decoder
+	c    *Client
+	conn net.Conn
+
+	v3 bool
+	br *bufio.Reader // v3 frame reader
+
+	bw  *bufio.Writer // gob ablation path
+	enc *gob.Encoder
+	dec *gob.Decoder
+
 	sendq chan *request
 	stop  chan struct{}
 
@@ -401,10 +478,10 @@ func (m *mux) failErr() error {
 	return fmt.Errorf("srbnet client: %w", storage.ErrClosed)
 }
 
-// writeLoop is the connection's only encoder.  It drains bursts of
-// queued frames before flushing, so pipelined ranks share syscalls,
+// writeLoopGob is the gob connection's only encoder.  It drains bursts
+// of queued frames before flushing, so pipelined ranks share syscalls,
 // while a lone frame is flushed immediately.
-func (m *mux) writeLoop() {
+func (m *mux) writeLoopGob() {
 	for {
 		var req *request
 		select {
@@ -417,6 +494,7 @@ func (m *mux) writeLoop() {
 				m.fail(fmt.Errorf("srbnet client: send: %w: %w", errConnFailed, err))
 				return
 			}
+			atomic.StoreUint32(&req.sent, 1)
 			select {
 			case req = <-m.sendq:
 			default:
@@ -430,10 +508,63 @@ func (m *mux) writeLoop() {
 	}
 }
 
-// readLoop is the connection's only decoder, routing responses to their
-// tag's waiter.  A decode error or an unknown tag means the stream is
-// desynced and poisons the connection.
-func (m *mux) readLoop() {
+// writeLoopV3 is the v3 connection's only encoder.  Queued frames are
+// encoded into pooled buffers and coalesced into one vectored write
+// (net.Buffers → writev), with each frame's bulk Data riding as its
+// own iovec so large payloads are never copied into the frame buffer.
+func (m *mux) writeLoopV3() {
+	var iov [][]byte
+	var metas []*frameBuf
+	var sent []*request
+	for {
+		var req *request
+		select {
+		case req = <-m.sendq:
+		case <-m.stop:
+			return
+		}
+		iov, metas, sent = iov[:0], metas[:0], sent[:0]
+		for req != nil {
+			f := getFrame()
+			data := encodeRequest(f, req)
+			iov = append(iov, f.b)
+			if len(data) > 0 {
+				iov = append(iov, data)
+			}
+			metas = append(metas, f)
+			// Snapshot the release decision and publish the sent flag
+			// now: once the writev lands, a fast round trip may let the
+			// caller recycle its request before this loop runs again.
+			stream := req.releaseAfterSend
+			atomic.StoreUint32(&req.sent, 1)
+			if stream {
+				sent = append(sent, req)
+			}
+			select {
+			case req = <-m.sendq:
+			default:
+				req = nil
+			}
+		}
+		bufs := net.Buffers(iov)
+		_, err := bufs.WriteTo(m.conn)
+		for _, f := range metas {
+			putFrame(f)
+		}
+		for _, r := range sent {
+			putRequest(r)
+		}
+		if err != nil {
+			m.fail(fmt.Errorf("srbnet client: send: %w: %w", errConnFailed, err))
+			return
+		}
+	}
+}
+
+// readLoopGob is the gob connection's only decoder, routing responses
+// to their tag's waiter.  A decode error or an unknown tag means the
+// stream is desynced and poisons the connection.
+func (m *mux) readLoopGob() {
 	for {
 		resp := new(response)
 		if err := m.dec.Decode(resp); err != nil {
@@ -458,8 +589,68 @@ func (m *mux) readLoop() {
 	}
 }
 
+// readLoopV3 is the v3 connection's only decoder.  A frame error — a
+// truncated read, a length prefix over the cap, a corrupt body, an
+// unknown tag — poisons the connection exactly as a desynced gob
+// stream did.  Chunked opGetFile frames keep their waiter registered
+// until the flagLast frame arrives.
+func (m *mux) readLoopV3() {
+	for {
+		f, err := readFrame(m.br, m.c.maxFrame)
+		if err != nil {
+			m.fail(fmt.Errorf("srbnet client: recv: %w: %w", errConnFailed, err))
+			return
+		}
+		resp := getResponse()
+		if err := decodeResponse(f.b, resp); err != nil {
+			putFrame(f)
+			putResponse(resp)
+			m.fail(fmt.Errorf("srbnet client: recv: %w: %w", errConnFailed, err))
+			return
+		}
+		resp.frame = f
+		// Snapshot the routing fields before handing resp to the
+		// waiter: the receiving caller may consume and release (zero)
+		// the response the moment the send completes, so reading
+		// resp.Tag afterwards would re-register under tag 0 and
+		// orphan the rest of the chunk stream.
+		tag := resp.Tag
+		more := resp.Flags&flagChunked != 0 && resp.Flags&flagLast == 0
+		m.mu.Lock()
+		ch, ok := m.waiters[tag]
+		if ok {
+			// Exclusive ownership while delivering: fail() can only
+			// close channels it finds in the map.
+			delete(m.waiters, tag)
+		}
+		stopped := m.stopped
+		m.mu.Unlock()
+		if stopped {
+			resp.release()
+			return
+		}
+		if !ok {
+			resp.release()
+			m.fail(fmt.Errorf("srbnet client: recv: stream desync (unknown tag %d): %w", tag, errConnFailed))
+			return
+		}
+		ch <- resp
+		if more {
+			m.mu.Lock()
+			if m.stopped {
+				m.mu.Unlock()
+				close(ch) // wake the assembling caller; fail() no longer owns this channel
+				return
+			}
+			m.waiters[tag] = ch
+			m.mu.Unlock()
+		}
+	}
+}
+
 // call sends one tagged request and blocks for its response, advancing
-// p's clock to the server-side completion time.
+// p's clock to the server-side completion time.  A chunk-streamed
+// opGetFile body is reassembled before returning.
 func (m *mux) call(p *vtime.Proc, req *request) (*response, error) {
 	m.mu.Lock()
 	if m.stopped {
@@ -469,7 +660,7 @@ func (m *mux) call(p *vtime.Proc, req *request) (*response, error) {
 	}
 	m.nextTag++
 	req.Tag = m.nextTag
-	ch := make(chan *response, 1)
+	ch := getWaiter()
 	m.waiters[req.Tag] = ch
 	m.mu.Unlock()
 
@@ -483,6 +674,130 @@ func (m *mux) call(p *vtime.Proc, req *request) (*response, error) {
 	if !ok {
 		return nil, m.failErr()
 	}
+	if resp.Flags&flagChunked != 0 {
+		var err error
+		resp, err = m.assemble(ch, resp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	putWaiter(ch)
+	p.AdvanceTo(resp.Now)
+	if resp.Err != errNone {
+		return resp, decodeRespErr(resp)
+	}
+	return resp, nil
+}
+
+// assemble collects a chunk-streamed opGetFile body into one buffer
+// sized from the first frame's declared total.  Out-of-bounds or short
+// streams are transport corruption and poison the connection.
+func (m *mux) assemble(ch chan *response, first *response) (*response, error) {
+	size := first.Size
+	if first.Err == errNone && (size < 0 || first.Off != 0) {
+		first.release()
+		m.fail(fmt.Errorf("srbnet client: recv: bad chunk stream header: %w", errConnFailed))
+		return nil, m.failErr()
+	}
+	var out []byte
+	if first.Err == errNone {
+		out = make([]byte, size)
+	}
+	var got int64
+	resp := first
+	for {
+		if resp.Err != errNone {
+			// Terminal error frame: surface it like a plain response.
+			resp.Data = nil
+			return resp, nil
+		}
+		if resp.Off < 0 || resp.Off+int64(len(resp.Data)) > size {
+			resp.release()
+			m.fail(fmt.Errorf("srbnet client: recv: chunk out of bounds: %w", errConnFailed))
+			return nil, m.failErr()
+		}
+		copy(out[resp.Off:], resp.Data)
+		got += int64(len(resp.Data))
+		if resp.Flags&flagLast != 0 {
+			break
+		}
+		resp.release()
+		var ok bool
+		resp, ok = <-ch
+		if !ok {
+			return nil, m.failErr()
+		}
+	}
+	if got != size {
+		resp.release()
+		m.fail(fmt.Errorf("srbnet client: recv: chunk stream short (%d of %d bytes): %w", got, size, errConnFailed))
+		return nil, m.failErr()
+	}
+	// Hand the assembled body off as a heap-owned buffer: drop the
+	// final frame's backing so ownData returns it without a copy.
+	putFrame(resp.frame)
+	resp.frame = nil
+	resp.Data = out
+	resp.Size = size
+	return resp, nil
+}
+
+// streamPut sends one chunk-streamed opPutFile: an opening frame
+// carrying the first chunk and the declared total, then opChunk frames
+// slicing the caller's buffer directly onto the writev (zero-copy),
+// the last one flagged.  One response acknowledges the whole stream.
+func (m *mux) streamPut(p *vtime.Proc, sess, pid uint64, name string, mode storage.AMode, data []byte, chunk int) (*response, error) {
+	m.mu.Lock()
+	if m.stopped {
+		err := m.err
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.nextTag++
+	tag := m.nextTag
+	ch := getWaiter()
+	m.waiters[tag] = ch
+	m.mu.Unlock()
+
+	first := getRequest()
+	first.Op, first.Flags, first.Tag = opPutFile, flagChunked, tag
+	first.Sess, first.PID = sess, pid
+	first.Now = p.Now()
+	first.Path, first.Mode = name, mode
+	first.N = len(data)
+	first.Data = data[:chunk]
+	first.releaseAfterSend = true
+	select {
+	case m.sendq <- first:
+	case <-m.stop:
+		return nil, m.failErr()
+	}
+	for off := chunk; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		cr := getRequest()
+		cr.Op, cr.Tag, cr.Sess, cr.PID = opChunk, tag, sess, pid
+		cr.Flags = flagChunked
+		if end == len(data) {
+			cr.Flags |= flagLast
+		}
+		cr.Off = int64(off)
+		cr.Data = data[off:end]
+		cr.releaseAfterSend = true
+		select {
+		case m.sendq <- cr:
+		case <-m.stop:
+			putRequest(cr) // never enqueued
+			return nil, m.failErr()
+		}
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, m.failErr()
+	}
+	putWaiter(ch)
 	p.AdvanceTo(resp.Now)
 	if resp.Err != errNone {
 		return resp, decodeRespErr(resp)
@@ -508,74 +823,164 @@ type clientSession struct {
 var _ storage.WholeFiler = (*clientSession)(nil)
 
 // call routes one request for this session, stamping the session id and
-// the calling rank's wire pid.
+// the calling rank's wire pid.  On any path that produced a response —
+// success or server-side error — the pooled request is recycled (the
+// response proves the frame was fully written); on transport failure
+// it is left to the GC, since a dead connection's writer may still
+// reference it.  The caller owns the returned response and must
+// release() it after copying what it needs.
 func (s *clientSession) call(p *vtime.Proc, req *request) (*response, error) {
 	if req.Op != opCloseSession {
 		s.mu.Lock()
 		closed := s.closed
 		s.mu.Unlock()
 		if closed {
+			putRequest(req) // never enqueued
 			return nil, fmt.Errorf("srbnet client: %w", storage.ErrClosed)
 		}
 	}
 	req.Sess = s.sid
 	req.PID = s.c.pid(p)
+	var resp *response
+	var err error
 	if s.own != nil {
 		s.callMu.Lock()
-		defer s.callMu.Unlock()
-		return s.own.call(p, req)
+		resp, err = s.own.call(p, req)
+		s.callMu.Unlock()
+	} else {
+		resp, err = s.c.roundTrip(p, req)
 	}
-	return s.c.roundTrip(p, req)
+	if resp != nil && atomic.LoadUint32(&req.sent) == 1 {
+		putRequest(req)
+	}
+	if err != nil {
+		resp.release()
+		return nil, err
+	}
+	return resp, nil
 }
 
 // Open implements storage.Session.
 func (s *clientSession) Open(p *vtime.Proc, name string, mode storage.AMode) (storage.Handle, error) {
-	resp, err := s.call(p, &request{Op: opOpen, Path: name, Mode: mode})
+	req := getRequest()
+	req.Op, req.Path, req.Mode = opOpen, name, mode
+	resp, err := s.call(p, req)
 	if err != nil {
 		return nil, err
 	}
-	return &clientHandle{s: s, id: resp.Handle, path: name, size: resp.Size}, nil
+	h := &clientHandle{s: s, id: resp.Handle, path: name, size: resp.Size}
+	resp.release()
+	return h, nil
 }
 
 // Remove implements storage.Session.
 func (s *clientSession) Remove(p *vtime.Proc, name string) error {
-	_, err := s.call(p, &request{Op: opRemove, Path: name})
-	return err
+	req := getRequest()
+	req.Op, req.Path = opRemove, name
+	resp, err := s.call(p, req)
+	if err != nil {
+		return err
+	}
+	resp.release()
+	return nil
 }
 
 // Stat implements storage.Session.
 func (s *clientSession) Stat(p *vtime.Proc, name string) (storage.FileInfo, error) {
-	resp, err := s.call(p, &request{Op: opStat, Path: name})
+	req := getRequest()
+	req.Op, req.Path = opStat, name
+	resp, err := s.call(p, req)
 	if err != nil {
 		return storage.FileInfo{}, err
 	}
-	return resp.Info, nil
+	fi := resp.Info
+	resp.release()
+	return fi, nil
 }
 
 // List implements storage.Session.
 func (s *clientSession) List(p *vtime.Proc, prefix string) ([]storage.FileInfo, error) {
-	resp, err := s.call(p, &request{Op: opList, Path: prefix})
+	req := getRequest()
+	req.Op, req.Path = opList, prefix
+	resp, err := s.call(p, req)
 	if err != nil {
 		return nil, err
 	}
-	return resp.Infos, nil
+	// Copy out: resp.Infos' backing array returns to the pool.
+	var infos []storage.FileInfo
+	if len(resp.Infos) > 0 {
+		infos = append(infos, resp.Infos...)
+	}
+	resp.release()
+	return infos, nil
 }
 
 // PutFile implements storage.WholeFiler: one round trip for
-// open + write + close.
+// open + write + close.  On the v3 wire a body larger than the chunk
+// threshold is streamed as bounded chunk frames instead of one
+// whole-file message.
 func (s *clientSession) PutFile(p *vtime.Proc, name string, mode storage.AMode, data []byte) error {
-	_, err := s.call(p, &request{Op: opPutFile, Path: name, Mode: mode, Data: data})
-	return err
+	if s.own == nil && s.c.v3() && len(data) > s.c.chunkBytes {
+		return s.putStream(p, name, mode, data)
+	}
+	req := getRequest()
+	req.Op, req.Path, req.Mode = opPutFile, name, mode
+	req.Data, req.N = data, len(data)
+	resp, err := s.call(p, req)
+	if err != nil {
+		return err
+	}
+	resp.release()
+	return nil
+}
+
+// putStream drives one chunked PutFile through the pool with the same
+// redial discipline as roundTrip.
+func (s *clientSession) putStream(p *vtime.Proc, name string, mode storage.AMode, data []byte) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("srbnet client: %w", storage.ErrClosed)
+	}
+	c := s.c
+	po := resilient.Policy{MaxAttempts: c.redialAttempts, BaseDelay: c.redialBackoff}
+	for attempt := 1; ; attempt++ {
+		m, err := c.pickMux()
+		var resp *response
+		if err == nil {
+			resp, err = m.streamPut(p, s.sid, c.pid(p), name, mode, data, c.chunkBytes)
+		}
+		if err == nil {
+			resp.release()
+			return nil
+		}
+		if !errors.Is(err, errConnFailed) || errors.Is(err, storage.ErrClosed) {
+			resp.release()
+			return err
+		}
+		if attempt >= c.redialAttempts {
+			return resilient.MarkPermanent(fmt.Errorf(
+				"srbnet client: redial budget exhausted (%d attempts): %w", c.redialAttempts, err))
+		}
+		p.Advance(po.Backoff(attempt, c.name+"/redial"))
+	}
 }
 
 // GetFile implements storage.WholeFiler: one round trip for
-// open + read + close.
+// open + read + close.  A v3 server streams large bodies in bounded
+// chunks; mux.call reassembles them, so the only whole-file buffer on
+// the client is the one returned to the caller.
 func (s *clientSession) GetFile(p *vtime.Proc, name string) ([]byte, error) {
-	resp, err := s.call(p, &request{Op: opGetFile, Path: name})
+	req := getRequest()
+	req.Op, req.Path = opGetFile, name
+	resp, err := s.call(p, req)
 	if err != nil {
 		return nil, err
 	}
-	return resp.Data, nil
+	data := resp.ownData()
+	resp.release()
+	return data, nil
 }
 
 // Close implements storage.Session.  A serialized-mode session tears
@@ -589,7 +994,10 @@ func (s *clientSession) Close(p *vtime.Proc) error {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	_, err := s.call(p, &request{Op: opCloseSession})
+	req := getRequest()
+	req.Op = opCloseSession
+	resp, err := s.call(p, req)
+	resp.release()
 	if s.own != nil {
 		s.own.fail(fmt.Errorf("srbnet client: %w", storage.ErrClosed))
 	}
@@ -657,7 +1065,9 @@ func (h *clientHandle) ReadAt(p *vtime.Proc, b []byte, off int64) (int, error) {
 	if ra > 0 {
 		want += ra
 	}
-	resp, err := h.s.call(p, &request{Op: opRead, Handle: h.id, Off: off, N: want})
+	req := getRequest()
+	req.Op, req.Handle, req.Off, req.N = opRead, h.id, off, want
+	resp, err := h.s.call(p, req)
 	if err != nil {
 		return 0, err
 	}
@@ -669,6 +1079,7 @@ func (h *clientHandle) ReadAt(p *vtime.Proc, b []byte, off int64) (int, error) {
 		h.ra = append([]byte(nil), resp.Data...)
 		h.mu.Unlock()
 	}
+	resp.release()
 	if n < len(b) {
 		return n, fmt.Errorf("srbnet client: short read of %q at %d: n=%d", h.path, off, n)
 	}
@@ -677,59 +1088,82 @@ func (h *clientHandle) ReadAt(p *vtime.Proc, b []byte, off int64) (int, error) {
 
 // WriteAt implements storage.Handle.
 func (h *clientHandle) WriteAt(p *vtime.Proc, b []byte, off int64) (int, error) {
-	resp, err := h.s.call(p, &request{Op: opWrite, Handle: h.id, Off: off, Data: b})
+	req := getRequest()
+	req.Op, req.Handle, req.Off, req.Data = opWrite, h.id, off, b
+	resp, err := h.s.call(p, req)
 	if err != nil {
 		return 0, err
 	}
 	h.invalidate()
 	h.setSize(resp.Size)
-	return resp.N, nil
+	n := resp.N
+	resp.release()
+	return n, nil
 }
 
 // ReadAtV implements storage.VectorHandle: all chunks travel in one
 // round trip; the server still executes one native call per chunk, so
 // the virtual cost is identical to a loop of ReadAt.
 func (h *clientHandle) ReadAtV(p *vtime.Proc, vecs []storage.Vec) (int64, error) {
-	wv := make([]wireVec, len(vecs))
-	for i, v := range vecs {
-		wv[i] = wireVec{Off: v.Off, N: len(v.B)}
+	req := getRequest()
+	req.Op, req.Handle = opReadV, h.id
+	wv := req.Vecs[:0]
+	for _, v := range vecs {
+		wv = append(wv, wireVec{Off: v.Off, N: len(v.B)})
 	}
-	resp, err := h.s.call(p, &request{Op: opReadV, Handle: h.id, Vecs: wv})
+	req.Vecs = wv
+	resp, err := h.s.call(p, req)
 	if err != nil {
 		return 0, err
 	}
 	h.setSize(resp.Size)
 	if len(resp.Vecs) != len(vecs) {
-		return 0, fmt.Errorf("srbnet client: vectored read of %q: %d chunks for %d requested", h.path, len(resp.Vecs), len(vecs))
+		n := len(resp.Vecs)
+		resp.release()
+		return 0, fmt.Errorf("srbnet client: vectored read of %q: %d chunks for %d requested", h.path, n, len(vecs))
 	}
 	var total int64
 	for i, d := range resp.Vecs {
 		n := copy(vecs[i].B, d)
 		total += int64(n)
 		if n < len(vecs[i].B) {
-			return total, fmt.Errorf("srbnet client: short read of %q at %d: n=%d", h.path, vecs[i].Off, n)
+			off := vecs[i].Off
+			resp.release()
+			return total, fmt.Errorf("srbnet client: short read of %q at %d: n=%d", h.path, off, n)
 		}
 	}
+	resp.release()
 	return total, nil
 }
 
 // WriteAtV implements storage.VectorHandle.
 func (h *clientHandle) WriteAtV(p *vtime.Proc, vecs []storage.Vec) (int64, error) {
-	wv := make([]wireVec, len(vecs))
-	for i, v := range vecs {
-		wv[i] = wireVec{Off: v.Off, Data: v.B}
+	req := getRequest()
+	req.Op, req.Handle = opWriteV, h.id
+	wv := req.Vecs[:0]
+	for _, v := range vecs {
+		wv = append(wv, wireVec{Off: v.Off, Data: v.B})
 	}
-	resp, err := h.s.call(p, &request{Op: opWriteV, Handle: h.id, Vecs: wv})
+	req.Vecs = wv
+	resp, err := h.s.call(p, req)
 	if err != nil {
 		return 0, err
 	}
 	h.invalidate()
 	h.setSize(resp.Size)
-	return int64(resp.N), nil
+	n := int64(resp.N)
+	resp.release()
+	return n, nil
 }
 
 // Close implements storage.Handle.
 func (h *clientHandle) Close(p *vtime.Proc) error {
-	_, err := h.s.call(p, &request{Op: opCloseHandle, Handle: h.id})
-	return err
+	req := getRequest()
+	req.Op, req.Handle = opCloseHandle, h.id
+	resp, err := h.s.call(p, req)
+	if err != nil {
+		return err
+	}
+	resp.release()
+	return nil
 }

@@ -1,25 +1,36 @@
 package srbnet
 
 import (
+	"bufio"
 	"bytes"
-	"encoding/gob"
+	"errors"
+	"io"
 	"testing"
 	"time"
 
 	"repro/internal/storage"
 )
 
-// FuzzRequestRoundTrip gob-encodes a request built from fuzzed fields
-// and decodes it back: the wire codec must never panic and must
-// preserve every field, so protocol changes can't silently break
-// compatibility.
+// frameBody reconstructs the decoder's view of an encoded frame: the
+// header/field bytes after the length prefix, followed by the bulk
+// payload that rides the writev as its own iovec.
+func frameBody(f *frameBuf, data []byte) []byte {
+	body := append([]byte(nil), f.b[4:]...)
+	return append(body, data...)
+}
+
+// FuzzRequestRoundTrip encodes a request built from fuzzed fields with
+// the v3 binary codec and decodes it back: the codec must never panic
+// and must preserve every field, so frame-layout changes can't
+// silently break compatibility.
 func FuzzRequestRoundTrip(f *testing.F) {
-	f.Add(uint8(opConnect), uint64(1), uint64(1), uint64(0), int64(0), 0, "shen", "nwu", "sdsc-disk", "path", []byte(nil))
-	f.Add(uint8(opWrite), uint64(7), uint64(3), uint64(2), int64(4096), 0, "", "", "", "wire/file", []byte("payload"))
-	f.Add(uint8(opReadV), uint64(1<<40), uint64(9), uint64(8), int64(-1), 1<<20, "", "", "", "", []byte{0xff})
-	f.Fuzz(func(t *testing.T, op uint8, tag, sess, pid uint64, off int64, n int, user, secret, resource, path string, data []byte) {
+	f.Add(uint8(opConnect), uint8(0), uint64(1), uint64(1), uint64(0), int64(0), 0, "shen", "nwu", "sdsc-disk", "path", []byte(nil))
+	f.Add(uint8(opWrite), uint8(0), uint64(7), uint64(3), uint64(2), int64(4096), 0, "", "", "", "wire/file", []byte("payload"))
+	f.Add(uint8(opChunk), uint8(flagChunked|flagLast), uint64(1<<40), uint64(9), uint64(8), int64(-1), 1<<20, "", "", "", "", []byte{0xff})
+	f.Fuzz(func(t *testing.T, op, flags uint8, tag, sess, pid uint64, off int64, n int, user, secret, resource, path string, data []byte) {
 		in := request{
 			Op:       opCode(op),
+			Flags:    flags,
 			Tag:      tag,
 			Sess:     sess,
 			PID:      pid,
@@ -35,16 +46,18 @@ func FuzzRequestRoundTrip(f *testing.F) {
 			Data:     data,
 			Vecs:     []wireVec{{Off: off, N: n, Data: data}},
 		}
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
-			t.Fatalf("encode: %v", err)
+		fb := getFrame()
+		defer putFrame(fb)
+		payload := encodeRequest(fb, &in)
+		if !bytes.Equal(payload, in.Data) {
+			t.Fatalf("encodeRequest returned %d payload bytes, want %d", len(payload), len(in.Data))
 		}
 		var out request
-		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		if err := decodeRequest(frameBody(fb, payload), &out); err != nil {
 			t.Fatalf("decode: %v", err)
 		}
-		if out.Op != in.Op || out.Tag != in.Tag || out.Sess != in.Sess || out.PID != in.PID ||
-			out.Now != in.Now || out.User != in.User || out.Secret != in.Secret ||
+		if out.Op != in.Op || out.Flags != in.Flags || out.Tag != in.Tag || out.Sess != in.Sess ||
+			out.PID != in.PID || out.Now != in.Now || out.User != in.User || out.Secret != in.Secret ||
 			out.Resource != in.Resource || out.Path != in.Path || out.Mode != in.Mode ||
 			out.Handle != in.Handle || out.Off != in.Off || out.N != in.N ||
 			!bytes.Equal(out.Data, in.Data) {
@@ -57,61 +70,96 @@ func FuzzRequestRoundTrip(f *testing.F) {
 }
 
 // FuzzResponseRoundTrip does the same for the server→client frame,
-// including the error-code channel that errors.Is depends on.
+// including the error-code and RetryAfter channels that errors.Is and
+// the QoS backoff depend on.
 func FuzzResponseRoundTrip(f *testing.F) {
-	f.Add(uint64(1), uint8(errNone), "", int64(0), 0, []byte(nil))
-	f.Add(uint64(42), uint8(errNotExist), "no such file", int64(1<<30), 9192, []byte("body"))
-	f.Add(uint64(0), uint8(250), "unknown code", int64(-5), -1, []byte{1, 2, 3})
-	f.Fuzz(func(t *testing.T, tag uint64, code uint8, msg string, size int64, n int, data []byte) {
+	f.Add(uint64(1), uint8(errNone), uint8(0), "", int64(0), 0, int64(0), int64(0), []byte(nil))
+	f.Add(uint64(42), uint8(errNotExist), uint8(0), "no such file", int64(1<<30), 9192, int64(128), int64(0), []byte("body"))
+	f.Add(uint64(3), uint8(errOverload), uint8(flagChunked), "shed", int64(-5), -1, int64(4096), int64(250e6), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, tag uint64, code, flags uint8, msg string, size int64, n int, off, retry int64, data []byte) {
 		in := response{
-			Tag:    tag,
-			Err:    errCode(code),
-			ErrMsg: msg,
-			Now:    time.Duration(size),
-			Sess:   tag + 1,
-			Handle: tag ^ 3,
-			N:      n,
-			Size:   size,
-			Data:   data,
-			Vecs:   [][]byte{data, nil},
-			Info:   storage.FileInfo{Path: msg, Size: size},
+			Tag:          tag,
+			Err:          errCode(code),
+			Flags:        flags,
+			ErrMsg:       msg,
+			RetryAfterNs: retry,
+			Now:          time.Duration(size),
+			Sess:         tag + 1,
+			Handle:       tag ^ 3,
+			N:            n,
+			Size:         size,
+			Off:          off,
+			Data:         data,
+			Vecs:         [][]byte{data, nil},
+			Info:         storage.FileInfo{Path: msg, Size: size},
+			Infos:        []storage.FileInfo{{Path: "a", Size: 1}, {Path: msg, Size: off}},
 		}
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
-			t.Fatalf("encode: %v", err)
-		}
+		fb := getFrame()
+		defer putFrame(fb)
+		payload := encodeResponse(fb, &in)
 		var out response
-		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		if err := decodeResponse(frameBody(fb, payload), &out); err != nil {
 			t.Fatalf("decode: %v", err)
 		}
-		if out.Tag != in.Tag || out.Err != in.Err || out.ErrMsg != in.ErrMsg ||
-			out.Now != in.Now || out.Sess != in.Sess || out.Handle != in.Handle ||
-			out.N != in.N || out.Size != in.Size || !bytes.Equal(out.Data, in.Data) ||
-			out.Info != in.Info {
+		if out.Tag != in.Tag || out.Err != in.Err || out.Flags != in.Flags || out.ErrMsg != in.ErrMsg ||
+			out.RetryAfterNs != in.RetryAfterNs || out.Now != in.Now || out.Sess != in.Sess ||
+			out.Handle != in.Handle || out.N != in.N || out.Size != in.Size || out.Off != in.Off ||
+			!bytes.Equal(out.Data, in.Data) || out.Info != in.Info {
 			t.Fatalf("response round trip mismatch:\n in=%+v\nout=%+v", in, out)
+		}
+		if len(out.Vecs) != 2 || !bytes.Equal(out.Vecs[0], data) || len(out.Vecs[1]) != 0 {
+			t.Fatalf("vecs round trip mismatch: %+v", out.Vecs)
+		}
+		if len(out.Infos) != 2 || out.Infos[0] != in.Infos[0] || out.Infos[1] != in.Infos[1] {
+			t.Fatalf("infos round trip mismatch: %+v", out.Infos)
 		}
 		// The decoded error must keep its sentinel across the wire.
 		if in.Err != errNone {
-			err := decodeErr(out.Err, out.ErrMsg)
-			if err == nil {
+			if err := decodeRespErr(&out); err == nil {
 				t.Fatal("non-zero error code decoded to nil")
 			}
 		}
 	})
 }
 
-// FuzzDecodeArbitrary feeds arbitrary bytes to the frame decoder: a
-// hostile or corrupted stream must produce an error, never a panic.
-func FuzzDecodeArbitrary(f *testing.F) {
-	var seed bytes.Buffer
-	gob.NewEncoder(&seed).Encode(&request{Op: opRead, Tag: 5, N: 128})
-	f.Add(seed.Bytes())
+// FuzzFrameParser feeds arbitrary bytes through the frame reader and
+// both body decoders: a hostile or corrupted stream must produce an
+// error, never a panic, and a hostile length prefix must never
+// allocate past the configured cap.
+func FuzzFrameParser(f *testing.F) {
+	// A valid small request frame as one seed.
+	fb := getFrame()
+	encodeRequest(fb, &request{Op: opRead, Tag: 5, N: 128})
+	f.Add(append([]byte(nil), fb.b...))
+	putFrame(fb)
 	f.Add([]byte{})
 	f.Add([]byte{0x00, 0xff, 0x07})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})       // length prefix near 4 GiB
+	f.Add([]byte{0x10, 0x00, 0x00, 0x00, 0x01, 0x02})    // declared 16, truncated body
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})                // empty body
 	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxF = 1 << 16
+		br := bufio.NewReader(bytes.NewReader(data))
+		fr, err := readFrame(br, maxF)
+		if err != nil {
+			// A declared length over the cap must be rejected before
+			// any allocation and must carry the poisoning sentinel.
+			if errors.Is(err, errFrameTooBig) && len(data) < 4 {
+				t.Fatalf("too-big verdict from a short prefix: %v", err)
+			}
+			if !errors.Is(err, errFrameTooBig) && !errors.Is(err, io.EOF) &&
+				!errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("unexpected readFrame error class: %v", err)
+			}
+			return
+		}
+		defer putFrame(fr)
+		if len(fr.b) > maxF {
+			t.Fatalf("frame body %d exceeds cap %d", len(fr.b), maxF)
+		}
 		var req request
-		gob.NewDecoder(bytes.NewReader(data)).Decode(&req)
+		decodeRequest(fr.b, &req)
 		var resp response
-		gob.NewDecoder(bytes.NewReader(data)).Decode(&resp)
+		decodeResponse(fr.b, &resp)
 	})
 }

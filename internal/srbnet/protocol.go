@@ -7,7 +7,9 @@
 // protocol, so applications are oblivious to whether a resource is wired
 // in-process or across a socket.
 //
-// Frames are gob-encoded request/response structs.  Virtual time crosses
+// Frames are length-prefixed binary messages (wire protocol v3; see
+// wire.go for the layout) with gob retained behind WithWireV2 as the
+// ablation baseline.  Virtual time crosses
 // the wire explicitly: each request carries the client process's logical
 // clock, the server replays the operation against its shared device
 // resources starting at that instant, and the response returns the
@@ -26,6 +28,14 @@
 // opWriteV) and whole-file ops (opPutFile / opGetFile) coalesce
 // call sequences into single round trips without changing their
 // virtual-time cost.
+//
+// Wire protocol v3 keeps the v2 framing discipline but swaps the codec:
+// hand-rolled little-endian frames over pooled buffers (zero-alloc on
+// the steady-state read/write path), writev-coalesced sends, and
+// chunk-streamed opPutFile/opGetFile bodies so a whole file is never
+// materialized as one wire message on either side.  Both codecs share
+// one server — a v3 client announces itself with a 4-byte magic
+// preamble, anything else is served as gob.
 package srbnet
 
 import (
@@ -53,6 +63,10 @@ const (
 	opWriteV
 	opPutFile
 	opGetFile
+	// opChunk is one continuation frame of a chunked opPutFile body
+	// (wire v3 only): same Tag as the opening opPutFile frame, Data at
+	// Off, flagLast on the final chunk.
+	opChunk
 )
 
 // wireVec is one chunk of a vectored transfer.  Writes carry Data;
@@ -65,8 +79,11 @@ type wireVec struct {
 
 // request is one client→server frame.
 type request struct {
-	Op  opCode
-	Tag uint64 // client-assigned; echoed by the response
+	Op opCode
+	// Flags carries the v3 chunk-streaming bits (flagChunked/flagLast);
+	// always zero on the gob wire.
+	Flags uint8
+	Tag   uint64 // client-assigned; echoed by the response
 
 	// Sess addresses a server-side session (all ops except connect).
 	// PID names the calling rank so the server replays the op on that
@@ -83,9 +100,22 @@ type request struct {
 	Mode     storage.AMode
 	Handle   uint64
 	Off      int64
-	N        int // read length
+	N        int // read length; for opPutFile, the total body length
 	Data     []byte
 	Vecs     []wireVec // vectored ops
+
+	// Non-wire bookkeeping (unexported fields are invisible to gob and
+	// skipped by the v3 codec).
+	pooled           bool          // came from reqPool; putRequest recycles it
+	frame            *frameBuf     // v3 decode: the buffer Data/Vecs alias
+	stream           chan *request // server side: inbound opChunk frames
+	releaseAfterSend bool          // client writer recycles after the writev
+	// sent is set atomically by the connection writer once the frame is
+	// fully encoded.  It is the happens-before edge that lets a caller
+	// recycle the request after its response arrives: the network round
+	// trip orders the two in real time, but only this flag orders them
+	// for the memory model.
+	sent uint32
 }
 
 // errCode classifies failures across the wire so errors.Is keeps working
@@ -182,8 +212,10 @@ func decodeErr(code errCode, msg string) error {
 
 // response is one server→client frame.
 type response struct {
-	Tag    uint64 // echo of the request's tag
-	Err    errCode
+	Tag uint64 // echo of the request's tag
+	Err errCode
+	// Flags carries the v3 chunk-streaming bits for opGetFile bodies.
+	Flags  uint8
 	ErrMsg string
 	// RetryAfterNs carries the scheduler's honor-after hint alongside
 	// errOverload: nanoseconds until the server expects its queue to
@@ -194,10 +226,16 @@ type response struct {
 	Handle       uint64
 	N            int
 	Size         int64
+	Off          int64 // chunked opGetFile: file offset of this frame's Data
 	Data         []byte
 	Vecs         [][]byte // vectored reads: one buffer per chunk
 	Info         storage.FileInfo
 	Infos        []storage.FileInfo
+
+	// Non-wire bookkeeping, as on request.
+	pooled bool
+	frame  *frameBuf // v3 decode: the buffer Data/Vecs alias
+	dbuf   *frameBuf // server side: pooled backing for Data
 }
 
 // overloadWireError is the client-side decoding of errOverload + a

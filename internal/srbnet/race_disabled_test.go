@@ -1,0 +1,5 @@
+//go:build !race
+
+package srbnet
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package srbnet
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// counting tests skip themselves under -race because the detector's
+// shadow memory inflates every count.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package srbnet
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -22,12 +23,21 @@ import (
 // response is routed back by its tag, and sessions live in a
 // server-wide registry addressed by wire id, so any pooled connection
 // can carry any session's traffic.
+//
+// Each connection picks its codec on arrival: a wire-v3 client opens
+// with the 4-byte magic preamble and gets the binary framing path
+// (pooled buffers, writev-coalesced responses, chunk-streamed bodies);
+// anything else is served as a gob stream, so WithWireV2/WithSerialized
+// clients keep working against the same listener.
 type Server struct {
 	broker *srb.Broker
 	sim    *vtime.Sim
 	lis    net.Listener
 	logf   func(format string, args ...any)
 	sched  *qos.Scheduler
+
+	maxFrame   int
+	chunkBytes int
 
 	mu     sync.Mutex
 	closed bool
@@ -58,6 +68,29 @@ func WithScheduler(sched *qos.Scheduler) ServerOption {
 	return func(s *Server) { s.sched = sched }
 }
 
+// WithServerMaxFrame caps the declared body length the server accepts
+// for one inbound v3 frame, and bounds the buffer one opRead/opReadV/
+// opGetFile response may pin.  A frame over the cap is rejected before
+// any allocation and poisons the connection.  Default DefaultMaxFrame.
+func WithServerMaxFrame(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxFrame = n
+		}
+	}
+}
+
+// WithServerChunkBytes sets the streaming threshold and chunk size for
+// v3 opGetFile responses: a file larger than this leaves the server as
+// a sequence of bounded chunk frames.  Default DefaultChunkBytes.
+func WithServerChunkBytes(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.chunkBytes = n
+		}
+	}
+}
+
 // Serve starts a server on addr ("127.0.0.1:0" picks a free port) using
 // the given Sim for server-side clocks.  It returns once the listener is
 // ready; Close stops it.
@@ -67,12 +100,14 @@ func Serve(addr string, broker *srb.Broker, sim *vtime.Sim, opts ...ServerOption
 		return nil, fmt.Errorf("srbnet: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		broker:   broker,
-		sim:      sim,
-		lis:      lis,
-		logf:     log.Printf,
-		conns:    make(map[net.Conn]struct{}),
-		sessions: make(map[uint64]*srvSession),
+		broker:     broker,
+		sim:        sim,
+		lis:        lis,
+		logf:       log.Printf,
+		maxFrame:   DefaultMaxFrame,
+		chunkBytes: DefaultChunkBytes,
+		conns:      make(map[net.Conn]struct{}),
+		sessions:   make(map[uint64]*srvSession),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -171,11 +206,15 @@ func (ss *srvSession) handle(id uint64) (storage.Handle, bool) {
 	return h, ok
 }
 
-// serveConn owns one TCP connection.  A decode loop dispatches each
-// request to its own handler goroutine; a single writer goroutine
-// encodes responses in completion order, flushing the buffered writer
-// whenever the queue drains so that pipelined bursts coalesce into few
-// syscalls while a lone request still departs immediately.
+// connWriter gives handlers on one v3 connection access to its response
+// queue, so a chunk-streamed opGetFile can push data frames ahead of
+// its final response.  nil on gob connections.
+type connWriter struct {
+	respq chan *response
+}
+
+// serveConn owns one TCP connection: it sniffs the codec preamble and
+// hands off to the matching serve loop.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -185,6 +224,28 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 
+	br := bufio.NewReader(conn)
+	magic, err := br.Peek(len(wireMagic))
+	if err != nil {
+		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			s.logf("srbnet: preamble from %s: %v", conn.RemoteAddr(), err)
+		}
+		return
+	}
+	if bytes.Equal(magic, wireMagic[:]) {
+		br.Discard(len(wireMagic))
+		s.serveConnV3(conn, br)
+		return
+	}
+	s.serveConnGob(conn, br)
+}
+
+// serveConnGob is the wire-v2 serve loop.  A decode loop dispatches
+// each request to its own handler goroutine; a single writer goroutine
+// encodes responses in completion order, flushing the buffered writer
+// whenever the queue drains so that pipelined bursts coalesce into few
+// syscalls while a lone request still departs immediately.
+func (s *Server) serveConnGob(conn net.Conn, br *bufio.Reader) {
 	respq := make(chan *response, 64)
 	var wwg sync.WaitGroup
 	wwg.Add(1)
@@ -215,7 +276,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 
-	dec := gob.NewDecoder(bufio.NewReader(conn))
+	dec := gob.NewDecoder(br)
 	var hwg sync.WaitGroup
 	for {
 		req := new(request)
@@ -228,12 +289,156 @@ func (s *Server) serveConn(conn net.Conn) {
 		hwg.Add(1)
 		go func() {
 			defer hwg.Done()
-			respq <- s.handle(req)
+			respq <- s.handle(req, nil)
 		}()
 	}
 	hwg.Wait()
 	close(respq)
 	wwg.Wait()
+}
+
+// serveConnV3 is the wire-v3 serve loop.  The decode loop reads pooled
+// frames and dispatches each request to its own handler goroutine;
+// opChunk continuation frames are routed to their stream's channel
+// instead (owned by the streamed-put handler).  Any frame error — a
+// truncated read, a length over the cap, a corrupt body, a chunk for an
+// unknown stream — poisons the whole connection, exactly as a desynced
+// gob stream did.
+func (s *Server) serveConnV3(conn net.Conn, br *bufio.Reader) {
+	respq := make(chan *response, 64)
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		s.writeLoopV3(conn, respq)
+	}()
+
+	wc := &connWriter{respq: respq}
+	var hwg sync.WaitGroup
+	streams := make(map[uint64]chan *request)
+	for {
+		f, err := readFrame(br, s.maxFrame)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("srbnet: read frame from %s: %v", conn.RemoteAddr(), err)
+			}
+			break
+		}
+		req := getRequest()
+		if err := decodeRequest(f.b, req); err != nil {
+			putFrame(f)
+			putRequest(req)
+			s.logf("srbnet: corrupt frame from %s: %v", conn.RemoteAddr(), err)
+			break
+		}
+		req.frame = f
+		if req.Op == opChunk {
+			// Snapshot routing fields before the send: the streaming
+			// handler may consume and release (zero) the request the
+			// moment it lands on the channel.
+			tag := req.Tag
+			last := req.Flags&flagLast != 0
+			st, ok := streams[tag]
+			if !ok {
+				s.logf("srbnet: chunk for unknown stream from %s (tag %d)", conn.RemoteAddr(), tag)
+				req.release()
+				break
+			}
+			st <- req // ownership moves to the streaming handler
+			if last {
+				delete(streams, tag)
+			}
+			continue
+		}
+		if req.Op == opPutFile && req.Flags&flagChunked != 0 {
+			st := make(chan *request, 4)
+			req.stream = st
+			streams[req.Tag] = st
+		}
+		hwg.Add(1)
+		go func() {
+			defer hwg.Done()
+			respq <- s.handle(req, wc)
+			req.release()
+		}()
+	}
+	conn.Close()
+	// Unblock any streaming handler still waiting on chunk frames: a
+	// closed stream reads as errStreamSevered.
+	for _, st := range streams {
+		close(st)
+	}
+	hwg.Wait()
+	close(respq)
+	wwg.Wait()
+}
+
+// writeLoopV3 is the v3 connection's only encoder.  Queued responses
+// are encoded into pooled frame buffers and coalesced into one
+// vectored write (net.Buffers → writev), with each response's bulk
+// Data riding as its own iovec.  Frames, data buffers and response
+// structs all return to their pools once the writev lands.
+func (s *Server) writeLoopV3(conn net.Conn, respq chan *response) {
+	var iov [][]byte
+	var metas []*frameBuf
+	var done []*response
+	broken := false
+	for resp := range respq {
+		if broken {
+			resp.release() // drain so handlers never block
+			continue
+		}
+		iov, metas, done = iov[:0], metas[:0], done[:0]
+		for resp != nil {
+			f := getFrame()
+			data := encodeResponse(f, resp)
+			iov = append(iov, f.b)
+			if len(data) > 0 {
+				iov = append(iov, data)
+			}
+			metas = append(metas, f)
+			done = append(done, resp)
+			select {
+			case r, ok := <-respq:
+				if !ok {
+					resp = nil
+				} else {
+					resp = r
+				}
+			default:
+				resp = nil
+			}
+		}
+		bufs := net.Buffers(iov)
+		_, err := bufs.WriteTo(conn)
+		for _, f := range metas {
+			putFrame(f)
+		}
+		for _, r := range done {
+			r.release()
+		}
+		if err != nil {
+			s.logf("srbnet: write to %s: %v", conn.RemoteAddr(), err)
+			broken = true
+			conn.Close()
+		}
+	}
+}
+
+// drainStream consumes chunk frames up to the stream's final frame (or
+// the connection's death), so a shed or failed streamed put never
+// wedges the connection's decode loop behind a full stream buffer.
+func drainStream(st chan *request) {
+	if st == nil {
+		return
+	}
+	for creq := range st {
+		last := creq.Flags&flagLast != 0
+		creq.release()
+		if last {
+			return
+		}
+	}
 }
 
 // lookup finds the addressed session, or nil if it was never created or
@@ -248,14 +453,24 @@ func (s *Server) lookup(id uint64) *srvSession {
 // pushed forward to the client's clock so device contention is charged
 // at the right instant.  With a scheduler attached, data-plane opcodes
 // first pass admission control and then wait for their grant, so the
-// device acquisitions inside execute happen in scheduler order.
-func (s *Server) handle(req *request) *response {
-	resp := &response{Tag: req.Tag}
+// device acquisitions inside execute happen in scheduler order.  On a
+// v3 connection (wc != nil) the response struct and its data buffers
+// come from the pools; the writer releases them after the writev.
+func (s *Server) handle(req *request, wc *connWriter) *response {
+	var resp *response
+	if wc != nil {
+		resp = getResponse()
+	} else {
+		resp = new(response)
+	}
+	resp.Tag = req.Tag
 	if req.Op == opConnect {
 		return s.handleConnect(req, resp)
 	}
 	ss := s.lookup(req.Sess)
 	if ss == nil {
+		drainStream(req.stream)
+		req.stream = nil
 		resp.Err, resp.ErrMsg = encodeErr(fmt.Errorf("srbnet: no session %d: %w", req.Sess, storage.ErrClosed))
 		resp.Now = req.Now
 		return resp
@@ -266,10 +481,15 @@ func (s *Server) handle(req *request) *response {
 		if q, ok := schedRequest(ss, req); ok {
 			var out *response
 			err := s.sched.Do(proc, q, func() error {
-				out = s.execute(ss, proc, req, resp)
+				out = s.execute(ss, proc, req, resp, wc)
 				return nil
 			})
 			if err != nil {
+				// The body never ran (shed or scheduler shutdown): a
+				// streamed put's chunk frames are still inbound and
+				// must be consumed on the handler's behalf.
+				drainStream(req.stream)
+				req.stream = nil
 				resp.Err, resp.ErrMsg = encodeErr(err)
 				if after, ok := resilient.RetryAfterOf(err); ok {
 					resp.RetryAfterNs = int64(after)
@@ -280,7 +500,7 @@ func (s *Server) handle(req *request) *response {
 			return out
 		}
 	}
-	return s.execute(ss, proc, req, resp)
+	return s.execute(ss, proc, req, resp, wc)
 }
 
 // schedRequest maps a wire request onto a qos.Request.  Only the
@@ -326,7 +546,13 @@ func schedRequest(ss *srvSession, req *request) (qos.Request, bool) {
 	case opGetFile:
 		q.Op = "read" // size unknown until opened
 	case opPutFile:
+		// A chunked put carries only the first chunk in this frame;
+		// req.N declares the whole body, so admission prices the full
+		// transfer.
 		q.Op, q.Bytes = "write", int64(len(req.Data))
+		if int64(req.N) > q.Bytes {
+			q.Bytes = int64(req.N)
+		}
 	default:
 		return qos.Request{}, false
 	}
@@ -334,7 +560,7 @@ func schedRequest(ss *srvSession, req *request) (qos.Request, bool) {
 }
 
 // execute runs one already-admitted request against the session.
-func (s *Server) execute(ss *srvSession, proc *vtime.Proc, req *request, resp *response) *response {
+func (s *Server) execute(ss *srvSession, proc *vtime.Proc, req *request, resp *response, wc *connWriter) *response {
 	fail := func(err error) *response {
 		resp.Err, resp.ErrMsg = encodeErr(err)
 		resp.Now = proc.Now()
@@ -373,7 +599,16 @@ func (s *Server) execute(ss *srvSession, proc *vtime.Proc, req *request, resp *r
 		if !ok {
 			return fail(storage.ErrClosed)
 		}
-		buf := make([]byte, req.N)
+		if req.N < 0 || req.N > s.maxFrame {
+			return fail(fmt.Errorf("srbnet: read of %d bytes exceeds frame cap %d", req.N, s.maxFrame))
+		}
+		var buf []byte
+		if wc != nil {
+			resp.dbuf = getFrame()
+			buf = resp.dbuf.grow(req.N)
+		} else {
+			buf = make([]byte, req.N)
+		}
 		n, err := h.ReadAt(proc, buf, req.Off)
 		resp.N = n
 		resp.Data = buf[:n]
@@ -398,16 +633,40 @@ func (s *Server) execute(ss *srvSession, proc *vtime.Proc, req *request, resp *r
 		if !ok {
 			return fail(storage.ErrClosed)
 		}
-		resp.Vecs = make([][]byte, len(req.Vecs))
-		for i, v := range req.Vecs {
-			buf := make([]byte, v.N)
+		total := 0
+		for _, v := range req.Vecs {
+			if v.N < 0 {
+				return fail(fmt.Errorf("srbnet: negative vectored read length"))
+			}
+			total += v.N
+		}
+		if total > s.maxFrame {
+			return fail(fmt.Errorf("srbnet: vectored read of %d bytes exceeds frame cap %d", total, s.maxFrame))
+		}
+		var base []byte
+		if wc != nil {
+			resp.dbuf = getFrame()
+			base = resp.dbuf.grow(total)
+		}
+		used := 0
+		vecs := resp.Vecs[:0]
+		for _, v := range req.Vecs {
+			var buf []byte
+			if base != nil {
+				buf = base[used : used+v.N]
+			} else {
+				buf = make([]byte, v.N)
+			}
+			used += v.N
 			n, err := h.ReadAt(proc, buf, v.Off)
-			resp.Vecs[i] = buf[:n]
+			vecs = append(vecs, buf[:n])
 			resp.N += n
 			if err != nil && !errors.Is(err, io.EOF) {
+				resp.Vecs = vecs
 				return fail(err)
 			}
 		}
+		resp.Vecs = vecs
 		resp.Size = h.Size()
 	case opWriteV:
 		h, ok := ss.handle(req.Handle)
@@ -423,6 +682,9 @@ func (s *Server) execute(ss *srvSession, proc *vtime.Proc, req *request, resp *r
 		}
 		resp.Size = h.Size()
 	case opPutFile:
+		if req.stream != nil {
+			return s.executePutStream(ss, proc, req, resp)
+		}
 		h, err := ss.sess.Open(proc, req.Path, req.Mode)
 		if err != nil {
 			return fail(err)
@@ -440,7 +702,21 @@ func (s *Server) execute(ss *srvSession, proc *vtime.Proc, req *request, resp *r
 		if err != nil {
 			return fail(err)
 		}
-		buf := make([]byte, h.Size())
+		size := h.Size()
+		if wc != nil && size > int64(s.chunkBytes) {
+			return s.streamGetFile(proc, req, resp, h, size, wc)
+		}
+		if size > int64(s.maxFrame) {
+			h.Close(proc)
+			return fail(fmt.Errorf("srbnet: file %q (%d bytes) exceeds frame cap %d", req.Path, size, s.maxFrame))
+		}
+		var buf []byte
+		if wc != nil {
+			resp.dbuf = getFrame()
+			buf = resp.dbuf.grow(int(size))
+		} else {
+			buf = make([]byte, size)
+		}
 		n, err := h.ReadAt(proc, buf, 0)
 		if err != nil && !errors.Is(err, io.EOF) {
 			h.Close(proc)
@@ -481,6 +757,105 @@ func (s *Server) execute(ss *srvSession, proc *vtime.Proc, req *request, resp *r
 	default:
 		return fail(fmt.Errorf("srbnet: unknown op %d", req.Op))
 	}
+	resp.Now = proc.Now()
+	return resp
+}
+
+// executePutStream runs one chunk-streamed opPutFile: the head frame
+// carries the first chunk and the declared total, the rest arrive on
+// req.stream as opChunk frames.  Each chunk is written at its declared
+// offset and released immediately, so peak memory is one chunk — never
+// the whole file.  Every exit path drains the stream to its final
+// frame so the connection's decode loop cannot wedge.
+func (s *Server) executePutStream(ss *srvSession, proc *vtime.Proc, req *request, resp *response) *response {
+	finish := func(err error) *response {
+		drainStream(req.stream)
+		req.stream = nil
+		if err != nil {
+			resp.Err, resp.ErrMsg = encodeErr(err)
+		}
+		resp.Now = proc.Now()
+		return resp
+	}
+	h, err := ss.sess.Open(proc, req.Path, req.Mode)
+	if err != nil {
+		return finish(err)
+	}
+	if _, err := h.WriteAt(proc, req.Data, 0); err != nil {
+		h.Close(proc)
+		return finish(err)
+	}
+	done := req.Flags&flagLast != 0
+	for !done {
+		creq, ok := <-req.stream
+		if !ok {
+			req.stream = nil // connection died; nothing left to drain
+			h.Close(proc)
+			return finish(errStreamSevered)
+		}
+		done = creq.Flags&flagLast != 0
+		_, werr := h.WriteAt(proc, creq.Data, creq.Off)
+		creq.release()
+		if werr != nil {
+			h.Close(proc)
+			return finish(werr)
+		}
+	}
+	req.stream = nil // fully consumed
+	resp.Size = h.Size()
+	if err := h.Close(proc); err != nil {
+		return finish(err)
+	}
+	return finish(nil)
+}
+
+// streamGetFile sends a large opGetFile body as bounded chunk frames:
+// each carries Data at Off plus the total Size (the first one sizes
+// the client's assembly buffer), and a final empty flagLast frame
+// carries the completion time.  Chunk buffers come from the frame pool
+// and are released by the connection writer after each writev, so peak
+// server memory is a few chunks regardless of file size.
+func (s *Server) streamGetFile(proc *vtime.Proc, req *request, resp *response, h storage.Handle, size int64, wc *connWriter) *response {
+	failLast := func(err error) *response {
+		resp.Err, resp.ErrMsg = encodeErr(err)
+		resp.Flags = flagChunked | flagLast
+		resp.Now = proc.Now()
+		return resp
+	}
+	chunk := int64(s.chunkBytes)
+	for off := int64(0); off < size; off += chunk {
+		n := chunk
+		if size-off < n {
+			n = size - off
+		}
+		db := getFrame()
+		buf := db.grow(int(n))
+		rn, err := h.ReadAt(proc, buf, off)
+		if err != nil && !errors.Is(err, io.EOF) {
+			putFrame(db)
+			h.Close(proc)
+			return failLast(err)
+		}
+		if int64(rn) < n {
+			putFrame(db)
+			h.Close(proc)
+			return failLast(fmt.Errorf("srbnet: short read streaming %q at %d", req.Path, off))
+		}
+		cf := getResponse()
+		cf.Tag = req.Tag
+		cf.Flags = flagChunked
+		cf.Off = off
+		cf.Size = size
+		cf.Data = buf[:rn]
+		cf.dbuf = db
+		cf.Now = proc.Now()
+		wc.respq <- cf
+	}
+	if err := h.Close(proc); err != nil {
+		return failLast(err)
+	}
+	resp.Flags = flagChunked | flagLast
+	resp.Size = size
 	resp.Now = proc.Now()
 	return resp
 }

@@ -201,8 +201,9 @@ func NewSystem(cfg SystemConfig) (*System, error) { return core.NewSystem(cfg) }
 // NewBroker returns an empty SRB-like middleware registry.
 func NewBroker() *Broker { return srb.NewBroker() }
 
-// ServeSRB exposes a broker over TCP.  Server options (currently
-// WithSRBScheduler) shape how the server executes data-plane opcodes.
+// ServeSRB exposes a broker over TCP.  Server options shape how the
+// server executes data-plane opcodes (WithSRBScheduler) and the wire-v3
+// framing limits (WithSRBServerChunkBytes, WithSRBServerMaxFrame).
 func ServeSRB(addr string, b *Broker, sim *Sim, opts ...SRBServerOption) (*SRBServer, error) {
 	return srbnet.Serve(addr, b, sim, opts...)
 }
@@ -237,6 +238,26 @@ var (
 	// WithSRBRedial tunes how pooled requests recover from poisoned
 	// connections (attempt budget and backoff, charged to virtual time).
 	WithSRBRedial = srbnet.WithRedial
+	// WithSRBWireV2 pins the client to the gob-encoded v2 codec
+	// instead of the default v3 binary frames (the codec ablation).
+	WithSRBWireV2 = srbnet.WithWireV2
+	// WithSRBChunkBytes sets the streamed GetFile/PutFile chunk size
+	// on the client side (default 256 KiB; v3 only).
+	WithSRBChunkBytes = srbnet.WithChunkBytes
+	// WithSRBMaxFrame caps the client's decoder pre-allocation: a
+	// frame declaring more than this many bytes poisons the
+	// connection instead of allocating (default 64 MiB).
+	WithSRBMaxFrame = srbnet.WithMaxFrame
+)
+
+// SRB server-side wire-v3 knobs, mirrors of the client pair above.
+var (
+	// WithSRBServerChunkBytes sets the server's streamed GetFile
+	// chunk size (default 256 KiB).
+	WithSRBServerChunkBytes = srbnet.WithServerChunkBytes
+	// WithSRBServerMaxFrame caps the server decoder's pre-allocation
+	// from wire-declared lengths (default 64 MiB).
+	WithSRBServerMaxFrame = srbnet.WithServerMaxFrame
 )
 
 // NewSRBClient returns a backend that reaches a broker resource over
