@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchreport [-scale test|bench|paper]
-//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|calib|qos|failover]
+//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|calib|qos|failover|crash]
 //	            [-json dir]
 //
 // The -exp list in this comment and in the flag help both come from
@@ -216,6 +216,35 @@ func run(scale experiments.Scale, exp, jsonDir string) error {
 		}, res)
 		if err != nil {
 			return err
+		}
+	}
+	if all || exp == "crash" {
+		rows, err := experiments.Crash(scale, 0, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Crash: journaled broker state under a randomized crash-point matrix ==\n%s\n",
+			experiments.CrashString(rows))
+		var points, fired, torn, adopted, violations float64
+		for _, r := range rows {
+			points += float64(r.Points)
+			fired += float64(r.Fired)
+			torn += float64(r.TornTails)
+			adopted += float64(r.Adopted)
+			violations += float64(r.Violations())
+		}
+		err = writeJSON(jsonDir, "crash", scale, map[string]float64{
+			"points":     points,
+			"fired":      fired,
+			"torn_tails": torn,
+			"adopted":    adopted,
+			"violations": violations,
+		}, rows)
+		if err != nil {
+			return err
+		}
+		if !experiments.CrashOK(rows) {
+			return fmt.Errorf("crash: recovery invariants violated")
 		}
 	}
 	if all || exp == "failover" {

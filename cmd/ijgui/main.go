@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	ijgui [-addr 127.0.0.1:8642] [-db perf.json]
+//	ijgui [-addr 127.0.0.1:8642] [-db perf.json | -journal-dir dir]
+//
+// With -journal-dir, the performance database is replayed from an srbd
+// write-ahead journal (stop the daemon first — the journal is single-
+// writer) and /metrics additionally exports the msra_wal_* family.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metadb"
 	"repro/internal/predict"
+	"repro/internal/wal"
 	"repro/internal/webui"
 )
 
@@ -26,11 +31,22 @@ func main() {
 	log.SetPrefix("ijgui: ")
 	addr := flag.String("addr", "127.0.0.1:8642", "HTTP listen address")
 	dbPath := flag.String("db", "", "performance database JSON (from ptool -save); measured on the fly if empty")
+	journalDir := flag.String("journal-dir", "", "replay the performance database from a write-ahead journal (see srbd -journal)")
 	flag.Parse()
+	if *dbPath != "" && *journalDir != "" {
+		log.Fatal("-db and -journal-dir are mutually exclusive")
+	}
 
 	var pdb *predict.DB
 	var opts []webui.Option
-	if *dbPath != "" {
+	if *journalDir != "" {
+		meta, err := metadb.OpenJournal(wal.Options{Dir: *journalDir})
+		if err != nil {
+			log.Fatalf("journal replay failed: %v (inspect with srbd -fsck -journal-dir %s)", err, *journalDir)
+		}
+		pdb = predict.NewDB(meta)
+		opts = append(opts, webui.WithWAL(meta.JournalStats))
+	} else if *dbPath != "" {
 		meta := metadb.New()
 		if err := meta.Load(*dbPath); err != nil {
 			log.Fatal(err)

@@ -24,6 +24,14 @@
 // cap the backlog at 64 MiB:
 //
 //	srbd -user astro3d -secret x -tenants astro3d:3,viewer:1 -queue-bytes 67108864
+//
+// With -journal, the broker's meta-data (the performance database the
+// admission pricer consults) is persisted through a write-ahead journal
+// in -journal-dir (default <root>/journal): every mutation is fsynced
+// before it is acknowledged, startup replays the journal, and a clean
+// shutdown checkpoints it.  If replay finds corruption the daemon
+// refuses to serve and exits non-zero; `srbd -fsck -journal-dir DIR`
+// verifies and prints the journal state without serving.
 package main
 
 import (
@@ -50,6 +58,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/tape"
 	"repro/internal/vtime"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -63,7 +72,28 @@ func main() {
 	tenantsFlag := flag.String("tenants", "", "per-tenant DRR weights, name:weight,... (unknown tenants get weight 1)")
 	maxInflight := flag.Int("max-inflight", 8, "concurrently executing requests; 0 disables the scheduler")
 	queueBytes := flag.Int64("queue-bytes", 0, "global queued-byte budget before requests are shed; 0 unlimited")
+	journal := flag.Bool("journal", false, "persist broker meta-data through a write-ahead journal")
+	journalDir := flag.String("journal-dir", "", "journal directory (default <root>/journal)")
+	fsck := flag.Bool("fsck", false, "verify and print journal state, then exit without serving")
 	flag.Parse()
+
+	if *journalDir == "" && *root != "" {
+		*journalDir = filepath.Join(*root, "journal")
+	}
+	if *fsck {
+		if *journalDir == "" {
+			log.Fatal("-fsck needs -journal-dir (or -root)")
+		}
+		report := wal.Check(nil, *journalDir)
+		fmt.Print(report.String())
+		if !report.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+	if *journal && *journalDir == "" {
+		log.Fatal("-journal needs -journal-dir (or -root)")
+	}
 
 	tenants, err := qos.ParseTenants(*tenantsFlag)
 	if err != nil {
@@ -111,16 +141,42 @@ func main() {
 	}
 	broker.AddUser(*user, *secret)
 
+	// The broker's meta-data store: journal-backed when -journal is
+	// given (replay on startup, checkpoint on clean shutdown), purely
+	// in-memory otherwise.
+	var meta *metadb.DB
+	if *journal {
+		m, err := metadb.OpenJournal(wal.Options{Dir: *journalDir})
+		if err != nil {
+			// The distinct replay-failure line the operator (and the
+			// crash-smoke CI job) greps for.
+			log.Printf("FATAL: journal replay failed: %v (inspect with srbd -fsck -journal-dir %s)", err, *journalDir)
+			os.Exit(2)
+		}
+		meta = m
+		st, _ := meta.JournalStats()
+		log.Printf("journal %s replayed: %d records, %d bytes in %s (torn tail %d bytes)",
+			*journalDir, st.ReplayRecords, st.ReplayBytes, st.ReplayDuration, st.TornTailBytes)
+	} else {
+		meta = metadb.New()
+	}
+
 	var opts []srbnet.ServerOption
 	var sched *qos.Scheduler
 	if *maxInflight > 0 {
 		// Populate a performance database the way PTool populates the
 		// MCAT, so admission prices requests by eq. (2) predicted service
 		// time rather than raw byte counts.  Measurement runs on its own
-		// virtual clock (no wall sleeps) and removes its probe files.
-		meta := metadb.New()
-		if _, err := ptool.MeasureAll(vtime.NewVirtual(), meta, ptool.Config{Repeats: 1}, local, rdisk, rtape); err != nil {
-			log.Fatal(err)
+		// virtual clock (no wall sleeps) and removes its probe files.  A
+		// journal replayed from a previous run already holds the sweep;
+		// re-measuring would just rewrite the same rows.
+		if len(meta.Constants(nil)) == 0 {
+			if _, err := ptool.MeasureAll(vtime.NewVirtual(), meta, ptool.Config{Repeats: 1}, local, rdisk, rtape); err != nil {
+				log.Fatal(err)
+			}
+			if err := meta.Checkpoint(); err != nil {
+				log.Fatal(err)
+			}
 		}
 		// The sweep advanced the shared device clocks; return every
 		// device to idle or the first client pays the probes' queue wait.
@@ -148,6 +204,9 @@ func main() {
 	if sched != nil {
 		mode = fmt.Sprintf("qos max-inflight %d, tenants %q", *maxInflight, qos.FormatTenants(tenants))
 	}
+	if meta.Journaled() {
+		mode += fmt.Sprintf(", journal %s", *journalDir)
+	}
 	fmt.Printf("srbd listening on %s (resources: %v, timescale %g, %s)\n",
 		srv.Addr(), broker.Resources(), *timescale, mode)
 
@@ -162,5 +221,16 @@ func main() {
 	}
 	if err := srv.Close(); err != nil {
 		log.Fatal(err)
+	}
+	// Clean shutdown compacts the journal so the next startup replays a
+	// snapshot instead of the whole mutation history.
+	if meta.Journaled() {
+		if err := meta.Checkpoint(); err != nil {
+			log.Fatal(err)
+		}
+		if err := meta.CloseJournal(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("journal checkpointed")
 	}
 }

@@ -18,13 +18,14 @@ package metadb
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/model"
+	"repro/internal/vfs"
 	"repro/internal/vtime"
+	"repro/internal/wal"
 )
 
 // ErrNotFound is returned when a looked-up row does not exist.
@@ -100,6 +101,10 @@ const (
 type DB struct {
 	params model.Params
 
+	// log, when set, is the write-ahead journal every mutation goes
+	// through before it is applied (see journal.go / OpenJournal).
+	log *wal.Log
+
 	mu        sync.RWMutex
 	runs      map[string]Run
 	datasets  map[string]Dataset
@@ -134,6 +139,9 @@ func (db *DB) PutRun(p *vtime.Proc, r Run) error {
 	db.charge(p, model.Write)
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.journalLocked(recPutRun, r); err != nil {
+		return err
+	}
 	db.runs[r.ID] = r
 	return nil
 }
@@ -171,6 +179,9 @@ func (db *DB) PutDataset(p *vtime.Proc, d Dataset) error {
 	db.charge(p, model.Write)
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.journalLocked(recPutDataset, d); err != nil {
+		return err
+	}
 	db.datasets[dsKey(d.RunID, d.Name)] = d
 	return nil
 }
@@ -223,12 +234,17 @@ func (db *DB) QueryDatasets(p *vtime.Proc, match func(Dataset) bool) []Dataset {
 	return out
 }
 
-// AddSample appends one performance sample.
-func (db *DB) AddSample(p *vtime.Proc, s PerfSample) {
+// AddSample appends one performance sample.  The error is always nil
+// without a journal; with one, nil means the sample is crash-durable.
+func (db *DB) AddSample(p *vtime.Proc, s PerfSample) error {
 	db.charge(p, model.Write)
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.journalLocked(recAddSample, s); err != nil {
+		return err
+	}
 	db.samples = append(db.samples, s)
+	return nil
 }
 
 // ReplaceSamples atomically replaces the whole performance curve for
@@ -238,10 +254,20 @@ func (db *DB) AddSample(p *vtime.Proc, s PerfSample) {
 // stale and fresh measurements forever).  Samples for other
 // (resource, op) pairs are untouched.  Rows whose Resource/Op fields
 // disagree with the arguments are rewritten to match.
-func (db *DB) ReplaceSamples(p *vtime.Proc, resource, op string, samples []PerfSample) {
+func (db *DB) ReplaceSamples(p *vtime.Proc, resource, op string, samples []PerfSample) error {
 	db.charge(p, model.Write)
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.journalLocked(recReplaceSamples, replacePayload{Resource: resource, Op: op, Samples: samples}); err != nil {
+		return err
+	}
+	db.replaceSamplesLocked(resource, op, samples)
+	return nil
+}
+
+// replaceSamplesLocked is the in-memory half of ReplaceSamples, shared
+// with journal replay.  Caller holds db.mu.
+func (db *DB) replaceSamplesLocked(resource, op string, samples []PerfSample) {
 	kept := db.samples[:0]
 	for _, s := range db.samples {
 		if s.Resource != resource || s.Op != op {
@@ -281,10 +307,20 @@ func (db *DB) Samples(p *vtime.Proc, resource, op string) []PerfSample {
 }
 
 // SetConstant inserts or replaces an eq. (1) constant.
-func (db *DB) SetConstant(p *vtime.Proc, c PerfConstant) {
+func (db *DB) SetConstant(p *vtime.Proc, c PerfConstant) error {
 	db.charge(p, model.Write)
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.journalLocked(recSetConstant, c); err != nil {
+		return err
+	}
+	db.setConstantLocked(c)
+	return nil
+}
+
+// setConstantLocked is the in-memory half of SetConstant, shared with
+// journal replay.  Caller holds db.mu.
+func (db *DB) setConstantLocked(c PerfConstant) {
 	for i, old := range db.constants {
 		if old.Resource == c.Resource && old.Op == c.Op && old.Component == c.Component {
 			db.constants[i] = c
@@ -335,9 +371,9 @@ type snapshot struct {
 	Constants []PerfConstant `json:"constants"`
 }
 
-// Save writes the database to path as JSON.
-func (db *DB) Save(path string) error {
-	db.mu.RLock()
+// snapshotLocked builds the sorted persistence snapshot.  Caller holds
+// db.mu (read or write).
+func (db *DB) snapshotLocked() snapshot {
 	snap := snapshot{Samples: append([]PerfSample(nil), db.samples...), Constants: append([]PerfConstant(nil), db.constants...)}
 	for _, r := range db.runs {
 		snap.Runs = append(snap.Runs, r)
@@ -345,28 +381,40 @@ func (db *DB) Save(path string) error {
 	for _, d := range db.datasets {
 		snap.Datasets = append(snap.Datasets, d)
 	}
-	db.mu.RUnlock()
 	sort.Slice(snap.Runs, func(i, j int) bool { return snap.Runs[i].ID < snap.Runs[j].ID })
 	sort.Slice(snap.Datasets, func(i, j int) bool {
 		return dsKey(snap.Datasets[i].RunID, snap.Datasets[i].Name) < dsKey(snap.Datasets[j].RunID, snap.Datasets[j].Name)
 	})
+	return snap
+}
+
+// Save writes the database to path as JSON.
+func (db *DB) Save(path string) error { return db.SaveFS(vfs.OS{}, path) }
+
+// SaveFS writes the database to path as JSON through fsys, durably:
+// the snapshot is written to a temp file, fsynced, renamed into place,
+// and the parent directory is fsynced — a crash leaves either the old
+// snapshot or the new one, never a torn or unlinked file.
+func (db *DB) SaveFS(fsys vfs.FS, path string) error {
+	db.mu.RLock()
+	snap := db.snapshotLocked()
+	db.mu.RUnlock()
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return fmt.Errorf("metadb save: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("metadb save: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := vfs.WriteAtomic(fsys, path, data); err != nil {
 		return fmt.Errorf("metadb save: %w", err)
 	}
 	return nil
 }
 
 // Load replaces the database contents from a JSON file written by Save.
-func (db *DB) Load(path string) error {
-	data, err := os.ReadFile(path)
+func (db *DB) Load(path string) error { return db.LoadFS(vfs.OS{}, path) }
+
+// LoadFS is Load through an injectable filesystem.
+func (db *DB) LoadFS(fsys vfs.FS, path string) error {
+	data, err := vfs.ReadFile(fsys, path)
 	if err != nil {
 		return fmt.Errorf("metadb load: %w", err)
 	}
@@ -376,16 +424,7 @@ func (db *DB) Load(path string) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	db.runs = make(map[string]Run, len(snap.Runs))
-	for _, r := range snap.Runs {
-		db.runs[r.ID] = r
-	}
-	db.datasets = make(map[string]Dataset, len(snap.Datasets))
-	for _, d := range snap.Datasets {
-		db.datasets[dsKey(d.RunID, d.Name)] = d
-	}
-	db.samples = snap.Samples
-	db.constants = snap.Constants
+	db.install(snap)
 	return nil
 }
 

@@ -2,6 +2,8 @@ package stage
 
 import (
 	"fmt"
+	"hash/crc32"
+	"log"
 	"sort"
 	"strconv"
 	"strings"
@@ -11,12 +13,23 @@ import (
 )
 
 // manifestMagic heads every encoded manifest; bump the suffix when the
-// line format changes.
-const manifestMagic = "stagemanifest/1"
+// line format changes.  Version 2 added the per-entry content checksum
+// and the whole-file CRC trailer.
+const manifestMagic = "stagemanifest/2"
 
 // ManifestPath is where SaveManifest persists the cache inventory on
-// the cache backend.
+// the cache backend.  SaveManifest also keeps the previous manifest's
+// bytes at ManifestPath+".prev" so a write torn mid-overwrite (the
+// cache backend has no rename) still leaves one intact inventory to
+// fall back to.
 const ManifestPath = "stage/.manifest"
+
+// manifestPrevPath is the fallback copy LoadManifest consults when the
+// primary is torn or missing.
+const manifestPrevPath = ManifestPath + ".prev"
+
+// manifestCRCTable is Castagnoli, matching the journal's checksums.
+var manifestCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ManifestEntry is one cached instance as recorded in the manifest: the
 // minimum needed to re-adopt the copy after a restart.
@@ -26,13 +39,15 @@ type ManifestEntry struct {
 	Staged   string // path on the cache backend
 	Bytes    int64
 	Dirty    bool
-	Accesses int64 // reads observed so far, seeding residual estimates
+	Accesses int64  // reads observed so far, seeding residual estimates
+	Sum      uint32 // CRC32C of the staged bytes; 0 = unknown, skip the check
 }
 
 // EncodeManifest renders entries as the line-oriented manifest format:
-// a magic first line, then one tab-separated record per entry with
-// quoted strings.  Entries are sorted by home+path so encoding is
-// deterministic.
+// a magic first line, one tab-separated record per entry with quoted
+// strings, and a CRC trailer over everything above it so a torn or
+// bit-flipped manifest is detected instead of trusted.  Entries are
+// sorted by home+path so encoding is deterministic.
 func EncodeManifest(entries []ManifestEntry) []byte {
 	sorted := make([]ManifestEntry, len(entries))
 	copy(sorted, entries)
@@ -46,17 +61,35 @@ func EncodeManifest(entries []ManifestEntry) []byte {
 	b.WriteString(manifestMagic)
 	b.WriteByte('\n')
 	for _, e := range sorted {
-		fmt.Fprintf(&b, "%s\t%s\t%s\t%d\t%t\t%d\n",
+		fmt.Fprintf(&b, "%s\t%s\t%s\t%d\t%t\t%d\t%d\n",
 			strconv.Quote(e.Home), strconv.Quote(e.Path), strconv.Quote(e.Staged),
-			e.Bytes, e.Dirty, e.Accesses)
+			e.Bytes, e.Dirty, e.Accesses, e.Sum)
 	}
-	return []byte(b.String())
+	body := b.String()
+	return []byte(fmt.Sprintf("%scrc\t%d\n", body, crc32.Checksum([]byte(body), manifestCRCTable)))
 }
 
-// DecodeManifest parses data produced by EncodeManifest.  It never
-// panics on arbitrary input: malformed bytes yield an error.
+// DecodeManifest parses data produced by EncodeManifest, verifying the
+// trailer CRC.  It never panics on arbitrary input: malformed or torn
+// bytes yield an error.
 func DecodeManifest(data []byte) ([]ManifestEntry, error) {
-	lines := strings.Split(string(data), "\n")
+	s := string(data)
+	// The trailer is the last non-empty line; everything above it is
+	// covered by its CRC.
+	trailerAt := strings.LastIndex(strings.TrimRight(s, "\n"), "\n") + 1
+	if trailerAt <= 0 {
+		return nil, fmt.Errorf("stage: manifest missing trailer")
+	}
+	trailer := strings.TrimRight(s[trailerAt:], "\n")
+	var want uint32
+	if _, err := fmt.Sscanf(trailer, "crc\t%d", &want); err != nil || trailer != fmt.Sprintf("crc\t%d", want) {
+		return nil, fmt.Errorf("stage: manifest bad trailer %q", trailer)
+	}
+	body := s[:trailerAt]
+	if got := crc32.Checksum([]byte(body), manifestCRCTable); got != want {
+		return nil, fmt.Errorf("stage: manifest checksum mismatch (torn write?)")
+	}
+	lines := strings.Split(body, "\n")
 	if len(lines) == 0 || lines[0] != manifestMagic {
 		return nil, fmt.Errorf("stage: bad manifest magic")
 	}
@@ -66,8 +99,8 @@ func DecodeManifest(data []byte) ([]ManifestEntry, error) {
 			continue
 		}
 		fields := strings.Split(line, "\t")
-		if len(fields) != 6 {
-			return nil, fmt.Errorf("stage: manifest line %d: want 6 fields, got %d", i+2, len(fields))
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("stage: manifest line %d: want 7 fields, got %d", i+2, len(fields))
 		}
 		var e ManifestEntry
 		var err error
@@ -89,6 +122,11 @@ func DecodeManifest(data []byte) ([]ManifestEntry, error) {
 		if e.Accesses, err = strconv.ParseInt(fields[5], 10, 64); err != nil {
 			return nil, fmt.Errorf("stage: manifest line %d accesses: %w", i+2, err)
 		}
+		sum, err := strconv.ParseUint(fields[6], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("stage: manifest line %d sum: %w", i+2, err)
+		}
+		e.Sum = uint32(sum)
 		if e.Home == "" || e.Path == "" || e.Staged == "" || e.Bytes < 0 || e.Accesses < 0 {
 			return nil, fmt.Errorf("stage: manifest line %d: invalid entry", i+2)
 		}
@@ -98,7 +136,8 @@ func DecodeManifest(data []byte) ([]ManifestEntry, error) {
 }
 
 // Manifest snapshots the current cache inventory (ready, non-superseded
-// entries only).
+// entries only).  Sum fields are zero; SaveManifest fills them from the
+// staged bytes.
 func (m *Manager) Manifest() []ManifestEntry {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -120,31 +159,51 @@ func (m *Manager) Manifest() []ManifestEntry {
 }
 
 // SaveManifest persists the cache inventory to ManifestPath on the
-// cache backend, so a restarted Manager can re-adopt warm copies.
+// cache backend, so a restarted Manager can re-adopt warm copies.  Each
+// entry carries a checksum of its staged bytes, and the previous
+// manifest is kept at ManifestPath+".prev" before the overwrite — the
+// barrier discipline a backend without rename allows: a crash tearing
+// the primary leaves the fallback intact, and a crash tearing a cache
+// file is caught at adoption by the content checksum.
 func (m *Manager) SaveManifest(p *vtime.Proc) error {
 	sess, err := m.cacheSession(p)
 	if err != nil {
 		return err
 	}
-	return storage.PutFile(p, sess, ManifestPath, storage.ModeOverWrite, EncodeManifest(m.Manifest()))
+	entries := m.Manifest()
+	for i := range entries {
+		data, err := storage.GetFile(p, sess, entries[i].Staged)
+		if err != nil {
+			return fmt.Errorf("stage: manifest sum %q: %w", entries[i].Staged, err)
+		}
+		entries[i].Sum = crc32.Checksum(data, manifestCRCTable)
+	}
+	encoded := EncodeManifest(entries)
+	// Preserve the old inventory before overwriting the primary in
+	// place.
+	if old, err := storage.GetFile(p, sess, ManifestPath); err == nil {
+		if err := storage.PutFile(p, sess, manifestPrevPath, storage.ModeOverWrite, old); err != nil {
+			return err
+		}
+	}
+	return storage.PutFile(p, sess, ManifestPath, storage.ModeOverWrite, encoded)
 }
 
 // LoadManifest re-adopts cached copies recorded at ManifestPath.  homes
 // maps backend names to live backends; entries whose home is unknown,
-// whose cache file is missing or resized, or which would overflow the
-// budget are skipped rather than trusted.  Returns the number adopted.
+// whose cache file is missing, resized or fails its content checksum,
+// or which would overflow the budget are skipped rather than trusted.
+// A missing, truncated or corrupt manifest is not fatal: the fallback
+// copy is tried, and if that fails too the Manager logs the reason and
+// starts with an empty cache.  Returns the number adopted.
 func (m *Manager) LoadManifest(p *vtime.Proc, homes ...storage.Backend) (int, error) {
 	sess, err := m.cacheSession(p)
 	if err != nil {
 		return 0, err
 	}
-	data, err := storage.GetFile(p, sess, ManifestPath)
-	if err != nil {
-		return 0, err
-	}
-	entries, err := DecodeManifest(data)
-	if err != nil {
-		return 0, err
+	entries, ok := loadManifestEntries(p, sess)
+	if !ok {
+		return 0, nil
 	}
 	byName := make(map[string]storage.Backend, len(homes))
 	for _, b := range homes {
@@ -156,8 +215,12 @@ func (m *Manager) LoadManifest(p *vtime.Proc, homes ...storage.Backend) (int, er
 		if home == nil {
 			continue
 		}
-		info, err := sess.Stat(p, me.Staged)
-		if err != nil || info.Size != me.Bytes {
+		data, err := storage.GetFile(p, sess, me.Staged)
+		if err != nil || int64(len(data)) != me.Bytes {
+			continue
+		}
+		if me.Sum != 0 && crc32.Checksum(data, manifestCRCTable) != me.Sum {
+			log.Printf("stage: manifest entry %q: staged copy checksum mismatch, skipping", me.Staged)
 			continue
 		}
 		key := stageKey(me.Home, me.Path)
@@ -181,4 +244,29 @@ func (m *Manager) LoadManifest(p *vtime.Proc, homes ...storage.Backend) (int, er
 		adopted++
 	}
 	return adopted, nil
+}
+
+// loadManifestEntries fetches and decodes the manifest, falling back to
+// the previous copy; ok is false when no intact manifest exists (the
+// caller starts empty).
+func loadManifestEntries(p *vtime.Proc, sess storage.Session) ([]ManifestEntry, bool) {
+	var firstErr error
+	for _, path := range []string{ManifestPath, manifestPrevPath} {
+		data, err := storage.GetFile(p, sess, path)
+		if err == nil {
+			entries, derr := DecodeManifest(data)
+			if derr == nil {
+				if path != ManifestPath {
+					log.Printf("stage: primary manifest unusable (%v), recovered from %s", firstErr, path)
+				}
+				return entries, true
+			}
+			err = derr
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	log.Printf("stage: no usable manifest (%v), starting with an empty cache", firstErr)
+	return nil, false
 }

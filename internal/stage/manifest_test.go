@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"repro/internal/storage"
 )
 
 func sampleManifest() []ManifestEntry {
@@ -143,4 +145,150 @@ func FuzzManifestDecodeArbitrary(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestManifestTrailerDetectsDamage flips, truncates and extends an
+// encoded manifest and checks the CRC trailer rejects every variant —
+// including structurally valid rows guarded by a wrong trailer.
+func TestManifestTrailerDetectsDamage(t *testing.T) {
+	good := EncodeManifest(sampleManifest())
+	if _, err := DecodeManifest(good); err != nil {
+		t.Fatal(err)
+	}
+	// Every torn prefix long enough to still contain a newline.  (A cut
+	// that only drops the final newline leaves the manifest complete —
+	// start below it.)
+	for cut := len(good) - 2; cut > 20; cut -= 7 {
+		if _, err := DecodeManifest(good[:cut]); err == nil {
+			t.Fatalf("torn manifest (cut at %d) accepted", cut)
+		}
+	}
+	// A single flipped bit anywhere in the body.
+	for i := 0; i < len(good)-12; i += 11 {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x20
+		if _, err := DecodeManifest(bad); err == nil {
+			t.Fatalf("bit flip at %d accepted", i)
+		}
+	}
+	// Valid-looking rows with a forged trailer.
+	forged := []byte(manifestMagic + "\n\"h\"\t\"p\"\t\"s\"\t10\ttrue\t2\t0\ncrc\t12345\n")
+	if _, err := DecodeManifest(forged); err == nil {
+		t.Fatal("forged trailer accepted")
+	}
+}
+
+// putCache overwrites a path on the cache backend directly, simulating
+// torn or stale cache state a crash can leave behind.
+func putCache(t *testing.T, e *testEnv, path string, data []byte) {
+	t.Helper()
+	sess, err := e.cache.Connect(e.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.PutFile(e.p, sess, path, storage.ModeOverWrite, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadManifestFallsBackToPrev(t *testing.T) {
+	e := newTestEnv(t, Config{})
+	want := bytes.Repeat([]byte("f"), 700)
+	e.put(t, "runF/iter000000", want)
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "runF/iter000000", int64(len(want)))
+	if !pl.Staged {
+		t.Fatal("not staged")
+	}
+	pl.Release()
+	// Two saves so the fallback copy exists, then tear the primary.
+	if err := e.mgr.SaveManifest(e.p); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.mgr.SaveManifest(e.p); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := e.cache.Connect(e.p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := storage.GetFile(e.p, sess, ManifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putCache(t, e, ManifestPath, full[:len(full)/2])
+
+	mgr2, err := New(Config{Sim: e.sim, Cache: e.cache, Budget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	n, err := mgr2.LoadManifest(e.p, e.home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("adopted %d entries via fallback, want 1", n)
+	}
+}
+
+func TestLoadManifestStartsEmptyWhenBothCopiesTorn(t *testing.T) {
+	e := newTestEnv(t, Config{})
+	want := bytes.Repeat([]byte("g"), 300)
+	e.put(t, "runG/iter000000", want)
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "runG/iter000000", int64(len(want)))
+	pl.Release()
+	if err := e.mgr.SaveManifest(e.p); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.mgr.SaveManifest(e.p); err != nil {
+		t.Fatal(err)
+	}
+	putCache(t, e, ManifestPath, []byte("torn to pieces"))
+	putCache(t, e, manifestPrevPath, []byte(manifestMagic+"\nhalf a row"))
+
+	mgr2, err := New(Config{Sim: e.sim, Cache: e.cache, Budget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	n, err := mgr2.LoadManifest(e.p, e.home)
+	if err != nil {
+		t.Fatalf("torn manifests must not be fatal: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("adopted %d entries from torn manifests", n)
+	}
+}
+
+// TestLoadManifestRejectsTornCacheFile: the manifest is intact but the
+// staged bytes it describes were torn by the crash (same size, wrong
+// content) — the per-entry checksum must refuse the adoption.
+func TestLoadManifestRejectsTornCacheFile(t *testing.T) {
+	e := newTestEnv(t, Config{})
+	want := bytes.Repeat([]byte("h"), 640)
+	e.put(t, "runH/iter000000", want)
+	pl := e.mgr.StageRead(e.p, e.home, e.hsess, "runH/iter000000", int64(len(want)))
+	if !pl.Staged {
+		t.Fatal("not staged")
+	}
+	pl.Release()
+	if err := e.mgr.SaveManifest(e.p); err != nil {
+		t.Fatal(err)
+	}
+	staged := e.mgr.Manifest()[0].Staged
+	scrambled := bytes.Repeat([]byte("X"), len(want)) // size matches
+	putCache(t, e, staged, scrambled)
+
+	mgr2, err := New(Config{Sim: e.sim, Cache: e.cache, Budget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	n, err := mgr2.LoadManifest(e.p, e.home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("adopted %d torn cache entries, want 0", n)
+	}
 }

@@ -44,6 +44,15 @@ const (
 	OpWriteBack Op = "writeback" // dirty cache copy drained to its home tier
 )
 
+// Journal labels recorded by the write-ahead log (package wal) that
+// guards broker-durable meta-data.  Backend is "journal"; Path is the
+// journal directory.  Cost carries wall time (the journal lives outside
+// the simulated clock domain), Bytes the journal bytes processed.
+const (
+	OpWALReplay     Op = "walreplay"     // recovery replayed the journal on open
+	OpWALCheckpoint Op = "walcheckpoint" // snapshot+truncate compaction completed
+)
+
 // Queue-decision labels recorded by the multi-tenant scheduler
 // (package qos).  Proc carries the tenant; Cost carries the decision's
 // latency dimension (wall wait for grants, the honor-after hint for

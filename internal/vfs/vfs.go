@@ -1,0 +1,214 @@
+// Package vfs is the injectable filesystem seam beneath the broker's
+// durable state (the meta-data journal of internal/wal and the metadb
+// snapshot files).  Production code uses the OS implementation; tests
+// substitute internal/faultfs to crash the "machine" at any numbered
+// write, fsync or rename and to tear un-fsynced writes at sector
+// granularity — so recovery code is exercised against the failure
+// modes POSIX actually permits, not just the happy path.
+//
+// The interface is deliberately small and explicit about durability:
+// nothing is guaranteed to survive a crash until File.Sync (for
+// contents) and FS.SyncDir (for directory entries: creates, renames,
+// removes) have returned.  That is the strict POSIX model; code that
+// holds to it is correct on every real filesystem.
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ErrNotExist is returned when a named file does not exist.  It aliases
+// io/fs.ErrNotExist so errors.Is works across implementations.
+var ErrNotExist = fs.ErrNotExist
+
+// FS is a minimal filesystem with explicit durability barriers.
+type FS interface {
+	// Create opens name for read/write, creating it and truncating any
+	// existing file.  Parent directories are created as needed.  The new
+	// directory entry is volatile until SyncDir.
+	Create(name string) (File, error)
+	// Append opens name for read/write positioned at the end, creating
+	// it if absent.
+	Append(name string) (File, error)
+	// Open opens name read-only; ErrNotExist if absent.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname.  The swap is
+	// volatile until SyncDir on the parent.
+	Rename(oldname, newname string) error
+	// Remove deletes a file (volatile until SyncDir).
+	Remove(name string) error
+	// MkdirAll creates dir and parents.
+	MkdirAll(dir string) error
+	// List returns the base names of the files directly inside dir,
+	// sorted.  A missing dir yields an empty list.
+	List(dir string) ([]string, error)
+	// SyncDir makes dir's current entries (creates, renames, removes)
+	// durable.
+	SyncDir(dir string) error
+	// Stat returns the size of name, or ErrNotExist.
+	Stat(name string) (int64, error)
+}
+
+// File is an open file.  Write appends at the current position;
+// nothing written is durable until Sync returns.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	// Truncate cuts the file to size bytes (used to drop a torn journal
+	// tail before appending past it).
+	Truncate(size int64) error
+	// Sync makes the file's contents durable.
+	Sync() error
+	Close() error
+}
+
+// OS is the real-filesystem implementation.
+type OS struct{}
+
+var _ FS = OS{}
+
+// Create implements FS.
+func (OS) Create(name string) (File, error) {
+	if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+		return nil, fmt.Errorf("vfs create %q: %w", name, err)
+	}
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("vfs create %q: %w", name, err)
+	}
+	return f, nil
+}
+
+// Append implements FS.
+func (OS) Append(name string) (File, error) {
+	if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+		return nil, fmt.Errorf("vfs append %q: %w", name, err)
+	}
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("vfs append %q: %w", name, err)
+	}
+	return f, nil
+}
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("vfs open %q: %w", name, err)
+	}
+	return f, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// List implements FS.
+func (OS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("vfs list %q: %w", dir, err)
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SyncDir implements FS by fsyncing the directory file descriptor.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("vfs syncdir %q: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("vfs syncdir %q: %w", dir, err)
+	}
+	return nil
+}
+
+// Stat implements FS.
+func (OS) Stat(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("vfs stat %q: %w", name, ErrNotExist)
+		}
+		return 0, fmt.Errorf("vfs stat %q: %w", name, err)
+	}
+	return fi.Size(), nil
+}
+
+// ReadFile reads all of name.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	size, err := fsys.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, size)
+	n, err := f.ReadAt(buf, 0)
+	if int64(n) == size && (err == nil || err == io.EOF) {
+		return buf, nil
+	}
+	if err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return nil, fmt.Errorf("vfs readfile %q: %w", name, err)
+}
+
+// WriteAtomic durably replaces name with data: the bytes are written to
+// a sibling temp file, fsynced, renamed over name, and the parent
+// directory is fsynced.  After WriteAtomic returns, a crash yields
+// either the old contents or the new — never a torn mixture and never a
+// lost rename.
+func WriteAtomic(fsys FS, name string, data []byte) error {
+	tmp := name + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	// Barrier 1: the temp file's contents must be on stable storage
+	// before the rename publishes them, or the crash-recovered name
+	// could point at a hollow file.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		return err
+	}
+	// Barrier 2: the rename itself is a directory mutation and volatile
+	// until the parent directory is synced.
+	return fsys.SyncDir(filepath.Dir(name))
+}

@@ -1,0 +1,372 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/vfs"
+	"repro/internal/wal"
+)
+
+const dir = "journal"
+
+// openLog opens a journal on fsys with small segments so tests exercise
+// rotation without megabytes of appends.
+func openLog(t *testing.T, fsys vfs.FS) (*wal.Log, wal.Recovery) {
+	t.Helper()
+	l, rec, err := wal.Open(wal.Options{FS: fsys, Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, rec
+}
+
+func record(i int) []byte {
+	return []byte(fmt.Sprintf("record-%03d-%s", i, strings.Repeat("x", i%17)))
+}
+
+func TestAppendSyncReplay(t *testing.T) {
+	fsys := faultfs.New()
+	l, rec := openLog(t, fsys)
+	if rec.Snapshot != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh journal recovered %d records", len(rec.Records))
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := l.Append(byte(i%5), record(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != n || st.Rotations == 0 || st.Segments < 2 {
+		t.Fatalf("stats %+v: want %d appends and rotation", st, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2 := openLog(t, fsys)
+	defer l2.Close()
+	if rec2.Snapshot != nil {
+		t.Fatal("no snapshot was written, yet one was recovered")
+	}
+	if len(rec2.Records) != n {
+		t.Fatalf("replayed %d records, want %d", len(rec2.Records), n)
+	}
+	for i, r := range rec2.Records {
+		if r.Type != byte(i%5) || !bytes.Equal(r.Data, record(i)) {
+			t.Fatalf("record %d mismatch: type %d data %q", i, r.Type, r.Data)
+		}
+	}
+	if st := l2.Stats(); st.ReplayRecords != n || st.TornTailBytes != 0 {
+		t.Fatalf("replay stats %+v", st)
+	}
+}
+
+func TestCompactReplaysSnapshotOnly(t *testing.T) {
+	fsys := faultfs.New()
+	l, _ := openLog(t, fsys)
+	for i := 0; i < 30; i++ {
+		if err := l.Append(1, record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	snap := []byte("state-after-30")
+	if err := l.Compact(snap); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Segments != 1 || st.SnapshotSeq == 0 || st.Compactions != 1 || st.LastCheckpoint.IsZero() {
+		t.Fatalf("post-compact stats %+v", st)
+	}
+	// Appends after the snapshot replay on top of it.
+	if err := l.Append(2, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openLog(t, fsys)
+	defer l2.Close()
+	if !bytes.Equal(rec.Snapshot, snap) {
+		t.Fatalf("recovered snapshot %q, want %q", rec.Snapshot, snap)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0].Data) != "tail" {
+		t.Fatalf("recovered %d records after snapshot, want the one tail append", len(rec.Records))
+	}
+}
+
+// mangle rewrites one file through the vfs seam.
+func mangle(t *testing.T, fsys vfs.FS, name string, f func([]byte) []byte) {
+	t.Helper()
+	data, err := vfs.ReadFile(fsys, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteAtomic(fsys, name, f(data)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func segName(seq uint64) string { return fmt.Sprintf("%s/seg-%08d.wal", dir, seq) }
+
+func TestTornTailTruncatedOnce(t *testing.T) {
+	fsys := faultfs.New()
+	l, _ := openLog(t, fsys)
+	for i := 0; i < 5; i++ {
+		if err := l.Append(1, record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A torn append: half a frame of garbage at the end of the final
+	// segment.
+	mangle(t, fsys, segName(l.Stats().ActiveSeq), func(b []byte) []byte {
+		return append(b, 0xff, 0x13, 0x37)
+	})
+
+	l2, rec := openLog(t, fsys)
+	if len(rec.Records) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(rec.Records))
+	}
+	if st := l2.Stats(); st.TornTailBytes != 3 {
+		t.Fatalf("torn tail bytes %d, want 3", st.TornTailBytes)
+	}
+	// The tail is gone for good: appends after it parse cleanly.
+	if err := l2.Append(7, []byte("after-tear")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, rec3 := openLog(t, fsys)
+	defer l3.Close()
+	if st := l3.Stats(); st.TornTailBytes != 0 {
+		t.Fatalf("second replay still sees a torn tail (%d bytes)", st.TornTailBytes)
+	}
+	if n := len(rec3.Records); n != 6 || string(rec3.Records[5].Data) != "after-tear" {
+		t.Fatalf("replayed %d records after tear repair", n)
+	}
+}
+
+func TestMidSequenceCorruptionRejected(t *testing.T) {
+	fsys := faultfs.New()
+	l, _ := openLog(t, fsys)
+	for i := 0; i < 40; i++ { // enough to rotate past segment 1
+		if err := l.Append(1, record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Segments < 2 {
+		t.Fatal("test needs at least two segments")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the first (non-final) segment.
+	mangle(t, fsys, segName(1), func(b []byte) []byte {
+		b[len(b)-1] ^= 0x01
+		return b
+	})
+	if _, _, err := wal.Open(wal.Options{FS: fsys, Dir: dir, SegmentBytes: 256}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("open after mid-sequence damage: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestMissingSegmentRejected(t *testing.T) {
+	fsys := faultfs.New()
+	l, _ := openLog(t, fsys)
+	for i := 0; i < 80; i++ { // at least three segments
+		if err := l.Append(1, record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Segments < 3 {
+		t.Fatal("test needs at least three segments")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(segName(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wal.Open(wal.Options{FS: fsys, Dir: dir, SegmentBytes: 256}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("open with missing segment: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckMatchesOpen(t *testing.T) {
+	fsys := faultfs.New()
+	l, _ := openLog(t, fsys)
+	for i := 0; i < 40; i++ { // enough to rotate past segment 1
+		if err := l.Append(1, record(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Segments < 2 {
+		t.Fatal("test needs at least two segments")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := wal.Check(fsys, dir)
+	if !r.OK() || r.Records != 40 {
+		t.Fatalf("check on intact journal: %s", r.String())
+	}
+	if !strings.Contains(r.String(), "status: OK") {
+		t.Fatalf("report rendering: %s", r.String())
+	}
+
+	// Same mid-sequence damage Open rejects must fail Check: corrupt a
+	// record in the first, non-final segment (final-segment damage is a
+	// torn tail, which both tolerate).
+	mangle(t, fsys, segName(1), func(b []byte) []byte {
+		b[20] ^= 0x80
+		return b
+	})
+	r = wal.Check(fsys, dir)
+	if r.OK() {
+		t.Fatalf("check missed corruption: %s", r.String())
+	}
+	if !strings.Contains(r.String(), "status: CORRUPT") {
+		t.Fatalf("report rendering: %s", r.String())
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, _, err := wal.Open(wal.Options{FS: faultfs.New()}); err == nil {
+		t.Fatal("open without Dir succeeded")
+	}
+}
+
+// FuzzWALReplay feeds arbitrary bytes to replay as the sole segment
+// (and, with a second region, as a snapshot): Open must never panic,
+// never allocate unboundedly, and either replay cleanly or fail with an
+// error — and a successful open must leave the journal appendable and
+// reopenable.
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a genuine segment and snapshot.
+	fsys := faultfs.New()
+	l, _, err := wal.Open(wal.Options{FS: fsys, Dir: dir})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.Append(byte(i), record(i)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		f.Fatal(err)
+	}
+	seg, err := vfs.ReadFile(fsys, segName(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := l.Compact([]byte("snapshot-state")); err != nil {
+		f.Fatal(err)
+	}
+	snap, err := vfs.ReadFile(fsys, dir+"/snap-00000001.db")
+	if err != nil {
+		f.Fatal(err)
+	}
+	l.Close()
+	f.Add(seg, []byte(nil))
+	f.Add(seg[:len(seg)-3], []byte(nil)) // torn tail
+	f.Add([]byte(nil), snap)
+	f.Add(seg, snap)
+	f.Add([]byte("MSRAWAL1garbage"), []byte("MSRASNP1garbage"))
+
+	f.Fuzz(func(t *testing.T, segBytes, snapBytes []byte) {
+		fsys := faultfs.New()
+		if err := fsys.MkdirAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		write := func(name string, data []byte) {
+			w, err := fsys.Create(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.Write(data); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+		}
+		// The hostile snapshot claims seq 1, so the hostile segment is
+		// placed at seq 2 (still the final segment either way).
+		if len(snapBytes) > 0 {
+			write(dir+"/snap-00000001.db", snapBytes)
+			write(segName(2), segBytes)
+		} else {
+			write(segName(1), segBytes)
+		}
+		// Check must agree with Open about acceptability.
+		rep := wal.Check(fsys, dir)
+		l, rec, err := wal.Open(wal.Options{FS: fsys, Dir: dir, MaxRecordBytes: 1 << 16})
+		if err != nil {
+			if rep.OK() {
+				t.Fatalf("Check said OK but Open failed: %v\n%s", err, rep.String())
+			}
+			return
+		}
+		if !rep.OK() {
+			t.Fatalf("Open succeeded but Check found problems:\n%s", rep.String())
+		}
+		// A successful open must be appendable and reopenable with the
+		// same history plus the new record.
+		if err := l.Append(9, []byte("post-fuzz")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l2, rec2, err := wal.Open(wal.Options{FS: fsys, Dir: dir, MaxRecordBytes: 1 << 16})
+		if err != nil {
+			t.Fatalf("reopen after clean open: %v", err)
+		}
+		defer l2.Close()
+		if !bytes.Equal(rec2.Snapshot, rec.Snapshot) {
+			t.Fatal("snapshot changed across reopen")
+		}
+		if len(rec2.Records) != len(rec.Records)+1 {
+			t.Fatalf("reopen replayed %d records, want %d", len(rec2.Records), len(rec.Records)+1)
+		}
+		if last := rec2.Records[len(rec2.Records)-1]; last.Type != 9 || string(last.Data) != "post-fuzz" {
+			t.Fatalf("appended record lost: %+v", last)
+		}
+	})
+}

@@ -26,15 +26,17 @@ import (
 	"repro/internal/qos"
 	"repro/internal/sched"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Handler renders the prediction window.
 type Handler struct {
-	pdb     *predict.DB
-	tmpl    *template.Template
-	metrics *trace.Metrics
-	calib   *calib.Engine
-	qos     *qos.Scheduler
+	pdb      *predict.DB
+	tmpl     *template.Template
+	metrics  *trace.Metrics
+	calib    *calib.Engine
+	qos      *qos.Scheduler
+	walStats func() (wal.Stats, bool)
 }
 
 // Option configures optional handler features.
@@ -61,6 +63,15 @@ func WithCalibration(e *calib.Engine) Option {
 // in-flight gauge and tape-batch counters.
 func WithQoS(s *qos.Scheduler) Option {
 	return func(h *Handler) { h.qos = s }
+}
+
+// WithWAL attaches a journal stats source (typically
+// (*metadb.DB).JournalStats): /metrics gains the msra_wal_* families —
+// append/fsync/rotation/compaction counters, replay cost, torn-tail
+// bytes and the last checkpoint timestamp.  Sources reporting ok=false
+// (no journal attached) emit nothing.
+func WithWAL(stats func() (wal.Stats, bool)) Option {
+	return func(h *Handler) { h.walStats = stats }
 }
 
 // New returns a handler over a measured predictor database.
@@ -217,7 +228,7 @@ func (h *Handler) residualsByResource(op string) map[string]calib.Residual {
 // and scheduler gauges, when attached) in the Prometheus text
 // exposition format.
 func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
-	if h.metrics == nil && h.qos == nil {
+	if h.metrics == nil && h.qos == nil && h.walStats == nil {
 		http.Error(w, "metrics not enabled", http.StatusNotFound)
 		return
 	}
@@ -225,6 +236,9 @@ func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	if h.qos != nil {
 		h.qosMetrics(&b)
+	}
+	if h.walStats != nil {
+		h.walMetrics(&b)
 	}
 	if h.metrics == nil {
 		fmt.Fprint(w, b.String())
@@ -321,6 +335,48 @@ func (h *Handler) qosMetrics(b *strings.Builder) {
 	b.WriteString("# HELP msra_qos_tape_batch_abandoned_total Batch members requeued by a layout generation change.\n")
 	b.WriteString("# TYPE msra_qos_tape_batch_abandoned_total counter\n")
 	fmt.Fprintf(b, "msra_qos_tape_batch_abandoned_total %d\n", st.BatchAbandoned)
+}
+
+// walMetrics renders the journal stats as msra_wal_* families.
+func (h *Handler) walMetrics(b *strings.Builder) {
+	st, ok := h.walStats()
+	if !ok {
+		return
+	}
+	b.WriteString("# HELP msra_wal_appends_total Journal records appended.\n")
+	b.WriteString("# TYPE msra_wal_appends_total counter\n")
+	fmt.Fprintf(b, "msra_wal_appends_total %d\n", st.Appends)
+	b.WriteString("# HELP msra_wal_append_bytes_total Journal frame bytes appended.\n")
+	b.WriteString("# TYPE msra_wal_append_bytes_total counter\n")
+	fmt.Fprintf(b, "msra_wal_append_bytes_total %d\n", st.AppendBytes)
+	b.WriteString("# HELP msra_wal_fsyncs_total Fsync barriers issued on journal segments.\n")
+	b.WriteString("# TYPE msra_wal_fsyncs_total counter\n")
+	fmt.Fprintf(b, "msra_wal_fsyncs_total %d\n", st.Syncs)
+	b.WriteString("# HELP msra_wal_rotations_total Segment rotations.\n")
+	b.WriteString("# TYPE msra_wal_rotations_total counter\n")
+	fmt.Fprintf(b, "msra_wal_rotations_total %d\n", st.Rotations)
+	b.WriteString("# HELP msra_wal_compactions_total Snapshot+truncate compactions.\n")
+	b.WriteString("# TYPE msra_wal_compactions_total counter\n")
+	fmt.Fprintf(b, "msra_wal_compactions_total %d\n", st.Compactions)
+	b.WriteString("# HELP msra_wal_segments Live journal segment files.\n")
+	b.WriteString("# TYPE msra_wal_segments gauge\n")
+	fmt.Fprintf(b, "msra_wal_segments %d\n", st.Segments)
+	b.WriteString("# HELP msra_wal_replay_records Records replayed when the journal was opened.\n")
+	b.WriteString("# TYPE msra_wal_replay_records gauge\n")
+	fmt.Fprintf(b, "msra_wal_replay_records %d\n", st.ReplayRecords)
+	b.WriteString("# HELP msra_wal_replay_seconds Wall time recovery spent replaying the journal.\n")
+	b.WriteString("# TYPE msra_wal_replay_seconds gauge\n")
+	fmt.Fprintf(b, "msra_wal_replay_seconds %g\n", st.ReplayDuration.Seconds())
+	b.WriteString("# HELP msra_wal_torn_tail_bytes Bytes dropped from the final segment's torn tail at recovery.\n")
+	b.WriteString("# TYPE msra_wal_torn_tail_bytes gauge\n")
+	fmt.Fprintf(b, "msra_wal_torn_tail_bytes %d\n", st.TornTailBytes)
+	b.WriteString("# HELP msra_wal_last_checkpoint_timestamp_seconds Unix time of the last checkpoint (0 = none this process).\n")
+	b.WriteString("# TYPE msra_wal_last_checkpoint_timestamp_seconds gauge\n")
+	if st.LastCheckpoint.IsZero() {
+		b.WriteString("msra_wal_last_checkpoint_timestamp_seconds 0\n")
+	} else {
+		fmt.Fprintf(b, "msra_wal_last_checkpoint_timestamp_seconds %d\n", st.LastCheckpoint.Unix())
+	}
 }
 
 const pageTemplate = `<!DOCTYPE html>

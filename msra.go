@@ -26,6 +26,7 @@ import (
 	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/dbstore"
+	"repro/internal/faultfs"
 	"repro/internal/device"
 	"repro/internal/ioopt"
 	"repro/internal/localdisk"
@@ -47,6 +48,7 @@ import (
 	"repro/internal/tape"
 	"repro/internal/trace"
 	"repro/internal/vtime"
+	"repro/internal/wal"
 )
 
 // Core user-API types (the paper's primary contribution).
@@ -447,6 +449,47 @@ func QoSFormatTenants(m map[string]int) string { return qos.FormatTenants(m) }
 // from a measured predictor, falling back to a bytes-based price for
 // classes the predictor has no curve for.
 func QoSPredictPricer(pdb *Predictor) QoSPricer { return qos.PredictPricer(pdb) }
+
+// Crash consistency: the broker's meta-data can be persisted through a
+// write-ahead journal (checksummed, fsync-barriered, segment-rotated)
+// so a crash at any point loses at most the single un-acknowledged
+// mutation.  OpenJournaledMetaDB replays the journal on open; faultfs
+// (NewFaultFS) injects crashes and torn writes to verify recovery.
+type (
+	WALOptions     = wal.Options
+	WALStats       = wal.Stats
+	WALCheckReport = wal.CheckReport
+	FaultFS        = faultfs.FS
+	CrashMode      = faultfs.CrashMode
+)
+
+// ErrWALCorrupt marks journal damage the torn-tail rule cannot excuse;
+// replay refuses to proceed rather than serve partial state.
+var ErrWALCorrupt = wal.ErrCorrupt
+
+// Crash modes for FaultFS.Recover: what happens to writes that were
+// never fsynced.
+const (
+	CrashDropUnsynced = faultfs.DropUnsynced
+	CrashKeepUnsynced = faultfs.KeepUnsynced
+	CrashTornWrites   = faultfs.TornWrites
+)
+
+// OpenJournaledMetaDB opens (replaying if it exists, creating if not) a
+// journal-backed meta-data database: every mutation is appended and
+// fsynced before it is applied, Checkpoint compacts the journal to a
+// snapshot, and CloseJournal detaches it.  This is what `srbd -journal`
+// uses.
+func OpenJournaledMetaDB(opts WALOptions) (*MetaDB, error) { return metadb.OpenJournal(opts) }
+
+// CheckWAL verifies a journal directory without replaying into a
+// database — the engine behind `srbd -fsck`.
+func CheckWAL(dir string) WALCheckReport { return wal.Check(nil, dir) }
+
+// NewFaultFS returns a crash- and torn-write-injecting in-memory
+// filesystem for durability testing: arm with SetCrash, then Recover
+// simulates the machine coming back up under a chosen CrashMode.
+func NewFaultFS() *FaultFS { return faultfs.New() }
 
 // ParsePattern parses a distribution string such as "BBB" or "B**".
 func ParsePattern(s string) (Pattern, error) { return pattern.Parse(s) }
