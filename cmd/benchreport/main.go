@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchreport [-scale test|bench|paper]
-//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|calib|qos|failover|crash]
+//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|calib|qos|failover|crash|hsm]
 //	            [-json dir]
 //
 // The -exp list in this comment and in the flag help both come from
@@ -245,6 +245,36 @@ func run(scale experiments.Scale, exp, jsonDir string) error {
 		}
 		if !experiments.CrashOK(rows) {
 			return fmt.Errorf("crash: recovery invariants violated")
+		}
+	}
+	if all || exp == "hsm" {
+		res, err := experiments.HSM(scale, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== HSM: lifecycle engine vs static placement over an archive-churn horizon ==\n%s\n",
+			experiments.HSMString(res))
+		err = writeJSON(jsonDir, "hsm", scale, map[string]float64{
+			"mount_win_x":             res.MountWin(),
+			"mounts_per_day_baseline": res.BaseMountsPerDay,
+			"mounts_per_day_hsm":      res.HSMMountsPerDay,
+			"hit_rate_baseline":       res.BaseHitRate,
+			"hit_rate_hsm":            res.HSMHitRate,
+			"recall_p95_s":            res.RecallP95.Seconds(),
+			"recall_bound_s":          res.RecallBound.Seconds(),
+			"migrations":              float64(res.Migrations),
+			"recalls":                 float64(res.Recalls),
+			"gc_purged":               float64(res.GCPurged),
+			"repacks":                 float64(res.Repacks),
+			"mismatches":              float64(res.Mismatches),
+			"crash_points":            float64(res.CrashPoints()),
+			"crash_violations":        float64(res.CrashViolations()),
+		}, res)
+		if err != nil {
+			return err
+		}
+		if !experiments.HSMOK(res) {
+			return fmt.Errorf("hsm: acceptance gate failed")
 		}
 	}
 	if all || exp == "failover" {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -25,6 +27,109 @@ func TestUsageCommentMatchesNames(t *testing.T) {
 	if got := string(m[1]); got != want {
 		t.Fatalf("doc comment -exp list out of sync with experiments.Names():\n  comment: %s\n  names:   %s", got, want)
 	}
+}
+
+// TestCommittedBenchHeadlines is the regression gate over the
+// machine-readable results committed at the repo root: each
+// BENCH_<exp>.json must exist and its headline scalars must still
+// clear the same thresholds the experiment's own acceptance gate
+// enforces.  Regenerate a file with
+//
+//	go run ./cmd/benchreport -scale bench -exp <exp> -json .
+//
+// after a deliberate change; a silent regression fails here.
+func TestCommittedBenchHeadlines(t *testing.T) {
+	gates := map[string][]headlineGate{
+		"srbnet": {
+			{"speedup_x", gt, 1},
+			{"v3_over_v2_x", gt, 1},
+		},
+		"qos": {
+			{"isolation_x", gt, 1},
+			{"mount_win_x", gt, 1},
+			{"batches", gt, 0},
+		},
+		"crash": {
+			{"points", gt, 0},
+			{"fired", gt, 0},
+			{"violations", eq, 0},
+		},
+		"hsm": {
+			{"mount_win_x", gt, 1},
+			{"migrations", gt, 0},
+			{"recalls", gt, 0},
+			{"gc_purged", gt, 0},
+			{"repacks", gt, 0},
+			{"mismatches", eq, 0},
+			{"crash_points", gt, 0},
+			{"crash_violations", eq, 0},
+		},
+	}
+	for exp, checks := range gates {
+		t.Run(exp, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_"+exp+".json"))
+			if err != nil {
+				t.Fatalf("committed bench result missing: %v", err)
+			}
+			var doc struct {
+				Experiment string             `json:"experiment"`
+				Headline   map[string]float64 `json:"headline"`
+			}
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				t.Fatalf("BENCH_%s.json: %v", exp, err)
+			}
+			if doc.Experiment != exp {
+				t.Fatalf("BENCH_%s.json claims experiment %q", exp, doc.Experiment)
+			}
+			for _, g := range checks {
+				got, ok := doc.Headline[g.key]
+				if !ok {
+					t.Errorf("headline key %q missing", g.key)
+					continue
+				}
+				if !g.ok(got) {
+					t.Errorf("headline %s = %g, want %s %g", g.key, got, g.opName(), g.bound)
+				}
+			}
+			// The hsm recall deadline is relative, not absolute: compare
+			// the two committed scalars against each other.
+			if exp == "hsm" {
+				if p95, bound := doc.Headline["recall_p95_s"], doc.Headline["recall_bound_s"]; !(p95 > 0 && p95 <= bound) {
+					t.Errorf("recall p95 %g s outside (0, bound %g s]", p95, bound)
+				}
+				if base, h := doc.Headline["hit_rate_baseline"], doc.Headline["hit_rate_hsm"]; h <= base {
+					t.Errorf("hsm hit rate %g not above baseline %g", h, base)
+				}
+			}
+		})
+	}
+}
+
+type headlineOp int
+
+const (
+	gt headlineOp = iota
+	eq
+)
+
+type headlineGate struct {
+	key   string
+	op    headlineOp
+	bound float64
+}
+
+func (g headlineGate) ok(v float64) bool {
+	if g.op == gt {
+		return v > g.bound
+	}
+	return v == g.bound
+}
+
+func (g headlineGate) opName() string {
+	if g.op == gt {
+		return ">"
+	}
+	return "=="
 }
 
 // TestNamesAreDispatched asserts every published experiment name is

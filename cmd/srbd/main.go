@@ -19,6 +19,7 @@
 //
 //	srbd [-addr :5544] [-root /var/srb] [-user shen -secret nwu] [-timescale 0.001]
 //	     [-tenants astro3d:3,viewer:1] [-max-inflight 8] [-queue-bytes 268435456]
+//	     [-journal] [-journal-dir DIR] [-hsm] [-hsm-policy cold=48h,...] [-hsm-capacity N]
 //
 // Example: give the simulation account 3× the share of the viewer and
 // cap the backlog at 64 MiB:
@@ -32,6 +33,21 @@
 // shutdown checkpoints it.  If replay finds corruption the daemon
 // refuses to serve and exits non-zero; `srbd -fsck -journal-dir DIR`
 // verifies and prints the journal state without serving.
+//
+// With -hsm, a lifecycle engine manages the remote-disk pool in front
+// of the tape library: a background sweep at the policy's scan
+// interval migrates cold datasets to tape (batched through the qos
+// staging-cartridge lane when the scheduler is on), GCs the pool
+// against the -hsm-policy watermarks, and repacks fragmented
+// cartridges.  -hsm-capacity sets the pool bytes the watermarks divide
+// and -hsm-policy tunes the engine (see msra.ParsePolicy), e.g.
+//
+//	srbd -hsm -hsm-capacity 1073741824 -hsm-policy cold=48h,scan=1h,high=0.85,low=0.6
+//
+// Combined with -journal the lifecycle rows ride the same write-ahead
+// journal as the rest of the broker state, and startup maps any
+// in-flight migration or recall interrupted by a crash back to its
+// safe state.
 package main
 
 import (
@@ -44,6 +60,7 @@ import (
 	"syscall"
 
 	"repro/internal/dbstore"
+	"repro/internal/hsm"
 	"repro/internal/localdisk"
 	"repro/internal/memfs"
 	"repro/internal/metadb"
@@ -75,6 +92,9 @@ func main() {
 	journal := flag.Bool("journal", false, "persist broker meta-data through a write-ahead journal")
 	journalDir := flag.String("journal-dir", "", "journal directory (default <root>/journal)")
 	fsck := flag.Bool("fsck", false, "verify and print journal state, then exit without serving")
+	hsmOn := flag.Bool("hsm", false, "run the disk-pool lifecycle engine (migration, GC, repack)")
+	hsmPolicy := flag.String("hsm-policy", "", "lifecycle policy, key=value,... (cold, scan, high, low, repack, batch)")
+	hsmCapacity := flag.Int64("hsm-capacity", 1<<30, "disk-pool byte capacity the lifecycle watermarks divide")
 	flag.Parse()
 
 	if *journalDir == "" && *root != "" {
@@ -98,6 +118,13 @@ func main() {
 	tenants, err := qos.ParseTenants(*tenantsFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	policy, err := hsm.ParsePolicy(*hsmPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *hsmCapacity <= 0 {
+		log.Fatalf("-hsm-capacity must be > 0, got %d", *hsmCapacity)
 	}
 	if *maxInflight < 0 {
 		log.Fatalf("-max-inflight must be >= 0, got %d", *maxInflight)
@@ -161,6 +188,7 @@ func main() {
 		meta = metadb.New()
 	}
 
+	sim := vtime.NewScaled(*timescale)
 	var opts []srbnet.ServerOption
 	var sched *qos.Scheduler
 	if *maxInflight > 0 {
@@ -196,7 +224,56 @@ func main() {
 		opts = append(opts, srbnet.WithScheduler(sched))
 	}
 
-	srv, err := srbnet.Serve(*addr, broker, vtime.NewScaled(*timescale), opts...)
+	// The lifecycle engine shares the daemon's scaled time domain, its
+	// meta-data store (journaled when -journal is on) and, when the
+	// scheduler runs, the qos staging-cartridge write lane.
+	var eng *hsm.Engine
+	hsmStop := make(chan struct{})
+	var hsmDone chan struct{}
+	if *hsmOn {
+		cfg := hsm.Config{
+			Sim: sim, Meta: meta, Pool: rdisk, Tape: rtape,
+			PoolCapacity: *hsmCapacity, Policy: policy, QoS: sched,
+		}
+		if sched != nil {
+			// The ptool sweep above populated meta, so predictions can
+			// price GC victim scoring and recall staging.
+			cfg.PDB = predict.NewDB(meta)
+		}
+		eng, err = hsm.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A crash may have left migration or recall markers behind;
+		// map them back to their safe states before serving.
+		fixed, err := eng.Recover()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fixed > 0 {
+			log.Printf("hsm: recovered %d in-flight lifecycle rows", fixed)
+		}
+		// The sweep loop self-paces: each Advance sleeps the scaled
+		// wall equivalent of one scan interval, then the engine ticks.
+		hsmDone = make(chan struct{})
+		go func() {
+			defer close(hsmDone)
+			p := sim.NewProc("hsm-sweep")
+			for {
+				select {
+				case <-hsmStop:
+					return
+				default:
+				}
+				p.Advance(eng.Policy().ScanInterval)
+				if err := eng.Tick(p); err != nil {
+					log.Printf("hsm: sweep: %v", err)
+				}
+			}
+		}()
+	}
+
+	srv, err := srbnet.Serve(*addr, broker, sim, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -207,6 +284,9 @@ func main() {
 	if meta.Journaled() {
 		mode += fmt.Sprintf(", journal %s", *journalDir)
 	}
+	if eng != nil {
+		mode += fmt.Sprintf(", hsm %s capacity %d", hsm.FormatPolicy(eng.Policy()), *hsmCapacity)
+	}
 	fmt.Printf("srbd listening on %s (resources: %v, timescale %g, %s)\n",
 		srv.Addr(), broker.Resources(), *timescale, mode)
 
@@ -214,6 +294,13 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
+	// Stop the lifecycle sweep before the scheduler so no migration
+	// batch is submitted to a closing scheduler.
+	if eng != nil {
+		close(hsmStop)
+		<-hsmDone
+		eng.Close()
+	}
 	// Close the scheduler first: queued requests fail out, so the
 	// server's handler drain cannot wait on them.
 	if sched != nil {

@@ -1,0 +1,55 @@
+package hsm
+
+import "testing"
+
+// FuzzLifecyclePolicy drives ParsePolicy with arbitrary flag strings:
+// whatever it accepts must validate, be usable as engine
+// configuration, and round-trip through FormatPolicy unchanged.
+func FuzzLifecyclePolicy(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"cold=2h,scan=10m,high=0.9,low=0.7,repack=0.3,batch=16",
+		" cold = 24h , batch = 1 ",
+		"high=1,low=0",
+		"high=0.5,low=0.5",
+		"repack=0",
+		"cold=1ns",
+		"cold=-1h",
+		"high=1.0000001",
+		"high=nan",
+		"high=+0.5",
+		"low=0.7,high=0.5",
+		"batch=99999999999999999999",
+		"cold=2h,cold=2h",
+		"☃=7",
+		"batch=0x10",
+		"scan=1h30m,cold=2h45m10s",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			return
+		}
+		if err := p.validate(); err != nil {
+			t.Fatalf("ParsePolicy(%q) returned an invalid policy: %v", s, err)
+		}
+		// Accepted policies must survive the engine's own defaulting
+		// and validation.
+		if err := p.withDefaults().validate(); err != nil {
+			t.Fatalf("ParsePolicy(%q) not usable as engine config: %v", s, err)
+		}
+		out := FormatPolicy(p)
+		back, err := ParsePolicy(out)
+		if err != nil {
+			t.Fatalf("round-trip parse of %q (from %q) failed: %v", out, s, err)
+		}
+		if back != p {
+			t.Fatalf("round-trip of %q: %+v != %+v", s, back, p)
+		}
+		if again := FormatPolicy(back); again != out {
+			t.Fatalf("formatter not deterministic: %q != %q", again, out)
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package hsm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Policy parameterizes the lifecycle engine: when a resident dataset
+// is cold enough to migrate, where the disk pool's GC watermarks sit,
+// and when cartridge fragmentation justifies a repack.
+type Policy struct {
+	// ColdAfter is the idle age (no read) after which a resident
+	// dataset becomes a migration candidate.  Default 24h of virtual
+	// time.
+	ColdAfter time.Duration
+	// ScanInterval is the engine's sweep period; cmd/srbd's background
+	// loop ticks at this virtual-time interval (scaled to wall time).
+	// Default 1h.
+	ScanInterval time.Duration
+	// HighWater and LowWater are pool-occupancy fractions of the pool
+	// capacity: GC starts when occupancy reaches HighWater (inclusive
+	// — exactly-at-watermark triggers) and drains until occupancy is
+	// at or below LowWater.  Defaults 0.9 and 0.7.
+	HighWater float64
+	LowWater  float64
+	// RepackWaste is the dead-space fraction of the tape library
+	// (wasted / (wasted + live HSM bytes)) above which a sweep runs
+	// tape.Reclaim.  0 disables repacking; default 0.5.
+	RepackWaste float64
+	// MaxBatch caps the files one migration sweep moves, bounding the
+	// tape time a single sweep can occupy.  Default 32.
+	MaxBatch int
+}
+
+// DefaultPolicy returns the default lifecycle policy.
+func DefaultPolicy() Policy {
+	return Policy{
+		ColdAfter:    24 * time.Hour,
+		ScanInterval: time.Hour,
+		HighWater:    0.9,
+		LowWater:     0.7,
+		RepackWaste:  0.5,
+		MaxBatch:     32,
+	}
+}
+
+// withDefaults fills zero fields from DefaultPolicy.
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.ColdAfter == 0 {
+		p.ColdAfter = d.ColdAfter
+	}
+	if p.ScanInterval == 0 {
+		p.ScanInterval = d.ScanInterval
+	}
+	// The watermarks default as a pair: LowWater 0 is a legal explicit
+	// setting (drain the pool fully) once a high watermark is given.
+	if p.HighWater == 0 {
+		p.HighWater = d.HighWater
+		if p.LowWater == 0 {
+			p.LowWater = d.LowWater
+		}
+	}
+	if p.MaxBatch == 0 {
+		p.MaxBatch = d.MaxBatch
+	}
+	return p
+}
+
+// validate rejects self-contradictory policies.
+func (p Policy) validate() error {
+	if p.ColdAfter < 0 || p.ScanInterval < 0 {
+		return fmt.Errorf("hsm: negative policy duration")
+	}
+	if p.HighWater <= 0 || p.HighWater > 1 {
+		return fmt.Errorf("hsm: high watermark %g outside (0, 1]", p.HighWater)
+	}
+	if p.LowWater < 0 || p.LowWater > 1 {
+		return fmt.Errorf("hsm: low watermark %g outside [0, 1]", p.LowWater)
+	}
+	if p.LowWater > p.HighWater {
+		return fmt.Errorf("hsm: low watermark %g above high watermark %g", p.LowWater, p.HighWater)
+	}
+	if p.RepackWaste < 0 || p.RepackWaste >= 1 {
+		return fmt.Errorf("hsm: repack waste fraction %g outside [0, 1)", p.RepackWaste)
+	}
+	if p.MaxBatch < 0 {
+		return fmt.Errorf("hsm: negative migration batch cap %d", p.MaxBatch)
+	}
+	return nil
+}
+
+// ParsePolicy parses a lifecycle policy configuration string of the
+// form "key=value,key=value" — the format of srbd's -hsm-policy flag,
+// e.g. "cold=2h,scan=10m,high=0.9,low=0.7,repack=0.3,batch=16".
+// Whitespace around entries is ignored; keys must be unique.  Known
+// keys: cold and scan (Go durations), high, low and repack (fractions
+// in [0,1]), batch (positive integer).  Absent keys keep their
+// defaults; the empty string parses to DefaultPolicy.  The returned
+// policy is always validated (watermark ordering, fraction ranges).
+func ParsePolicy(s string) (Policy, error) {
+	p := DefaultPolicy()
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Policy{}, fmt.Errorf("hsm: empty policy entry in %q", s)
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Policy{}, fmt.Errorf("hsm: policy entry %q is not key=value", part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if seen[key] {
+			return Policy{}, fmt.Errorf("hsm: duplicate policy key %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "cold", "scan":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Policy{}, fmt.Errorf("hsm: policy %s: bad duration %q", key, val)
+			}
+			if key == "cold" {
+				p.ColdAfter = d
+			} else {
+				p.ScanInterval = d
+			}
+		case "high", "low", "repack":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f != f || f < 0 || f > 1 {
+				return Policy{}, fmt.Errorf("hsm: policy %s: bad fraction %q", key, val)
+			}
+			switch key {
+			case "high":
+				p.HighWater = f
+			case "low":
+				p.LowWater = f
+			case "repack":
+				p.RepackWaste = f
+			}
+		case "batch":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return Policy{}, fmt.Errorf("hsm: policy batch: bad count %q", val)
+			}
+			p.MaxBatch = n
+		default:
+			return Policy{}, fmt.Errorf("hsm: unknown policy key %q (want cold, scan, high, low, repack, batch)", key)
+		}
+	}
+	if err := p.validate(); err != nil {
+		return Policy{}, err
+	}
+	return p, nil
+}
+
+// FormatPolicy renders a policy back into the -hsm-policy flag syntax,
+// deterministically ordered.  For any policy ParsePolicy accepts,
+// ParsePolicy(FormatPolicy(p)) round-trips (the fuzz target pins
+// this).
+func FormatPolicy(p Policy) string {
+	parts := []string{
+		"cold=" + p.ColdAfter.String(),
+		"scan=" + p.ScanInterval.String(),
+		"high=" + strconv.FormatFloat(p.HighWater, 'g', -1, 64),
+		"low=" + strconv.FormatFloat(p.LowWater, 'g', -1, 64),
+		"repack=" + strconv.FormatFloat(p.RepackWaste, 'g', -1, 64),
+		"batch=" + strconv.Itoa(p.MaxBatch),
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,71 @@
+package hsm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePolicy(t *testing.T) {
+	p, err := ParsePolicy("cold=2h, scan=10m ,high=0.95,low=0.6,repack=0.3,batch=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Policy{
+		ColdAfter: 2 * time.Hour, ScanInterval: 10 * time.Minute,
+		HighWater: 0.95, LowWater: 0.6, RepackWaste: 0.3, MaxBatch: 16,
+	}
+	if p != want {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	if p, err := ParsePolicy(""); err != nil || p != DefaultPolicy() {
+		t.Fatalf("empty string: %+v, %v", p, err)
+	}
+	// Absent keys keep defaults.
+	p, err = ParsePolicy("cold=30m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ColdAfter != 30*time.Minute || p.HighWater != DefaultPolicy().HighWater {
+		t.Fatalf("partial parse: %+v", p)
+	}
+}
+
+func TestParsePolicyRejects(t *testing.T) {
+	for _, s := range []string{
+		"cold",                // no value
+		"cold=2h,cold=3h",     // duplicate
+		"cold=-1h",            // negative duration
+		"high=1.5",            // fraction out of range
+		"high=NaN",            // not a number
+		"high=0",              // high watermark must be positive
+		"high=0.5,low=0.8",    // low above high
+		"repack=1",            // repack fraction must be < 1
+		"batch=0",             // batch must be positive
+		"batch=x",             // not an integer
+		"volume=11",           // unknown key
+		"cold=2h,,scan=1h",    // empty entry
+		"scan=10",             // bare number is not a duration
+		"cold=2h extra",       // junk
+		"high=0.9,low=0.7,=3", // empty key
+	} {
+		if _, err := ParsePolicy(s); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", s)
+		}
+	}
+}
+
+func TestFormatPolicyRoundTrip(t *testing.T) {
+	for _, p := range []Policy{
+		DefaultPolicy(),
+		{ColdAfter: 90 * time.Minute, ScanInterval: 7 * time.Second,
+			HighWater: 0.5, LowWater: 0.25, RepackWaste: 0.125, MaxBatch: 3},
+	} {
+		back, err := ParsePolicy(FormatPolicy(p))
+		if err != nil {
+			t.Fatalf("round-trip of %+v: %v", p, err)
+		}
+		if back != p {
+			t.Fatalf("round-trip of %+v returned %+v", p, back)
+		}
+	}
+}

@@ -21,7 +21,15 @@ const (
 	recAddSample      byte = 3
 	recReplaceSamples byte = 4
 	recSetConstant    byte = 5
+	recPutLifecycle   byte = 6
+	recDelLifecycle   byte = 7
 )
+
+// lifecycleKey is the journal encoding of one DeleteLifecycle call.
+type lifecycleKey struct {
+	Pool string `json:"pool"`
+	Path string `json:"path"`
+}
 
 // replacePayload is the journal encoding of one ReplaceSamples call:
 // the whole-curve swap must replay as a unit or the calibration
@@ -130,6 +138,10 @@ func (db *DB) install(snap snapshot) {
 	for _, d := range snap.Datasets {
 		db.datasets[dsKey(d.RunID, d.Name)] = d
 	}
+	db.lifecycles = make(map[string]Lifecycle, len(snap.Lifecycles))
+	for _, l := range snap.Lifecycles {
+		db.lifecycles[lcKey(l.Pool, l.Path)] = l
+	}
 	db.samples = snap.Samples
 	db.constants = snap.Constants
 }
@@ -167,6 +179,18 @@ func (db *DB) apply(r wal.Record) error {
 			return err
 		}
 		db.setConstantLocked(c)
+	case recPutLifecycle:
+		var l Lifecycle
+		if err := json.Unmarshal(r.Data, &l); err != nil {
+			return err
+		}
+		db.lifecycles[lcKey(l.Pool, l.Path)] = l
+	case recDelLifecycle:
+		var k lifecycleKey
+		if err := json.Unmarshal(r.Data, &k); err != nil {
+			return err
+		}
+		delete(db.lifecycles, lcKey(k.Pool, k.Path))
 	default:
 		return fmt.Errorf("unknown record type %d", r.Type)
 	}

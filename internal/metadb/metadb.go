@@ -70,6 +70,23 @@ func (d Dataset) Size() int64 {
 	return n
 }
 
+// Lifecycle is one dataset's HSM lifecycle row: which disk pool it
+// belongs to, where its copies live, and the access history the
+// migration policy ages it by.  State holds one of the hsm package's
+// lifecycle states (resident/migrating/dual/migrated/recalling); the
+// row is journaled like every other table, so recovery replays
+// lifecycle moves and the engine can restore in-flight migrations to a
+// safe state.
+type Lifecycle struct {
+	Pool       string `json:"pool"` // disk-pool backend instance name
+	Path       string `json:"path"` // path on the pool
+	State      string `json:"state"`
+	Bytes      int64  `json:"bytes"`
+	TapePath   string `json:"tape_path,omitempty"` // path of the tape copy, when one exists
+	LastAccess int64  `json:"last_access"`         // virtual-clock nanoseconds of the last read
+	Accesses   int64  `json:"accesses"`
+}
+
 // PerfSample is one measured transfer time: size s bytes took Seconds on
 // the given resource class for the given op ("read"/"write").
 type PerfSample struct {
@@ -105,19 +122,21 @@ type DB struct {
 	// through before it is applied (see journal.go / OpenJournal).
 	log *wal.Log
 
-	mu        sync.RWMutex
-	runs      map[string]Run
-	datasets  map[string]Dataset
-	samples   []PerfSample
-	constants []PerfConstant
+	mu         sync.RWMutex
+	runs       map[string]Run
+	datasets   map[string]Dataset
+	lifecycles map[string]Lifecycle
+	samples    []PerfSample
+	constants  []PerfConstant
 }
 
 // New returns an empty database.
 func New() *DB {
 	return &DB{
-		params:   model.MetaDB2000(),
-		runs:     make(map[string]Run),
-		datasets: make(map[string]Dataset),
+		params:     model.MetaDB2000(),
+		runs:       make(map[string]Run),
+		datasets:   make(map[string]Dataset),
+		lifecycles: make(map[string]Lifecycle),
 	}
 }
 
@@ -230,6 +249,74 @@ func (db *DB) QueryDatasets(p *vtime.Proc, match func(Dataset) bool) []Dataset {
 			return out[i].RunID < out[j].RunID
 		}
 		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func lcKey(pool, path string) string { return pool + "\x00" + path }
+
+// PutLifecycle inserts or replaces a lifecycle row.  With a journal,
+// nil means the state transition is crash-durable — the contract the
+// HSM engine's migrate/recall/GC moves rely on.
+func (db *DB) PutLifecycle(p *vtime.Proc, l Lifecycle) error {
+	if l.Pool == "" || l.Path == "" {
+		return fmt.Errorf("metadb: lifecycle with empty key (%q, %q)", l.Pool, l.Path)
+	}
+	db.charge(p, model.Write)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.journalLocked(recPutLifecycle, l); err != nil {
+		return err
+	}
+	db.lifecycles[lcKey(l.Pool, l.Path)] = l
+	return nil
+}
+
+// GetLifecycle fetches one lifecycle row.
+func (db *DB) GetLifecycle(p *vtime.Proc, pool, path string) (Lifecycle, error) {
+	db.charge(p, model.Read)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	l, ok := db.lifecycles[lcKey(pool, path)]
+	if !ok {
+		return Lifecycle{}, fmt.Errorf("%w: lifecycle %q in pool %q", ErrNotFound, path, pool)
+	}
+	return l, nil
+}
+
+// DeleteLifecycle removes a lifecycle row (dataset deleted from every
+// tier).  Deleting a missing row is a no-op.
+func (db *DB) DeleteLifecycle(p *vtime.Proc, pool, path string) error {
+	db.charge(p, model.Write)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.lifecycles[lcKey(pool, path)]; !ok {
+		return nil
+	}
+	if err := db.journalLocked(recDelLifecycle, lifecycleKey{Pool: pool, Path: path}); err != nil {
+		return err
+	}
+	delete(db.lifecycles, lcKey(pool, path))
+	return nil
+}
+
+// Lifecycles returns a pool's lifecycle rows sorted by path; an empty
+// pool name returns every row sorted by (pool, path).
+func (db *DB) Lifecycles(p *vtime.Proc, pool string) []Lifecycle {
+	db.charge(p, model.Read)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Lifecycle
+	for _, l := range db.lifecycles {
+		if pool == "" || l.Pool == pool {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pool != out[j].Pool {
+			return out[i].Pool < out[j].Pool
+		}
+		return out[i].Path < out[j].Path
 	})
 	return out
 }
@@ -365,10 +452,11 @@ func (db *DB) Constants(p *vtime.Proc) []PerfConstant {
 
 // snapshot is the JSON persistence layout.
 type snapshot struct {
-	Runs      []Run          `json:"runs"`
-	Datasets  []Dataset      `json:"datasets"`
-	Samples   []PerfSample   `json:"samples"`
-	Constants []PerfConstant `json:"constants"`
+	Runs       []Run          `json:"runs"`
+	Datasets   []Dataset      `json:"datasets"`
+	Lifecycles []Lifecycle    `json:"lifecycles,omitempty"`
+	Samples    []PerfSample   `json:"samples"`
+	Constants  []PerfConstant `json:"constants"`
 }
 
 // snapshotLocked builds the sorted persistence snapshot.  Caller holds
@@ -381,9 +469,15 @@ func (db *DB) snapshotLocked() snapshot {
 	for _, d := range db.datasets {
 		snap.Datasets = append(snap.Datasets, d)
 	}
+	for _, l := range db.lifecycles {
+		snap.Lifecycles = append(snap.Lifecycles, l)
+	}
 	sort.Slice(snap.Runs, func(i, j int) bool { return snap.Runs[i].ID < snap.Runs[j].ID })
 	sort.Slice(snap.Datasets, func(i, j int) bool {
 		return dsKey(snap.Datasets[i].RunID, snap.Datasets[i].Name) < dsKey(snap.Datasets[j].RunID, snap.Datasets[j].Name)
+	})
+	sort.Slice(snap.Lifecycles, func(i, j int) bool {
+		return lcKey(snap.Lifecycles[i].Pool, snap.Lifecycles[i].Path) < lcKey(snap.Lifecycles[j].Pool, snap.Lifecycles[j].Path)
 	})
 	return snap
 }

@@ -198,6 +198,127 @@ func TestBatchAbandonedOnGenerationChange(t *testing.T) {
 	}
 }
 
+// tapeWriteReq builds a write-batch-eligible request (the shape the
+// HSM engine's migration sweeps submit).
+func tapeWriteReq(tenant, path string) Request {
+	return Request{
+		Tenant: tenant,
+		Class:  storage.KindRemoteTape.String(),
+		Op:     "write",
+		Path:   path,
+		Bytes:  1,
+	}
+}
+
+// TestWriteBatchGroups: the DRR winner pulls every queued tape write
+// into one staging-cartridge batch, served in arrival order (appends
+// have no offsets to sort by).
+func TestWriteBatchGroups(t *testing.T) {
+	sim := vtime.NewVirtual()
+	st := &stubTape{gen: 1}
+	rec := trace.New(64)
+	s, err := New(Config{MaxInFlight: 1, Price: unitPricer, Tape: st, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Pause()
+
+	var mu sync.Mutex
+	var order []string
+	var wgs []*sync.WaitGroup
+	ids := []string{"w/m0", "w/m1", "w/m2", "w/m3"}
+	for _, id := range ids {
+		wgs = append(wgs, submit(t, s, sim, tapeWriteReq("hsm", id), id, &order, &mu, nil))
+	}
+	s.Resume()
+	for _, wg := range wgs {
+		wg.Wait()
+	}
+
+	if got := strings.Join(order, " "); got != strings.Join(ids, " ") {
+		t.Errorf("grant order %v, want %v", order, ids)
+	}
+	stats := s.Stats()
+	if stats.Batches != 1 || stats.Batched != 4 {
+		t.Errorf("batches %d batched %d, want 1 and 4", stats.Batches, stats.Batched)
+	}
+	carts := batchCarts(rec)
+	if len(carts) != 1 || carts[0] != "staging-cartridge" {
+		t.Errorf("batch trace events %v, want [staging-cartridge]", carts)
+	}
+}
+
+// TestWriteBatchReclaimRequeue: a tape.Reclaim concurrent with an
+// in-flight migration write batch bumps the layout generation; the
+// not-yet-granted members must requeue cleanly — each is granted
+// exactly once (no double-write), the deficit charged when the batch
+// formed is refunded, and the remainder re-batches under the new
+// generation.  Mirrors TestBatchAbandonedOnGenerationChange for the
+// write lane.
+func TestWriteBatchReclaimRequeue(t *testing.T) {
+	sim := vtime.NewVirtual()
+	st := &stubTape{gen: 1}
+	rec := trace.New(64)
+	s, err := New(Config{MaxInFlight: 1, Price: unitPricer, Tape: st, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Pause()
+
+	var mu sync.Mutex
+	var order []string
+	var wgs []*sync.WaitGroup
+	// m0's fn simulates a reclaim completing while m0 is on the drive:
+	// the generation moves under the in-flight batch.
+	reclaim := func() {
+		st.mu.Lock()
+		st.gen++
+		st.mu.Unlock()
+	}
+	ids := []string{"w/m0", "w/m1", "w/m2", "w/m3"}
+	for i, id := range ids {
+		fn := func() {}
+		if i == 0 {
+			fn = reclaim
+		}
+		wgs = append(wgs, submit(t, s, sim, tapeWriteReq("hsm", id), id, &order, &mu, fn))
+	}
+	s.Resume()
+	for _, wg := range wgs {
+		wg.Wait()
+	}
+
+	// No double-write: every member granted exactly once, in arrival
+	// order (abandonment re-queues at the front preserving order).
+	if got := strings.Join(order, " "); got != strings.Join(ids, " ") {
+		t.Errorf("grant order %v, want %v", order, ids)
+	}
+	seen := make(map[string]int)
+	for _, id := range order {
+		seen[id]++
+	}
+	for _, id := range ids {
+		if seen[id] != 1 {
+			t.Errorf("member %s granted %d times, want exactly 1", id, seen[id])
+		}
+	}
+	stats := s.Stats()
+	if stats.BatchAbandoned != 3 {
+		t.Errorf("abandoned %d, want 3", stats.BatchAbandoned)
+	}
+	// The original 4-member batch plus the re-formed 3-member batch.
+	if stats.Batches != 2 || stats.Batched != 7 {
+		t.Errorf("batches %d batched %d, want 2 and 7", stats.Batches, stats.Batched)
+	}
+	// The deficit refund means the tenant's account sees each request
+	// granted and finished exactly once.
+	if len(stats.Tenants) != 1 || stats.Tenants[0].Granted != 4 || stats.Tenants[0].Done != 4 {
+		t.Errorf("tenant stats %+v, want 4 granted / 4 done", stats.Tenants)
+	}
+}
+
 // TestBatchVsReclaimRace drives a real tape library through the
 // scheduler's batch lane while a concurrent reclaimer compacts the
 // media (run under -race).  Every read must return the file's exact

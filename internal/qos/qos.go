@@ -16,7 +16,9 @@
 //     its true device cost, not its byte count;
 //   - a tape-aware batch lane that groups queued tape reads by
 //     cartridge and orders them by position on the tape, amortizing
-//     MountLatency and WindPerByte across the batch;
+//     MountLatency and WindPerByte across the batch; queued tape
+//     writes batch too (they all append to the staging cartridge), the
+//     lane the HSM engine migrates cold disk data through;
 //   - admission control: bounded per-tenant and global queued-byte
 //     budgets, shedding excess load with a typed ErrOverload carrying
 //     a RetryAfter drain hint (honored by resilient.Policy, so shed
@@ -98,7 +100,7 @@ type Config struct {
 	// Price converts requests to cost (default DefaultPricer).
 	Price Pricer
 	// Tape, when non-nil, enables the cartridge batch lane for reads
-	// whose Class is "remotetape".
+	// and writes whose Class is "remotetape".
 	Tape TapeInfo
 	// MaxBatch caps one cartridge batch (default 32).
 	MaxBatch int
@@ -443,6 +445,70 @@ func tapeRead(w *waiter) bool {
 	return w.req.Class == storage.KindRemoteTape.String() && w.req.Op == "read" && w.req.Path != ""
 }
 
+// tapeWrite reports whether w is eligible for the staging-cartridge
+// write batch lane.
+func tapeWrite(w *waiter) bool {
+	return w.req.Class == storage.KindRemoteTape.String() && w.req.Op == "write" && w.req.Path != ""
+}
+
+// maybeWriteBatchLocked grows the DRR winner w into a staging-cartridge
+// write batch: queued tape writes all append to the library's current
+// staging cartridge, so draining them back-to-back amortizes the mount
+// the way the read lane amortizes winds.  Members keep arrival order
+// (appends have no offsets to sort by) and the batch is stamped with
+// the current layout generation; tape.Reclaim bumps the generation, so
+// a repack concurrent with an in-flight migration batch makes
+// nextLocked abandon the remainder — members requeue at the front of
+// their tenant queues with their deficit charge refunded, and none is
+// ever granted (written) twice.
+func (s *Scheduler) maybeWriteBatchLocked(w *waiter) *waiter {
+	cands := []*waiter{w}
+	for _, name := range s.ring {
+		for _, x := range s.tenants[name].q {
+			if tapeWrite(x) && len(cands) < s.cfg.MaxBatch {
+				cands = append(cands, x)
+			}
+		}
+	}
+	if len(cands) == 1 {
+		return nil
+	}
+	// Detach the extra members from their tenant queues and charge
+	// their cost as if DRR had granted them now.  (w itself was already
+	// dequeued and charged by drrLocked.)
+	taken := make(map[*waiter]bool, len(cands))
+	var bytes int64
+	for _, m := range cands {
+		taken[m] = true
+		bytes += m.req.Bytes
+	}
+	for _, name := range s.ring {
+		t := s.tenants[name]
+		kept := t.q[:0]
+		for _, x := range t.q {
+			if taken[x] {
+				t.deficit -= x.cost
+			} else {
+				kept = append(kept, x)
+			}
+		}
+		t.q = kept
+	}
+	s.batch = append(s.batch[:0], cands...)
+	s.batchGen = s.cfg.Tape.Generation()
+	s.stats.Batches++
+	s.stats.Batched += int64(len(cands))
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Record(trace.Event{
+			Proc: "qos", Backend: w.req.Backend, Op: trace.OpQueueBatch,
+			Path: "staging-cartridge", Bytes: bytes,
+		})
+	}
+	first := s.batch[0]
+	s.batch = s.batch[1:]
+	return first
+}
+
 // maybeBatchLocked tries to grow the DRR winner w into a cartridge
 // batch: every queued tape read on w's cartridge (across all tenants,
 // up to MaxBatch) is pulled out of its queue, charged to its tenant's
@@ -451,7 +517,13 @@ func tapeRead(w *waiter) bool {
 // ordered by tape position so the drive winds monotonically.  Returns
 // the first member to grant, or nil to grant w itself unbatched.
 func (s *Scheduler) maybeBatchLocked(w *waiter) *waiter {
-	if s.cfg.Tape == nil || !tapeRead(w) {
+	if s.cfg.Tape == nil {
+		return nil
+	}
+	if tapeWrite(w) {
+		return s.maybeWriteBatchLocked(w)
+	}
+	if !tapeRead(w) {
 		return nil
 	}
 	cands := []*waiter{w}

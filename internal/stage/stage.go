@@ -402,9 +402,13 @@ func (m *Manager) sweepGarbage(p *vtime.Proc) {
 // or directly at the home tier.  Callers must invoke Release once the
 // read completes; it unpins the cached entry.
 type ReadPlan struct {
-	Sess    storage.Session
-	Path    string
-	Staged  bool
+	Sess   storage.Session
+	Path   string
+	Staged bool
+	// Hit reports that an already-complete cache copy served the plan
+	// (as opposed to a fresh stage-in that had to touch the home tier).
+	// The HSM engine's disk-pool hit accounting keys on it.
+	Hit     bool
 	release func()
 }
 
@@ -460,7 +464,7 @@ func (m *Manager) StageRead(p *vtime.Proc, home storage.Backend, homeSess storag
 		if wait > 0 {
 			p.AdvanceTo(wait)
 		}
-		return ReadPlan{Sess: sess, Path: staged, Staged: true, release: func() { m.unpin(key) }}
+		return ReadPlan{Sess: sess, Path: staged, Staged: true, Hit: true, release: func() { m.unpin(key) }}
 	}
 	residual := m.expectedResidualLocked(key)
 	m.mu.Unlock()

@@ -53,6 +53,17 @@ const (
 	OpWALCheckpoint Op = "walcheckpoint" // snapshot+truncate compaction completed
 )
 
+// Lifecycle span labels recorded by the HSM engine (package hsm).
+// Backend names the disk pool the move concerns; Path is the pool-tier
+// path; Bytes the instance size; Cost the span's virtual duration on
+// the engine's clock.
+const (
+	OpMigrate Op = "migrate" // cold disk copy written to tape (disk copy retained: dual)
+	OpRecall  Op = "recall"  // tape-resident instance staged back for a read
+	OpGC      Op = "gc"      // watermark GC purged a dual disk copy
+	OpRepack  Op = "repack"  // fragmented cartridges compacted via tape.Reclaim
+)
+
 // Queue-decision labels recorded by the multi-tenant scheduler
 // (package qos).  Proc carries the tenant; Cost carries the decision's
 // latency dimension (wall wait for grants, the honor-after hint for

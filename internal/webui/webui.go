@@ -22,6 +22,7 @@ import (
 	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/hsm"
 	"repro/internal/predict"
 	"repro/internal/qos"
 	"repro/internal/sched"
@@ -37,6 +38,7 @@ type Handler struct {
 	calib    *calib.Engine
 	qos      *qos.Scheduler
 	walStats func() (wal.Stats, bool)
+	hsm      *hsm.Engine
 }
 
 // Option configures optional handler features.
@@ -72,6 +74,13 @@ func WithQoS(s *qos.Scheduler) Option {
 // (no journal attached) emit nothing.
 func WithWAL(stats func() (wal.Stats, bool)) Option {
 	return func(h *Handler) { h.walStats = stats }
+}
+
+// WithHSM attaches a lifecycle engine: /metrics gains the msra_hsm_*
+// families — dataset census by state, pool occupancy against capacity,
+// migration/recall/GC/repack counters and the pool hit ratio inputs.
+func WithHSM(e *hsm.Engine) Option {
+	return func(h *Handler) { h.hsm = e }
 }
 
 // New returns a handler over a measured predictor database.
@@ -228,7 +237,7 @@ func (h *Handler) residualsByResource(op string) map[string]calib.Residual {
 // and scheduler gauges, when attached) in the Prometheus text
 // exposition format.
 func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
-	if h.metrics == nil && h.qos == nil && h.walStats == nil {
+	if h.metrics == nil && h.qos == nil && h.walStats == nil && h.hsm == nil {
 		http.Error(w, "metrics not enabled", http.StatusNotFound)
 		return
 	}
@@ -239,6 +248,9 @@ func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if h.walStats != nil {
 		h.walMetrics(&b)
+	}
+	if h.hsm != nil {
+		h.hsmMetrics(&b)
 	}
 	if h.metrics == nil {
 		fmt.Fprint(w, b.String())
@@ -335,6 +347,76 @@ func (h *Handler) qosMetrics(b *strings.Builder) {
 	b.WriteString("# HELP msra_qos_tape_batch_abandoned_total Batch members requeued by a layout generation change.\n")
 	b.WriteString("# TYPE msra_qos_tape_batch_abandoned_total counter\n")
 	fmt.Fprintf(b, "msra_qos_tape_batch_abandoned_total %d\n", st.BatchAbandoned)
+}
+
+// hsmMetrics renders the lifecycle engine snapshot as msra_hsm_*
+// families.
+func (h *Handler) hsmMetrics(b *strings.Builder) {
+	st := h.hsm.Stats()
+	b.WriteString("# HELP msra_hsm_datasets Tracked datasets by lifecycle state.\n")
+	b.WriteString("# TYPE msra_hsm_datasets gauge\n")
+	for _, s := range []struct {
+		state string
+		n     int
+	}{
+		{hsm.StateResident, st.Resident},
+		{hsm.StateDual, st.Dual},
+		{hsm.StateMigrated, st.Migrated},
+	} {
+		fmt.Fprintf(b, "msra_hsm_datasets{state=%q} %d\n", s.state, s.n)
+	}
+	b.WriteString("# HELP msra_hsm_pool_occupancy_bytes Disk-pool bytes held by resident copies and the recall cache.\n")
+	b.WriteString("# TYPE msra_hsm_pool_occupancy_bytes gauge\n")
+	fmt.Fprintf(b, "msra_hsm_pool_occupancy_bytes %d\n", st.PoolUsed)
+	b.WriteString("# HELP msra_hsm_pool_capacity_bytes Disk-pool capacity the watermarks apply to.\n")
+	b.WriteString("# TYPE msra_hsm_pool_capacity_bytes gauge\n")
+	fmt.Fprintf(b, "msra_hsm_pool_capacity_bytes %d\n", st.PoolCapacity)
+	b.WriteString("# HELP msra_hsm_migrations_total Datasets migrated disk to tape.\n")
+	b.WriteString("# TYPE msra_hsm_migrations_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_migrations_total %d\n", st.Migrations)
+	b.WriteString("# HELP msra_hsm_migrated_bytes_total Bytes written to tape by migration.\n")
+	b.WriteString("# TYPE msra_hsm_migrated_bytes_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_migrated_bytes_total %d\n", st.MigratedBytes)
+	b.WriteString("# HELP msra_hsm_migrate_failures_total Migration attempts rolled back to resident.\n")
+	b.WriteString("# TYPE msra_hsm_migrate_failures_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_migrate_failures_total %d\n", st.MigrateFailures)
+	b.WriteString("# HELP msra_hsm_requeued_total Migration batch members requeued by a cartridge layout change.\n")
+	b.WriteString("# TYPE msra_hsm_requeued_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_requeued_total %d\n", st.Requeued)
+	b.WriteString("# HELP msra_hsm_recalls_total Tape recalls served through the staging engine.\n")
+	b.WriteString("# TYPE msra_hsm_recalls_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_recalls_total %d\n", st.Recalls)
+	b.WriteString("# HELP msra_hsm_recalled_bytes_total Bytes recalled from tape.\n")
+	b.WriteString("# TYPE msra_hsm_recalled_bytes_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_recalled_bytes_total %d\n", st.RecalledBytes)
+	b.WriteString("# HELP msra_hsm_recall_p95_seconds Rolling p95 of recall latency.\n")
+	b.WriteString("# TYPE msra_hsm_recall_p95_seconds gauge\n")
+	fmt.Fprintf(b, "msra_hsm_recall_p95_seconds %g\n", st.RecallP95.Seconds())
+	b.WriteString("# HELP msra_hsm_gc_runs_total Watermark GC passes.\n")
+	b.WriteString("# TYPE msra_hsm_gc_runs_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_gc_runs_total %d\n", st.GCRuns)
+	b.WriteString("# HELP msra_hsm_gc_purged_total Disk copies purged by GC (tape copy retained).\n")
+	b.WriteString("# TYPE msra_hsm_gc_purged_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_gc_purged_total %d\n", st.GCPurged)
+	b.WriteString("# HELP msra_hsm_gc_bytes_total Disk bytes reclaimed by GC.\n")
+	b.WriteString("# TYPE msra_hsm_gc_bytes_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_gc_bytes_total %d\n", st.GCBytes)
+	b.WriteString("# HELP msra_hsm_gc_stalls_total GC passes that could not reach the low watermark (all pinned or migration failing).\n")
+	b.WriteString("# TYPE msra_hsm_gc_stalls_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_gc_stalls_total %d\n", st.GCStalls)
+	b.WriteString("# HELP msra_hsm_repacks_total Cartridge repacks (tape.Reclaim) triggered by the waste policy.\n")
+	b.WriteString("# TYPE msra_hsm_repacks_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_repacks_total %d\n", st.Repacks)
+	b.WriteString("# HELP msra_hsm_repack_bytes_total Dead cartridge bytes reclaimed by repacks.\n")
+	b.WriteString("# TYPE msra_hsm_repack_bytes_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_repack_bytes_total %d\n", st.RepackBytes)
+	b.WriteString("# HELP msra_hsm_reads_total Engine reads, by pool hit or tape miss.\n")
+	b.WriteString("# TYPE msra_hsm_reads_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_reads_total{result=\"hit\"} %d\n", st.Hits)
+	fmt.Fprintf(b, "msra_hsm_reads_total{result=\"miss\"} %d\n", st.Misses)
+	b.WriteString("# HELP msra_hsm_mounts_total Robot mounts on the engine's tape library.\n")
+	b.WriteString("# TYPE msra_hsm_mounts_total counter\n")
+	fmt.Fprintf(b, "msra_hsm_mounts_total %d\n", st.Mounts)
 }
 
 // walMetrics renders the journal stats as msra_wal_* families.

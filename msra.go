@@ -26,8 +26,9 @@ import (
 	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/dbstore"
-	"repro/internal/faultfs"
 	"repro/internal/device"
+	"repro/internal/faultfs"
+	"repro/internal/hsm"
 	"repro/internal/ioopt"
 	"repro/internal/localdisk"
 	"repro/internal/memfs"
@@ -490,6 +491,43 @@ func CheckWAL(dir string) WALCheckReport { return wal.Check(nil, dir) }
 // filesystem for durability testing: arm with SetCrash, then Recover
 // simulates the machine coming back up under a chosen CrashMode.
 func NewFaultFS() *FaultFS { return faultfs.New() }
+
+// Hierarchical storage management: a policy-driven lifecycle engine
+// over a disk pool in front of the tape library — age-based migration
+// (batched through the QoS staging-cartridge lane), watermark GC with
+// migrate-before-purge, eq. (1)-priced staged recall and cartridge
+// repack.  Lifecycle rows live in the meta-data database, so with
+// OpenJournaledMetaDB every state transition is crash-durable and
+// HSMEngine.Recover maps interrupted migrations and recalls back to
+// their safe states.  This is what `srbd -hsm` runs.
+type (
+	// HSMEngine is the lifecycle engine; its Stats snapshot is the
+	// source of webui's msra_hsm_* families.
+	HSMEngine = hsm.Engine
+	// HSMConfig wires an engine (time domain, meta-data store, pool
+	// and tape backends, capacity, policy, optional predictor and
+	// scheduler).
+	HSMConfig = hsm.Config
+	// HSMPolicy tunes migration age, scan cadence, GC watermarks,
+	// repack threshold and batch size — srbd's -hsm-policy flag.
+	HSMPolicy = hsm.Policy
+	// HSMStats is an engine snapshot: dataset census by state, pool
+	// occupancy, migration/recall/GC/repack counters.
+	HSMStats = hsm.Stats
+)
+
+// NewHSMEngine validates cfg and returns a ready lifecycle engine.
+func NewHSMEngine(cfg HSMConfig) (*HSMEngine, error) { return hsm.New(cfg) }
+
+// DefaultHSMPolicy returns the default lifecycle policy.
+func DefaultHSMPolicy() HSMPolicy { return hsm.DefaultPolicy() }
+
+// ParseHSMPolicy parses srbd's -hsm-policy syntax
+// ("cold=48h,scan=1h,high=0.85,low=0.6,repack=0.3,batch=16").
+func ParseHSMPolicy(s string) (HSMPolicy, error) { return hsm.ParsePolicy(s) }
+
+// FormatHSMPolicy renders a policy back into the flag syntax.
+func FormatHSMPolicy(p HSMPolicy) string { return hsm.FormatPolicy(p) }
 
 // ParsePattern parses a distribution string such as "BBB" or "B**".
 func ParsePattern(s string) (Pattern, error) { return pattern.Parse(s) }
