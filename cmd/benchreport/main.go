@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchreport [-scale test|bench|paper]
-//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|calib|qos|failover|crash|hsm]
+//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|calib|qos|failover|crash|hsm|workflow]
 //	            [-json dir]
 //
 // The -exp list in this comment and in the flag help both come from
@@ -275,6 +275,34 @@ func run(scale experiments.Scale, exp, jsonDir string) error {
 		}
 		if !experiments.HSMOK(res) {
 			return fmt.Errorf("hsm: acceptance gate failed")
+		}
+	}
+	if all || exp == "workflow" {
+		res, err := experiments.Workflow(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Workflow: DAG makespan prediction and provisioning (astro3d -> mse/volren -> viewer) ==\n%s\n",
+			experiments.WorkflowString(res))
+		headlines := map[string]float64{
+			"overlap_levels": float64(len(res.Overlaps)),
+			"max_err":        res.MaxErr(),
+			"min_speedup":    res.MinSpeedup(),
+			"prefetch_items": float64(res.PrefetchItems),
+			"placements":     float64(len(res.Placements)),
+			"cache_hit_rate": res.Stats.HitRate(),
+			"prefetch_p95_s": res.PrefetchP95.Seconds(),
+		}
+		for _, row := range res.Overlaps {
+			k := fmt.Sprintf("o%02.0f", 100*row.Overlap)
+			headlines["makespan_"+k+"_s"] = row.Measured.Seconds()
+			headlines["makespan_prov_"+k+"_s"] = row.ProvMeasured.Seconds()
+		}
+		if err := writeJSON(jsonDir, "workflow", scale, headlines, res); err != nil {
+			return err
+		}
+		if !experiments.WorkflowOK(res) {
+			return fmt.Errorf("workflow: acceptance gate failed")
 		}
 	}
 	if all || exp == "failover" {

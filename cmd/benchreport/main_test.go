@@ -54,6 +54,14 @@ func TestCommittedBenchHeadlines(t *testing.T) {
 			{"fired", gt, 0},
 			{"violations", eq, 0},
 		},
+		"workflow": {
+			{"overlap_levels", gt, 2},
+			{"max_err", lt, 0.15},
+			{"min_speedup", gt, 1},
+			{"prefetch_items", gt, 0},
+			{"placements", gt, 0},
+			{"cache_hit_rate", gt, 0.9},
+		},
 		"hsm": {
 			{"mount_win_x", gt, 1},
 			{"migrations", gt, 0},
@@ -91,6 +99,20 @@ func TestCommittedBenchHeadlines(t *testing.T) {
 					t.Errorf("headline %s = %g, want %s %g", g.key, got, g.opName(), g.bound)
 				}
 			}
+			// The workflow provisioning win is relative: at every
+			// committed overlap level the provisioned makespan must
+			// beat the unprovisioned one.
+			if exp == "workflow" {
+				for k, v := range doc.Headline {
+					if !strings.HasPrefix(k, "makespan_o") {
+						continue
+					}
+					prov, ok := doc.Headline["makespan_prov_"+strings.TrimPrefix(k, "makespan_")]
+					if !ok || !(prov > 0 && prov < v) {
+						t.Errorf("provisioned makespan %g s not under unprovisioned %g s (%s)", prov, v, k)
+					}
+				}
+			}
 			// The hsm recall deadline is relative, not absolute: compare
 			// the two committed scalars against each other.
 			if exp == "hsm" {
@@ -110,6 +132,7 @@ type headlineOp int
 const (
 	gt headlineOp = iota
 	eq
+	lt
 )
 
 type headlineGate struct {
@@ -119,15 +142,21 @@ type headlineGate struct {
 }
 
 func (g headlineGate) ok(v float64) bool {
-	if g.op == gt {
+	switch g.op {
+	case gt:
 		return v > g.bound
+	case lt:
+		return v < g.bound
 	}
 	return v == g.bound
 }
 
 func (g headlineGate) opName() string {
-	if g.op == gt {
+	switch g.op {
+	case gt:
 		return ">"
+	case lt:
+		return "<"
 	}
 	return "=="
 }

@@ -8,17 +8,29 @@
 //
 //	predict [-db perf.json] [-n 128] [-iter 120] [-freq 6] [-procs 8]
 //	        [-temp REMOTEDISK] [-default SDSCHPSS]
+//	        [-workflow pipeline|<file>] [-overlap 0.5] [-provision]
 //
 // The -temp flag places the 'temp' dataset (the paper's figure 11
 // example moves it to remote disks); -default places every other
 // dataset.  Hints accept the paper's names, including SDSCHPSS and
 // DISABLE.
+//
+// With -workflow, predict evaluates a whole post-processing chain
+// instead of a single run: per-stage eq. (2) tables, then the
+// critical-path makespan at the given -overlap (0 = stages run back to
+// back, 1 = fully pipelined).  The argument is either "pipeline" (the
+// built-in astro3d → MSE/volren → viewer chain at -n/-iter/-freq/
+// -procs) or a DAG file in the workflow stage/dataset/edge syntax.
+// -provision additionally prints the provisioning plan — stage cache
+// budgets, the DAG-edge prefetch schedule, intermediate placements —
+// and the provisioned makespan next to the unprovisioned one.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"time"
 
@@ -28,6 +40,7 @@ import (
 	"repro/internal/metadb"
 	"repro/internal/predict"
 	"repro/internal/sched"
+	"repro/internal/workflow"
 )
 
 func main() {
@@ -42,6 +55,9 @@ func main() {
 	defHint := flag.String("default", "SDSCHPSS", "location hint for every other dataset")
 	hintFile := flag.String("hints", "", "dataset hint table (overrides the built-in Astro3D set)")
 	compute := flag.Duration("compute", 0, "estimated compute time, for the max-run-time suggestion")
+	wf := flag.String("workflow", "", `predict a whole stage chain: "pipeline" or a workflow DAG file`)
+	overlap := flag.Float64("overlap", 0, "producer/consumer overlap for -workflow (0 staged .. 1 pipelined)")
+	provision := flag.Bool("provision", false, "with -workflow: print the provisioning plan and provisioned makespan")
 	flag.Parse()
 
 	var pdb *predict.DB
@@ -57,6 +73,13 @@ func main() {
 			log.Fatal(err)
 		}
 		pdb = env.PDB
+	}
+
+	if *wf != "" {
+		if err := runWorkflow(pdb, *wf, *overlap, *provision, *n, *iter, *freq, *procs); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	var rp predict.RunPrediction
@@ -96,4 +119,56 @@ func main() {
 		}
 		fmt.Printf("\nsuggested batch max run time (I/O lower bound + compute + 15%%): %s\n", suggest.Round(time.Second))
 	}
+}
+
+// runWorkflow evaluates a stage chain: per-stage eq. (2) tables, the
+// composed makespan at the requested overlap, and optionally the
+// provisioning plan with its improved makespan.
+func runWorkflow(pdb *predict.DB, arg string, overlap float64, provision bool, n, iter, freq, procs int) error {
+	var g *workflow.DAG
+	if arg == "pipeline" {
+		g = workflow.Pipeline(n, iter, freq, procs)
+		fmt.Printf("workflow: built-in pipeline, %dx%dx%d, N=%d, freq=%d, %d procs\n\n", n, n, n, iter, freq, procs)
+	} else {
+		text, err := os.ReadFile(arg)
+		if err != nil {
+			return err
+		}
+		if g, err = workflow.Parse(string(text)); err != nil {
+			return err
+		}
+		fmt.Printf("workflow: %s\n\n", arg)
+	}
+	pred, err := g.PredictMakespan(pdb, overlap)
+	if err != nil {
+		return err
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, name := range order {
+		fmt.Printf("-- stage %s --\n%s\n", name, pred.Runs[name].TableString())
+	}
+	fmt.Printf("schedule at overlap %.2f:\n%s", overlap, pred.TableString())
+	if !provision {
+		return nil
+	}
+	plan, err := g.Provision(pdb, "localdisk", []workflow.Tier{
+		{Class: "localdisk", Free: 1 << 31},
+		{Class: "remotedisk", Free: 1 << 31},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s", plan.PlanString())
+	prov, err := g.PredictMakespanProvisioned(pdb, plan, overlap)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nprovisioned schedule at overlap %.2f:\n%s", overlap, prov.TableString())
+	fmt.Printf("\nmakespan %.3f s unprovisioned -> %.3f s provisioned (%.2fx)\n",
+		pred.Makespan.Seconds(), prov.Makespan.Seconds(),
+		pred.Makespan.Seconds()/prov.Makespan.Seconds())
+	return nil
 }

@@ -20,6 +20,7 @@
 //	srbd [-addr :5544] [-root /var/srb] [-user shen -secret nwu] [-timescale 0.001]
 //	     [-tenants astro3d:3,viewer:1] [-max-inflight 8] [-queue-bytes 268435456]
 //	     [-journal] [-journal-dir DIR] [-hsm] [-hsm-policy cold=48h,...] [-hsm-capacity N]
+//	     [-workflow DAG-FILE] [-workflow-overlap 0.5]
 //
 // Example: give the simulation account 3× the share of the viewer and
 // cap the backlog at 64 MiB:
@@ -48,6 +49,14 @@
 // journal as the rest of the broker state, and startup maps any
 // in-flight migration or recall interrupted by a crash back to its
 // safe state.
+//
+// With -workflow, the daemon prices a whole post-processing chain
+// against its performance database before serving: the DAG file (in
+// the workflow stage/dataset/edge syntax) is validated, the composed
+// makespan at -workflow-overlap and the provisioning plan — stage
+// cache budgets, DAG-edge prefetch schedule, intermediate placements —
+// are logged, so the operator sees the capacity a submitted chain will
+// need.  A bad DAG fails startup.
 package main
 
 import (
@@ -57,6 +66,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"repro/internal/dbstore"
@@ -76,6 +86,7 @@ import (
 	"repro/internal/tape"
 	"repro/internal/vtime"
 	"repro/internal/wal"
+	"repro/internal/workflow"
 )
 
 func main() {
@@ -95,6 +106,8 @@ func main() {
 	hsmOn := flag.Bool("hsm", false, "run the disk-pool lifecycle engine (migration, GC, repack)")
 	hsmPolicy := flag.String("hsm-policy", "", "lifecycle policy, key=value,... (cold, scan, high, low, repack, batch)")
 	hsmCapacity := flag.Int64("hsm-capacity", 1<<30, "disk-pool byte capacity the lifecycle watermarks divide")
+	workflowFile := flag.String("workflow", "", "price a workflow DAG file against the performance database at startup")
+	workflowOverlap := flag.Float64("workflow-overlap", 0, "producer/consumer overlap for -workflow (0 staged .. 1 pipelined)")
 	flag.Parse()
 
 	if *journalDir == "" && *root != "" {
@@ -271,6 +284,48 @@ func main() {
 				}
 			}
 		}()
+	}
+
+	if *workflowFile != "" {
+		// Capacity planning before the daemon serves: price the chain
+		// against the same performance database admission uses.
+		text, err := os.ReadFile(*workflowFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := workflow.Parse(string(text))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(meta.Constants(nil)) == 0 {
+			if _, err := ptool.MeasureAll(vtime.NewVirtual(), meta, ptool.Config{Repeats: 1}, local, rdisk, rtape); err != nil {
+				log.Fatal(err)
+			}
+			local.ResetClocks()
+			rdisk.ResetClocks()
+			rtape.ResetClocks()
+		}
+		pdb := predict.NewDB(meta)
+		pred, err := g.PredictMakespan(pdb, *workflowOverlap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("workflow %s: predicted makespan %.3f s at overlap %.2f (critical path %s)",
+			*workflowFile, pred.Makespan.Seconds(), *workflowOverlap,
+			strings.Join(pred.CriticalPath, " -> "))
+		plan, err := g.Provision(pdb, local.Kind().String(), []workflow.Tier{
+			{Class: local.Kind().String(), Free: 1 << 31},
+			{Class: rdisk.Kind().String(), Free: 1 << 31},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		prov, err := g.PredictMakespanProvisioned(pdb, plan, *workflowOverlap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("workflow %s: provisioned makespan %.3f s (cache budget %d B, %d prefetch items, %d placements)",
+			*workflowFile, prov.Makespan.Seconds(), plan.CacheBudget, len(plan.Prefetch), len(plan.Intermediates))
 	}
 
 	srv, err := srbnet.Serve(*addr, broker, sim, opts...)

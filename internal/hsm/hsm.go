@@ -378,10 +378,7 @@ func (e *Engine) Read(p *vtime.Proc, path string) ([]byte, error) {
 			e.st.Misses++
 			e.st.Recalls++
 			e.st.RecalledBytes += int64(len(data))
-			e.recallLat = append(e.recallLat, p.Now()-start)
-			if len(e.recallLat) > 1<<14 {
-				e.recallLat = e.recallLat[len(e.recallLat)/2:]
-			}
+			e.noteRecall(p.Now() - start)
 		}
 		hit := plan.Hit
 		e.mu.Unlock()
@@ -876,18 +873,38 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
+// noteRecall records one recall latency, halving the window at the
+// 1<<14 cap so the slice stays bounded while keeping the newest half.
+// Callers hold e.mu.
+func (e *Engine) noteRecall(d time.Duration) {
+	e.recallLat = append(e.recallLat, d)
+	if len(e.recallLat) > 1<<14 {
+		e.recallLat = e.recallLat[len(e.recallLat)/2:]
+	}
+}
+
 // recallP95 computes the 95th-percentile recall latency.
 func (e *Engine) recallP95() time.Duration {
 	e.mu.Lock()
 	lat := append([]time.Duration(nil), e.recallLat...)
 	e.mu.Unlock()
+	return Percentile(lat, 95)
+}
+
+// Percentile returns the pct-th percentile of the samples by the
+// ceiling nearest-rank rule (rank ⌈len·pct/100⌉, 1-based): the smallest
+// sample that at least pct percent of the samples do not exceed.  The
+// input is not modified.  Shared with the workflow provisioner, which
+// uses the same rule over predicted per-item stage-in times.
+func Percentile(lat []time.Duration, pct int) time.Duration {
 	if len(lat) == 0 {
 		return 0
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	i := (len(lat)*95 + 99) / 100
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := (len(s)*pct + 99) / 100
 	if i > 0 {
 		i--
 	}
-	return lat[i]
+	return s[i]
 }

@@ -617,3 +617,66 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatalf("zero policy not defaulted: %+v", eng.Policy())
 	}
 }
+
+// TestPercentileRank pins the nearest-rank index math of the shared
+// percentile helper (and recallP95, which delegates to it): rank
+// ⌈n·95/100⌉, clamped to the last sample, 1-based.
+func TestPercentileRank(t *testing.T) {
+	cases := []struct {
+		n        int
+		wantRank int // 0-based index into the sorted samples
+	}{
+		{1, 0},    // ⌈0.95⌉ = 1 → index 0
+		{19, 18},  // ⌈18.05⌉ = 19 → index 18 (the max)
+		{20, 18},  // ⌈19.0⌉ = 19 → index 18 (not 19: p95 of 20 excludes the max)
+		{100, 94}, // ⌈95.0⌉ = 95 → index 94
+	}
+	for _, c := range cases {
+		// Shuffled-order samples 1ms..n·ms so sortedness is the helper's job:
+		// value at sorted index i is (i+1)·ms.
+		lat := make([]time.Duration, 0, c.n)
+		for v := c.n; v >= 1; v-- {
+			lat = append(lat, time.Duration(v)*time.Millisecond)
+		}
+		want := time.Duration(c.wantRank+1) * time.Millisecond
+		if got := Percentile(lat, 95); got != want {
+			t.Errorf("Percentile(n=%d, 95) = %v, want sorted index %d = %v", c.n, got, c.wantRank, want)
+		}
+		e := &Engine{recallLat: append([]time.Duration(nil), lat...)}
+		if got := e.recallP95(); got != want {
+			t.Errorf("recallP95(n=%d) = %v, want %v", c.n, got, want)
+		}
+		if lat[0] != time.Duration(c.n)*time.Millisecond {
+			t.Fatalf("Percentile mutated its input: %v", lat[0])
+		}
+	}
+	if got := Percentile(nil, 95); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+}
+
+// TestNoteRecallHalvesAtCap pins the recall-latency window bound: the
+// slice grows to 1<<14 samples, and the append that would exceed the
+// cap drops the oldest half.
+func TestNoteRecallHalvesAtCap(t *testing.T) {
+	const cap = 1 << 14
+	e := &Engine{}
+	for i := 0; i < cap; i++ {
+		e.noteRecall(time.Duration(i) * time.Microsecond)
+	}
+	if len(e.recallLat) != cap {
+		t.Fatalf("window halved early: len = %d at the cap", len(e.recallLat))
+	}
+	e.noteRecall(time.Duration(cap) * time.Microsecond)
+	// len was cap+1 > cap, so the oldest (cap+1)/2 samples are dropped.
+	wantLen := (cap + 1) - (cap+1)/2
+	if len(e.recallLat) != wantLen {
+		t.Fatalf("after cap+1 appends len = %d, want %d", len(e.recallLat), wantLen)
+	}
+	if got, want := e.recallLat[0], time.Duration((cap+1)/2)*time.Microsecond; got != want {
+		t.Fatalf("oldest surviving sample = %v, want %v (newest half kept)", got, want)
+	}
+	if got, want := e.recallLat[len(e.recallLat)-1], time.Duration(cap)*time.Microsecond; got != want {
+		t.Fatalf("newest sample = %v, want %v", got, want)
+	}
+}

@@ -95,6 +95,14 @@ func (db *DB) WholeFile(resource, op string, size int64) (float64, error) {
 	return t, nil
 }
 
+// ConnCost returns the predicted seconds of connection setup for one
+// (resource, op) session — the per-run constant eq. (2) charges before
+// any transfer.  Tier-to-tier copy pipelines (staging, workflow
+// prefetch) add it once per session they open.
+func (db *DB) ConnCost(resource, op string) float64 {
+	return db.meta.Constant(nil, resource, op, metadb.CompConn)
+}
+
 // DatasetReq describes one dataset for prediction, mirroring the
 // columns of the figure 11 screen.
 type DatasetReq struct {
@@ -147,9 +155,9 @@ func (db *DB) PredictDataset(d DatasetReq, iterations int) (DatasetPrediction, e
 	if d.Location == "" || strings.EqualFold(d.Location, "DISABLE") {
 		return DatasetPrediction{Name: d.Name, Resource: "-"}, nil
 	}
-	op := d.AMode
-	if op != "read" {
-		op = "write"
+	op, err := NormalizeAMode(d.AMode)
+	if err != nil {
+		return DatasetPrediction{}, fmt.Errorf("predict %q: %w", d.Name, err)
 	}
 	pat, err := pattern.Parse(d.Pattern)
 	if err != nil {
@@ -189,11 +197,33 @@ func (db *DB) PredictDataset(d DatasetReq, iterations int) (DatasetPrediction, e
 	}, nil
 }
 
+// NormalizeAMode maps an access-mode string (any case) to the
+// performance-table op it is priced with: "read" for reads, "write" for
+// the writable modes (create / over_write / write).  Unknown modes are
+// an error rather than silently priced as writes.
+func NormalizeAMode(amode string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(amode)) {
+	case "read":
+		return "read", nil
+	case "create", "over_write", "write":
+		return "write", nil
+	default:
+		return "", fmt.Errorf("predict: unknown access mode %q (want read/create/over_write/write)", amode)
+	}
+}
+
+// connKey is one (resource, op) connection charge.
+type connKey struct{ resource, op string }
+
 // Predict evaluates eq. (2) for a whole run, adding one
-// connection-setup/teardown charge per distinct resource used.
+// connection-setup/teardown charge per (resource, op) pair the run's
+// datasets actually use — a resource that is only ever read from is
+// charged the read connection constants, matching how the run-time
+// system opens its sessions.  RunReq.Op is kept for callers that label
+// a run, but it no longer decides connection pricing.
 func (db *DB) Predict(r RunReq) (RunPrediction, error) {
 	var out RunPrediction
-	resources := make(map[string]bool)
+	conns := make(map[connKey]bool)
 	for _, d := range r.Datasets {
 		dp, err := db.PredictDataset(d, r.Iterations)
 		if err != nil {
@@ -202,16 +232,16 @@ func (db *DB) Predict(r RunReq) (RunPrediction, error) {
 		out.Datasets = append(out.Datasets, dp)
 		out.Total += dp.VirtualTime
 		if dp.Resource != "-" {
-			resources[dp.Resource] = true
+			op, err := NormalizeAMode(d.AMode)
+			if err != nil {
+				return RunPrediction{}, fmt.Errorf("predict %q: %w", d.Name, err)
+			}
+			conns[connKey{dp.Resource, op}] = true
 		}
 	}
-	for res := range resources {
-		op := r.Op
-		if op == "" {
-			op = "write"
-		}
-		conn := db.meta.Constant(nil, res, op, metadb.CompConn)
-		connClose := db.meta.Constant(nil, res, op, metadb.CompConnClose)
+	for k := range conns {
+		conn := db.meta.Constant(nil, k.resource, k.op, metadb.CompConn)
+		connClose := db.meta.Constant(nil, k.resource, k.op, metadb.CompConnClose)
 		out.Total += secs(conn + connClose)
 	}
 	return out, nil

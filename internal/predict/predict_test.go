@@ -258,3 +258,143 @@ func TestPredictTotalsAddConnOnce(t *testing.T) {
 	}
 
 }
+
+func TestNormalizeAMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"read", "read", true},
+		{"READ", "read", true},
+		{"Read", "read", true},
+		{" read ", "read", true},
+		{"create", "write", true},
+		{"CREATE", "write", true},
+		{"over_write", "write", true},
+		{"Over_Write", "write", true},
+		{"write", "write", true},
+		{"", "", false},
+		{"append", "", false},
+		{"rea", "", false},
+	}
+	for _, c := range cases {
+		got, err := NormalizeAMode(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("NormalizeAMode(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("NormalizeAMode(%q) accepted as %q, want error", c.in, got)
+		}
+	}
+}
+
+// Regression: "READ"/"Read" used to fall through the lowercase
+// comparison and get priced with the write curves.
+func TestPredictDatasetAModeCaseInsensitive(t *testing.T) {
+	db := NewDB(measuredDB(t))
+	base := DatasetReq{
+		Name: "temp", Dims: []int{64, 64, 64}, Etype: 4,
+		Pattern: "BBB", Location: "remotetape", Frequency: 6, Procs: 8,
+	}
+	lower := base
+	lower.AMode = "read"
+	ref, err := db.PredictDataset(lower, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := base
+	wr.AMode = "create"
+	wrote, err := db.PredictDataset(wr, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.VirtualTime == wrote.VirtualTime {
+		t.Fatal("tape read and write predictions coincide; test cannot distinguish curves")
+	}
+	for _, amode := range []string{"READ", "Read", "ReAd"} {
+		req := base
+		req.AMode = amode
+		got, err := db.PredictDataset(req, 24)
+		if err != nil {
+			t.Fatalf("AMode %q: %v", amode, err)
+		}
+		if got.VirtualTime != ref.VirtualTime {
+			t.Fatalf("AMode %q priced as %v, want read pricing %v (write pricing is %v)",
+				amode, got.VirtualTime, ref.VirtualTime, wrote.VirtualTime)
+		}
+	}
+	bad := base
+	bad.AMode = "append"
+	if _, err := db.PredictDataset(bad, 24); err == nil {
+		t.Fatal("unknown AMode accepted")
+	}
+}
+
+// Regression: Predict charged every resource's connection constants
+// with the single run-level Op (defaulting to "write"), so a resource
+// that is only read from was priced with the write conn constants.
+func TestPredictConnPerResourceOp(t *testing.T) {
+	meta := metadb.New()
+	set := func(op, comp string, secs float64) {
+		if err := meta.SetConstant(nil, metadb.PerfConstant{Resource: "r", Op: op, Component: comp, Seconds: secs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deliberately asymmetric conn constants so a wrong op is visible.
+	set("read", metadb.CompConn, 5)
+	set("read", metadb.CompConnClose, 7)
+	set("write", metadb.CompConn, 100)
+	set("write", metadb.CompConnClose, 200)
+	if err := meta.AddSample(nil, metadb.PerfSample{Resource: "r", Op: "read", Size: 1000, Seconds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := meta.AddSample(nil, metadb.PerfSample{Resource: "r", Op: "write", Size: 1000, Seconds: 2}); err != nil {
+		t.Fatal(err)
+	}
+	db := NewDB(meta)
+
+	rd := DatasetReq{Name: "in", AMode: "read", Dims: []int{1000}, Etype: 1,
+		Pattern: "B", Location: "r", Frequency: 1, Procs: 1}
+	// A read-only run on r must pay the read conn constants: one
+	// whole-dataset call (1 s) + conn 5 + connClose 7 = 13 s.  The old
+	// code charged the write pair (100 + 200) because RunReq.Op
+	// defaulted to "write".
+	got, err := db.Predict(RunReq{Iterations: 0, Datasets: []DatasetReq{rd}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 13.0; math.Abs(got.Total.Seconds()-want) > 1e-6 {
+		t.Fatalf("read-only run total = %v s, want %v (read conn constants)", got.Total.Seconds(), want)
+	}
+	// Setting Op explicitly must not change per-dataset conn pricing.
+	got, err = db.Predict(RunReq{Iterations: 0, Op: "write", Datasets: []DatasetReq{rd}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 13.0; math.Abs(got.Total.Seconds()-want) > 1e-6 {
+		t.Fatalf("read-only run with Op=write total = %v s, want %v", got.Total.Seconds(), want)
+	}
+
+	// A mixed run pays both (resource, op) pairs exactly once each:
+	// read 1 s + write 2 s + (5+7) + (100+200) = 315 s.
+	wr := DatasetReq{Name: "out", AMode: "create", Dims: []int{1000}, Etype: 1,
+		Pattern: "B", Location: "r", Frequency: 1, Procs: 1}
+	got, err = db.Predict(RunReq{Iterations: 0, Datasets: []DatasetReq{rd, wr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 315.0; math.Abs(got.Total.Seconds()-want) > 1e-6 {
+		t.Fatalf("mixed run total = %v s, want %v (one conn charge per (resource, op) pair)", got.Total.Seconds(), want)
+	}
+	// Two read datasets on the same resource still share one conn pair.
+	rd2 := rd
+	rd2.Name = "in2"
+	got, err = db.Predict(RunReq{Iterations: 0, Datasets: []DatasetReq{rd, rd2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 14.0; math.Abs(got.Total.Seconds()-want) > 1e-6 {
+		t.Fatalf("two-reader run total = %v s, want %v (conn charged once)", got.Total.Seconds(), want)
+	}
+}

@@ -28,17 +28,21 @@ import (
 	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/wal"
+	"repro/internal/workflow"
 )
 
 // Handler renders the prediction window.
 type Handler struct {
-	pdb      *predict.DB
-	tmpl     *template.Template
-	metrics  *trace.Metrics
-	calib    *calib.Engine
-	qos      *qos.Scheduler
-	walStats func() (wal.Stats, bool)
-	hsm      *hsm.Engine
+	pdb       *predict.DB
+	tmpl      *template.Template
+	metrics   *trace.Metrics
+	calib     *calib.Engine
+	qos       *qos.Scheduler
+	walStats  func() (wal.Stats, bool)
+	hsm       *hsm.Engine
+	wfDAG     *workflow.DAG
+	wfOverlap float64
+	wfPlan    *workflow.Plan
 }
 
 // Option configures optional handler features.
@@ -81,6 +85,22 @@ func WithWAL(stats func() (wal.Stats, bool)) Option {
 // migration/recall/GC/repack counters and the pool hit ratio inputs.
 func WithHSM(e *hsm.Engine) Option {
 	return func(h *Handler) { h.hsm = e }
+}
+
+// WithWorkflow attaches a stage DAG: /metrics gains the msra_workflow_*
+// families — the composed schedule at the given overlap (per-stage
+// start, duration and critical-path flag, plus the makespan).  The
+// prediction is re-evaluated from the handler's performance database at
+// every scrape, so calibration updates flow through.
+func WithWorkflow(g *workflow.DAG, overlap float64) Option {
+	return func(h *Handler) { h.wfDAG, h.wfOverlap = g, overlap }
+}
+
+// WithWorkflowPlan additionally attaches a provisioning plan: the
+// msra_workflow_* export gains the provisioned makespan, the cache
+// budget, per-stage working sets and the prefetch schedule summary.
+func WithWorkflowPlan(plan *workflow.Plan) Option {
+	return func(h *Handler) { h.wfPlan = plan }
 }
 
 // New returns a handler over a measured predictor database.
@@ -237,7 +257,7 @@ func (h *Handler) residualsByResource(op string) map[string]calib.Residual {
 // and scheduler gauges, when attached) in the Prometheus text
 // exposition format.
 func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
-	if h.metrics == nil && h.qos == nil && h.walStats == nil && h.hsm == nil {
+	if h.metrics == nil && h.qos == nil && h.walStats == nil && h.hsm == nil && h.wfDAG == nil {
 		http.Error(w, "metrics not enabled", http.StatusNotFound)
 		return
 	}
@@ -251,6 +271,9 @@ func (h *Handler) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if h.hsm != nil {
 		h.hsmMetrics(&b)
+	}
+	if h.wfDAG != nil {
+		h.workflowMetrics(&b)
 	}
 	if h.metrics == nil {
 		fmt.Fprint(w, b.String())
@@ -417,6 +440,67 @@ func (h *Handler) hsmMetrics(b *strings.Builder) {
 	b.WriteString("# HELP msra_hsm_mounts_total Robot mounts on the engine's tape library.\n")
 	b.WriteString("# TYPE msra_hsm_mounts_total counter\n")
 	fmt.Fprintf(b, "msra_hsm_mounts_total %d\n", st.Mounts)
+}
+
+// workflowMetrics renders the attached DAG's composed schedule (and,
+// with a plan, its provisioning summary) as msra_workflow_* families.
+func (h *Handler) workflowMetrics(b *strings.Builder) {
+	pred, err := h.wfDAG.PredictMakespan(h.pdb, h.wfOverlap)
+	if err != nil {
+		fmt.Fprintf(b, "# msra_workflow_* unavailable: %v\n", err)
+		return
+	}
+	b.WriteString("# HELP msra_workflow_overlap Producer/consumer overlap the schedule is composed at.\n")
+	b.WriteString("# TYPE msra_workflow_overlap gauge\n")
+	fmt.Fprintf(b, "msra_workflow_overlap %g\n", h.wfOverlap)
+	b.WriteString("# HELP msra_workflow_stage_start_seconds Predicted stage start within the composed schedule.\n")
+	b.WriteString("# TYPE msra_workflow_stage_start_seconds gauge\n")
+	for _, s := range pred.Stages {
+		fmt.Fprintf(b, "msra_workflow_stage_start_seconds{stage=%q} %g\n", s.Name, s.Start.Seconds())
+	}
+	b.WriteString("# HELP msra_workflow_stage_duration_seconds Predicted stage I/O duration (eq. 2).\n")
+	b.WriteString("# TYPE msra_workflow_stage_duration_seconds gauge\n")
+	for _, s := range pred.Stages {
+		fmt.Fprintf(b, "msra_workflow_stage_duration_seconds{stage=%q} %g\n", s.Name, s.Duration.Seconds())
+	}
+	b.WriteString("# HELP msra_workflow_stage_critical Whether the stage lies on the predicted critical path.\n")
+	b.WriteString("# TYPE msra_workflow_stage_critical gauge\n")
+	for _, s := range pred.Stages {
+		crit := 0
+		if s.Critical {
+			crit = 1
+		}
+		fmt.Fprintf(b, "msra_workflow_stage_critical{stage=%q} %d\n", s.Name, crit)
+	}
+	b.WriteString("# HELP msra_workflow_makespan_seconds Predicted critical-path makespan.\n")
+	b.WriteString("# TYPE msra_workflow_makespan_seconds gauge\n")
+	fmt.Fprintf(b, "msra_workflow_makespan_seconds %g\n", pred.Makespan.Seconds())
+	if h.wfPlan == nil {
+		return
+	}
+	plan := h.wfPlan
+	b.WriteString("# HELP msra_workflow_cache_budget_bytes Stage-cache byte budget the plan provisions.\n")
+	b.WriteString("# TYPE msra_workflow_cache_budget_bytes gauge\n")
+	fmt.Fprintf(b, "msra_workflow_cache_budget_bytes %d\n", plan.CacheBudget)
+	b.WriteString("# HELP msra_workflow_stage_working_set_bytes Predicted per-stage staged working set.\n")
+	b.WriteString("# TYPE msra_workflow_stage_working_set_bytes gauge\n")
+	for _, sb := range plan.Budgets {
+		fmt.Fprintf(b, "msra_workflow_stage_working_set_bytes{stage=%q} %d\n", sb.Stage, sb.WorkingSet)
+	}
+	b.WriteString("# HELP msra_workflow_prefetch_items DAG-edge prefetch instances the plan schedules.\n")
+	b.WriteString("# TYPE msra_workflow_prefetch_items gauge\n")
+	fmt.Fprintf(b, "msra_workflow_prefetch_items %d\n", len(plan.Prefetch))
+	b.WriteString("# HELP msra_workflow_prefetch_copy_p95_seconds 95th-percentile predicted per-instance stage-in time.\n")
+	b.WriteString("# TYPE msra_workflow_prefetch_copy_p95_seconds gauge\n")
+	fmt.Fprintf(b, "msra_workflow_prefetch_copy_p95_seconds %g\n", plan.PrefetchP95.Seconds())
+	b.WriteString("# HELP msra_workflow_placements Stage-private intermediates the plan relocates.\n")
+	b.WriteString("# TYPE msra_workflow_placements gauge\n")
+	fmt.Fprintf(b, "msra_workflow_placements %d\n", len(plan.Intermediates))
+	if prov, err := h.wfDAG.PredictMakespanProvisioned(h.pdb, plan, h.wfOverlap); err == nil {
+		b.WriteString("# HELP msra_workflow_makespan_provisioned_seconds Predicted makespan under the provisioning plan.\n")
+		b.WriteString("# TYPE msra_workflow_makespan_provisioned_seconds gauge\n")
+		fmt.Fprintf(b, "msra_workflow_makespan_provisioned_seconds %g\n", prov.Makespan.Seconds())
+	}
 }
 
 // walMetrics renders the journal stats as msra_wal_* families.

@@ -1,0 +1,43 @@
+package workflow
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzParse throws hostile DAG text at the parser: it must never
+// panic, every accepted graph must validate (acyclic, duplicate-free,
+// mode-consistent), survive scheduling, and round-trip through Format.
+func FuzzParse(f *testing.F) {
+	f.Add(Pipeline(16, 12, 6, 4).Format())
+	f.Add("stage a iters=1\nstage b iters=1\nedge a b\nedge b a\n")
+	f.Add("stage a iters=1\nstage b iters=1\nedge a b\nedge a b\n")
+	f.Add("stage a iters=1\nedge a a\n")
+	f.Add("dataset ghost x mode=read dims=4 etype=1 pat=B loc=localdisk\n")
+	f.Add("stage a iters=1\ndataset a x mode=create dims=4x4 etype=4 pat=BB loc=remotetape freq=2 procs=8\n")
+	f.Add("# comment only\n\n\n")
+	f.Add("stage \x00 iters=1\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid DAG: %v\n%s", err, text)
+		}
+		order, err := g.TopoOrder()
+		if err != nil {
+			t.Fatalf("accepted DAG has no topological order: %v", err)
+		}
+		dur := make(map[string]time.Duration, len(order))
+		for _, name := range order {
+			dur[name] = time.Second
+		}
+		if _, err := g.Compose(dur, 0.5); err != nil {
+			t.Fatalf("accepted DAG does not compose: %v", err)
+		}
+		if _, err := Parse(g.Format()); err != nil {
+			t.Fatalf("Format does not round-trip: %v\n%s", err, g.Format())
+		}
+	})
+}

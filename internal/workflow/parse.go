@@ -1,0 +1,202 @@
+package workflow
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ioopt"
+	"repro/internal/predict"
+)
+
+// Parse limits — hostile inputs must not allocate unboundedly.
+const (
+	maxStages           = 1024
+	maxEdges            = 4096
+	maxDatasetsPerStage = 256
+	maxDims             = 4
+	maxDim              = 1 << 12
+	maxIters            = 1 << 20
+	maxProcs            = 1 << 12
+)
+
+// Parse reads a workflow DAG from its text form and validates it.
+//
+// The format is line-oriented; '#' starts a comment:
+//
+//	stage <name> iters=<n>
+//	dataset <stage> <name> mode=<amode> dims=<d1>x<d2>[x<d3>...] etype=<n> pat=<pattern> loc=<class> [freq=<n>] [procs=<n>] [opt=<kind>]
+//	edge <from> <to> [<dataset> ...]
+//
+// Stages must be declared before datasets or edges reference them.
+// Cycles, duplicate edges, self-loops and producer/consumer mode
+// mismatches are rejected by Validate.
+func Parse(text string) (*DAG, error) {
+	g := New()
+	lineNo := 0
+	for _, raw := range strings.Split(text, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "stage":
+			if len(g.stages) >= maxStages {
+				return nil, fmt.Errorf("workflow: line %d: too many stages", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("workflow: line %d: stage needs a name", lineNo)
+			}
+			iters, err := intKV(fields[2:], "iters", 0, maxIters, 0)
+			if err != nil {
+				return nil, fmt.Errorf("workflow: line %d: %w", lineNo, err)
+			}
+			if err := g.AddStage(Stage{Name: fields[1], Iterations: iters}); err != nil {
+				return nil, fmt.Errorf("workflow: line %d: %w", lineNo, err)
+			}
+		case "dataset":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("workflow: line %d: dataset needs a stage and a name", lineNo)
+			}
+			i, ok := g.index[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("workflow: line %d: dataset for unknown stage %q", lineNo, fields[1])
+			}
+			if len(g.stages[i].Datasets) >= maxDatasetsPerStage {
+				return nil, fmt.Errorf("workflow: line %d: too many datasets in stage %q", lineNo, fields[1])
+			}
+			if _, dup := stageDataset(g.stages[i], fields[2]); dup {
+				return nil, fmt.Errorf("workflow: line %d: duplicate dataset %q in stage %q", lineNo, fields[2], fields[1])
+			}
+			d, err := parseDataset(fields[2], fields[3:])
+			if err != nil {
+				return nil, fmt.Errorf("workflow: line %d: %w", lineNo, err)
+			}
+			g.stages[i].Datasets = append(g.stages[i].Datasets, d)
+		case "edge":
+			if len(g.edges) >= maxEdges {
+				return nil, fmt.Errorf("workflow: line %d: too many edges", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("workflow: line %d: edge needs a producer and a consumer", lineNo)
+			}
+			if err := g.AddEdge(fields[1], fields[2], fields[3:]...); err != nil {
+				return nil, fmt.Errorf("workflow: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("workflow: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// intKV scans key=value fields for the key and parses a bounded int.
+func intKV(fields []string, key string, min, max, def int) (int, error) {
+	prefix := key + "="
+	for _, f := range fields {
+		if !strings.HasPrefix(f, prefix) {
+			continue
+		}
+		v, err := strconv.Atoi(f[len(prefix):])
+		if err != nil {
+			return 0, fmt.Errorf("bad %s: %v", key, err)
+		}
+		if v < min || v > max {
+			return 0, fmt.Errorf("%s=%d outside [%d, %d]", key, v, min, max)
+		}
+		return v, nil
+	}
+	return def, nil
+}
+
+func strKV(fields []string, key, def string) string {
+	prefix := key + "="
+	for _, f := range fields {
+		if strings.HasPrefix(f, prefix) {
+			return f[len(prefix):]
+		}
+	}
+	return def
+}
+
+func parseDataset(name string, fields []string) (predict.DatasetReq, error) {
+	d := predict.DatasetReq{Name: name}
+	d.AMode = strKV(fields, "mode", "")
+	if _, err := predict.NormalizeAMode(d.AMode); err != nil {
+		return d, err
+	}
+	dimsStr := strKV(fields, "dims", "")
+	if dimsStr == "" {
+		return d, fmt.Errorf("dataset %q: missing dims", name)
+	}
+	for _, part := range strings.Split(dimsStr, "x") {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return d, fmt.Errorf("dataset %q: bad dims %q", name, dimsStr)
+		}
+		if v < 1 || v > maxDim {
+			return d, fmt.Errorf("dataset %q: dim %d outside [1, %d]", name, v, maxDim)
+		}
+		d.Dims = append(d.Dims, v)
+		if len(d.Dims) > maxDims {
+			return d, fmt.Errorf("dataset %q: more than %d dims", name, maxDims)
+		}
+	}
+	var err error
+	if d.Etype, err = intKV(fields, "etype", 1, 64, 1); err != nil {
+		return d, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	d.Pattern = strKV(fields, "pat", "")
+	if len(d.Pattern) != len(d.Dims) {
+		return d, fmt.Errorf("dataset %q: pattern %q does not cover %d dims", name, d.Pattern, len(d.Dims))
+	}
+	d.Location = strKV(fields, "loc", "")
+	if d.Location == "" {
+		return d, fmt.Errorf("dataset %q: missing loc", name)
+	}
+	if d.Frequency, err = intKV(fields, "freq", 1, maxIters, 1); err != nil {
+		return d, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	if d.Procs, err = intKV(fields, "procs", 1, maxProcs, 1); err != nil {
+		return d, fmt.Errorf("dataset %q: %w", name, err)
+	}
+	if opt := strKV(fields, "opt", ""); opt != "" {
+		if d.Opt, err = ioopt.Parse(opt); err != nil {
+			return d, fmt.Errorf("dataset %q: %w", name, err)
+		}
+	}
+	return d, nil
+}
+
+// Format renders the DAG back into its text form (Parse round-trips
+// it, modulo optional defaults).
+func (g *DAG) Format() string {
+	var b strings.Builder
+	for _, s := range g.stages {
+		fmt.Fprintf(&b, "stage %s iters=%d\n", s.Name, s.Iterations)
+		for _, d := range s.Datasets {
+			dims := make([]string, len(d.Dims))
+			for i, v := range d.Dims {
+				dims[i] = strconv.Itoa(v)
+			}
+			fmt.Fprintf(&b, "dataset %s %s mode=%s dims=%s etype=%d pat=%s loc=%s freq=%d procs=%d",
+				s.Name, d.Name, d.AMode, strings.Join(dims, "x"), d.Etype, d.Pattern, d.Location, d.Frequency, d.Procs)
+			if d.Opt != 0 {
+				fmt.Fprintf(&b, " opt=%s", d.Opt)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&b, "edge %s %s %s\n", e.From, e.To, strings.Join(e.Datasets, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,403 @@
+// Package workflow predicts and provisions whole pipelines.
+//
+// Eq. (2) prices a single application run; the repo's real consumers
+// are DAGs (astro3d → MSE → volren → viewer in internal/apps).
+// Following Costa et al., "Predicting Intermediate Storage Performance
+// for Workflow Applications", per-stage predictions from the calibrated
+// performance database compose into an end-to-end makespan under a
+// configurable producer/consumer overlap, and the same graph drives
+// provisioning: stage-cache budgets sized from predicted working sets,
+// prefetch scheduled along DAG edges, and lifetime-aware placement for
+// intermediates that only exist between two stages.
+package workflow
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/predict"
+)
+
+// Stage is one node of the workflow: an application run described by
+// the datasets it reads and writes, in the same shape eq. (2) prices.
+type Stage struct {
+	Name       string
+	Iterations int // the run's maximum iteration count N
+	Datasets   []predict.DatasetReq
+}
+
+// Edge is a producer→consumer dependency.  Datasets names the data
+// flowing along the edge; each must be written by From and read by To.
+type Edge struct {
+	From, To string
+	Datasets []string
+}
+
+// DAG is a workflow graph.  Build it with AddStage/AddEdge (or Parse)
+// and check it with Validate before predicting or provisioning.
+type DAG struct {
+	stages []Stage
+	index  map[string]int
+	edges  []Edge
+}
+
+// New returns an empty DAG.
+func New() *DAG { return &DAG{index: make(map[string]int)} }
+
+// AddStage appends a stage.  Names must be unique.
+func (g *DAG) AddStage(s Stage) error {
+	if strings.TrimSpace(s.Name) == "" {
+		return fmt.Errorf("workflow: stage needs a name")
+	}
+	if _, dup := g.index[s.Name]; dup {
+		return fmt.Errorf("workflow: duplicate stage %q", s.Name)
+	}
+	if s.Iterations < 0 {
+		return fmt.Errorf("workflow: stage %q: negative iterations", s.Name)
+	}
+	g.index[s.Name] = len(g.stages)
+	g.stages = append(g.stages, s)
+	return nil
+}
+
+// AddEdge appends a dependency.  Both stages must already exist;
+// self-loops and duplicate (from, to) pairs are rejected.
+func (g *DAG) AddEdge(from, to string, datasets ...string) error {
+	if from == to {
+		return fmt.Errorf("workflow: self edge on stage %q", from)
+	}
+	if _, ok := g.index[from]; !ok {
+		return fmt.Errorf("workflow: edge from unknown stage %q", from)
+	}
+	if _, ok := g.index[to]; !ok {
+		return fmt.Errorf("workflow: edge to unknown stage %q", to)
+	}
+	for _, e := range g.edges {
+		if e.From == from && e.To == to {
+			return fmt.Errorf("workflow: duplicate edge %s -> %s", from, to)
+		}
+	}
+	g.edges = append(g.edges, Edge{From: from, To: to, Datasets: append([]string(nil), datasets...)})
+	return nil
+}
+
+// Stages returns the stages in insertion order.
+func (g *DAG) Stages() []Stage { return append([]Stage(nil), g.stages...) }
+
+// Edges returns the edges in insertion order.
+func (g *DAG) Edges() []Edge { return append([]Edge(nil), g.edges...) }
+
+// Stage looks a stage up by name.
+func (g *DAG) Stage(name string) (Stage, bool) {
+	i, ok := g.index[name]
+	if !ok {
+		return Stage{}, false
+	}
+	return g.stages[i], true
+}
+
+// stageDataset finds a named dataset request within a stage.
+func stageDataset(s Stage, name string) (predict.DatasetReq, bool) {
+	for _, d := range s.Datasets {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return predict.DatasetReq{}, false
+}
+
+// disabled mirrors the predictor's zero-cost rule for unplaced data.
+func disabled(d predict.DatasetReq) bool {
+	return d.Location == "" || strings.EqualFold(d.Location, "DISABLE")
+}
+
+// instanceBytes is the whole-instance size of one dump.
+func instanceBytes(d predict.DatasetReq) int64 {
+	n := int64(1)
+	for _, dim := range d.Dims {
+		n *= int64(dim)
+	}
+	etype := int64(d.Etype)
+	if etype <= 0 {
+		etype = 1
+	}
+	return n * etype
+}
+
+// dumps is the paper's instance count N/freq + 1 for a dataset of the
+// given stage.
+func dumps(d predict.DatasetReq, iterations int) int {
+	freq := d.Frequency
+	if freq <= 0 {
+		freq = 1
+	}
+	return iterations/freq + 1
+}
+
+// TopoOrder returns the stages in a deterministic topological order
+// (insertion order among ready stages), or an error naming a stage on a
+// cycle.
+func (g *DAG) TopoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(g.stages))
+	for _, s := range g.stages {
+		indeg[s.Name] = 0
+	}
+	for _, e := range g.edges {
+		indeg[e.To]++
+	}
+	order := make([]string, 0, len(g.stages))
+	done := make(map[string]bool, len(g.stages))
+	for len(order) < len(g.stages) {
+		progressed := false
+		for _, s := range g.stages {
+			if done[s.Name] || indeg[s.Name] != 0 {
+				continue
+			}
+			done[s.Name] = true
+			order = append(order, s.Name)
+			for _, e := range g.edges {
+				if e.From == s.Name {
+					indeg[e.To]--
+				}
+			}
+			progressed = true
+		}
+		if !progressed {
+			for _, s := range g.stages {
+				if !done[s.Name] {
+					return nil, fmt.Errorf("workflow: cycle through stage %q", s.Name)
+				}
+			}
+		}
+	}
+	return order, nil
+}
+
+// Validate checks the graph: non-empty, acyclic, every dataset's access
+// mode well-formed, and every edge dataset written by its producer,
+// read by its consumer, and geometrically identical on both ends.
+func (g *DAG) Validate() error {
+	if len(g.stages) == 0 {
+		return fmt.Errorf("workflow: empty DAG")
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	for _, s := range g.stages {
+		for _, d := range s.Datasets {
+			if disabled(d) {
+				continue
+			}
+			if _, err := predict.NormalizeAMode(d.AMode); err != nil {
+				return fmt.Errorf("workflow: stage %q dataset %q: %w", s.Name, d.Name, err)
+			}
+		}
+	}
+	for _, e := range g.edges {
+		from, _ := g.Stage(e.From)
+		to, _ := g.Stage(e.To)
+		for _, name := range e.Datasets {
+			wd, ok := stageDataset(from, name)
+			if !ok {
+				return fmt.Errorf("workflow: edge %s -> %s: stage %q does not declare dataset %q", e.From, e.To, e.From, name)
+			}
+			if op, err := predict.NormalizeAMode(wd.AMode); err != nil || op != "write" {
+				return fmt.Errorf("workflow: edge %s -> %s: dataset %q is not written by its producer", e.From, e.To, name)
+			}
+			rd, ok := stageDataset(to, name)
+			if !ok {
+				return fmt.Errorf("workflow: edge %s -> %s: stage %q does not declare dataset %q", e.From, e.To, e.To, name)
+			}
+			if op, err := predict.NormalizeAMode(rd.AMode); err != nil || op != "read" {
+				return fmt.Errorf("workflow: edge %s -> %s: dataset %q is not read by its consumer", e.From, e.To, name)
+			}
+			if instanceBytes(wd) != instanceBytes(rd) {
+				return fmt.Errorf("workflow: edge %s -> %s: dataset %q geometry differs between producer (%d B) and consumer (%d B)",
+					e.From, e.To, name, instanceBytes(wd), instanceBytes(rd))
+			}
+		}
+	}
+	return nil
+}
+
+// StageSchedule is one stage placed on the composed timeline.
+type StageSchedule struct {
+	Name     string
+	Start    time.Duration
+	Duration time.Duration
+	Critical bool
+}
+
+// Finish is the stage's completion time.
+func (s StageSchedule) Finish() time.Duration { return s.Start + s.Duration }
+
+// MakespanResult is a composed schedule under one overlap level.
+type MakespanResult struct {
+	Overlap float64
+	// Stages is the schedule in topological order.
+	Stages       []StageSchedule
+	Makespan     time.Duration
+	CriticalPath []string // producer-first chain of binding dependencies
+}
+
+// Compose schedules the DAG given per-stage durations under the overlap
+// model: a consumer may start once (1−overlap) of each producer has
+// run, i.e.
+//
+//	start(c) = max over edges (p, c) of start(p) + (1−overlap)·dur(p)
+//
+// overlap 0 is strictly staged execution (the consumer waits for the
+// whole producer); overlap 1 is fully pipelined (every stage streams,
+// makespan = the longest stage).  The critical path backtracks the
+// binding predecessor from the stage that finishes last.
+func (g *DAG) Compose(dur map[string]time.Duration, overlap float64) (MakespanResult, error) {
+	if math.IsNaN(overlap) || overlap < 0 || overlap > 1 {
+		return MakespanResult{}, fmt.Errorf("workflow: overlap %v outside [0, 1]", overlap)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return MakespanResult{}, err
+	}
+	for _, name := range order {
+		if _, ok := dur[name]; !ok {
+			return MakespanResult{}, fmt.Errorf("workflow: no duration for stage %q", name)
+		}
+	}
+	start := make(map[string]time.Duration, len(order))
+	binding := make(map[string]string, len(order))
+	for _, name := range order {
+		var st time.Duration
+		var bind string
+		for _, e := range g.edges {
+			if e.To != name {
+				continue
+			}
+			c := start[e.From] + time.Duration((1-overlap)*float64(dur[e.From]))
+			if c > st {
+				st, bind = c, e.From
+			}
+		}
+		start[name], binding[name] = st, bind
+	}
+	res := MakespanResult{Overlap: overlap}
+	last := ""
+	for _, name := range order {
+		fin := start[name] + dur[name]
+		if fin > res.Makespan || last == "" {
+			res.Makespan, last = fin, name
+		}
+	}
+	onPath := make(map[string]bool)
+	for at := last; at != ""; at = binding[at] {
+		res.CriticalPath = append([]string{at}, res.CriticalPath...)
+		onPath[at] = true
+	}
+	for _, name := range order {
+		res.Stages = append(res.Stages, StageSchedule{
+			Name: name, Start: start[name], Duration: dur[name], Critical: onPath[name],
+		})
+	}
+	return res, nil
+}
+
+// Prediction is a composed schedule whose durations came from the
+// predictor, with the per-stage eq. (2) tables attached.
+type Prediction struct {
+	MakespanResult
+	// Runs holds each stage's figure-11 prediction table.
+	Runs map[string]predict.RunPrediction
+}
+
+// Durations extracts the per-stage durations of a composed schedule.
+func (m MakespanResult) Durations() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(m.Stages))
+	for _, s := range m.Stages {
+		out[s.Name] = s.Duration
+	}
+	return out
+}
+
+// PredictMakespan prices every stage with eq. (2) and composes the
+// schedule at the given overlap.
+func (g *DAG) PredictMakespan(pdb *predict.DB, overlap float64) (Prediction, error) {
+	if err := g.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	dur := make(map[string]time.Duration, len(g.stages))
+	runs := make(map[string]predict.RunPrediction, len(g.stages))
+	for _, s := range g.stages {
+		rp, err := pdb.Predict(predict.RunReq{Iterations: s.Iterations, Datasets: s.Datasets})
+		if err != nil {
+			return Prediction{}, fmt.Errorf("workflow: stage %q: %w", s.Name, err)
+		}
+		dur[s.Name] = rp.Total
+		runs[s.Name] = rp
+	}
+	ms, err := g.Compose(dur, overlap)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{MakespanResult: ms, Runs: runs}, nil
+}
+
+// TableString renders a composed schedule: one row per stage in
+// topological order, the critical path marked.
+func (m MakespanResult) TableString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %s\n", "STAGE", "START(s)", "DUR(s)", "FINISH(s)", "CRIT")
+	for _, s := range m.Stages {
+		mark := ""
+		if s.Critical {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%-12s %12.3f %12.3f %12.3f %4s\n",
+			s.Name, s.Start.Seconds(), s.Duration.Seconds(), s.Finish().Seconds(), mark)
+	}
+	fmt.Fprintf(&b, "makespan %.3f s at overlap %.2f (critical path: %s)\n",
+		m.Makespan.Seconds(), m.Overlap, strings.Join(m.CriticalPath, " -> "))
+	return b.String()
+}
+
+// Pipeline builds the repo's canonical four-stage chain — astro3d
+// produces temp (float32) and vr_temp (u8) on the tapes; MSE analyzes
+// temp; volren renders vr_temp into a per-dump image; a viewer replays
+// the images next to the temp field — with the given grid edge,
+// iteration count, dump frequency and rank count.
+func Pipeline(n, maxIter, freq, procs int) *DAG {
+	g := New()
+	vol := func(name, amode string, etype, p int) predict.DatasetReq {
+		return predict.DatasetReq{
+			Name: name, AMode: amode, Dims: []int{n, n, n}, Etype: etype,
+			Pattern: "B**", Location: "remotetape", Frequency: freq, Procs: p,
+		}
+	}
+	img := func(amode string, p int) predict.DatasetReq {
+		return predict.DatasetReq{
+			Name: "image", AMode: amode, Dims: []int{n, n}, Etype: 1,
+			Pattern: "B*", Location: "remotetape", Frequency: freq, Procs: p,
+		}
+	}
+	// Errors are impossible by construction; Validate guards regardless.
+	_ = g.AddStage(Stage{Name: "astro3d", Iterations: maxIter, Datasets: []predict.DatasetReq{
+		vol("temp", "create", 4, procs), vol("vr_temp", "create", 1, procs),
+	}})
+	_ = g.AddStage(Stage{Name: "mse", Iterations: maxIter, Datasets: []predict.DatasetReq{
+		vol("temp", "read", 4, procs),
+	}})
+	_ = g.AddStage(Stage{Name: "volren", Iterations: maxIter, Datasets: []predict.DatasetReq{
+		vol("vr_temp", "read", 1, procs), img("create", procs),
+	}})
+	// The viewer is an interactive single process replaying the rendered
+	// images next to the temp field (whole-instance reads).
+	viewTemp := vol("temp", "read", 4, 1)
+	_ = g.AddStage(Stage{Name: "viewer", Iterations: maxIter, Datasets: []predict.DatasetReq{
+		viewTemp, img("read", 1),
+	}})
+	_ = g.AddEdge("astro3d", "mse", "temp")
+	_ = g.AddEdge("astro3d", "volren", "vr_temp")
+	_ = g.AddEdge("volren", "viewer", "image")
+	_ = g.AddEdge("astro3d", "viewer", "temp")
+	return g
+}

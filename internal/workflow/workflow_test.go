@@ -1,0 +1,379 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/metadb"
+	"repro/internal/model"
+	"repro/internal/predict"
+	"repro/internal/ptool"
+	"repro/internal/remotedisk"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+// measuredDB builds a performance database by running PTool against all
+// three resource classes.
+func measuredDB(t *testing.T) *predict.DB {
+	t.Helper()
+	meta := metadb.New()
+	local, err := localdisk.New("ssa", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdisk, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtape, err := tape.New(tape.Config{Name: "hpss", Params: model.RemoteTape2000(), Store: memfs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ptool.MeasureAll(vtime.NewVirtual(), meta, ptool.Config{Repeats: 1}, local, rdisk, rtape); err != nil {
+		t.Fatal(err)
+	}
+	return predict.NewDB(meta)
+}
+
+func ds(name, amode string, dims []int, etype int, pat, loc string) predict.DatasetReq {
+	return predict.DatasetReq{Name: name, AMode: amode, Dims: dims, Etype: etype,
+		Pattern: pat, Location: loc, Frequency: 1, Procs: 1}
+}
+
+func TestDAGConstruction(t *testing.T) {
+	g := New()
+	if err := g.AddStage(Stage{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddStage(Stage{Name: "a"}); err == nil {
+		t.Fatal("duplicate stage accepted")
+	}
+	if err := g.AddStage(Stage{Name: ""}); err == nil {
+		t.Fatal("unnamed stage accepted")
+	}
+	if err := g.AddEdge("a", "a"); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := g.AddEdge("a", "nope"); err == nil {
+		t.Fatal("edge to unknown stage accepted")
+	}
+	if err := g.AddStage(Stage{Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("a", "b"); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestValidateCycleAndModes(t *testing.T) {
+	g := New()
+	d := []int{4}
+	mustStage := func(s Stage) {
+		t.Helper()
+		if err := g.AddStage(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustStage(Stage{Name: "a", Datasets: []predict.DatasetReq{ds("x", "create", d, 1, "B", "localdisk")}})
+	mustStage(Stage{Name: "b", Datasets: []predict.DatasetReq{
+		ds("x", "read", d, 1, "B", "localdisk"), ds("y", "create", d, 1, "B", "localdisk")}})
+	if err := g.AddEdge("a", "b", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid DAG rejected: %v", err)
+	}
+	if err := g.AddEdge("b", "a", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not rejected: %v", err)
+	}
+
+	// Consumer opens the edge dataset for write: rejected.
+	g2 := New()
+	if err := g2.AddStage(Stage{Name: "a", Datasets: []predict.DatasetReq{ds("x", "create", d, 1, "B", "localdisk")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.AddStage(Stage{Name: "b", Datasets: []predict.DatasetReq{ds("x", "create", d, 1, "B", "localdisk")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.AddEdge("a", "b", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err == nil || !strings.Contains(err.Error(), "not read") {
+		t.Fatalf("consumer write mode not rejected: %v", err)
+	}
+
+	// Geometry mismatch between ends.
+	g3 := New()
+	if err := g3.AddStage(Stage{Name: "a", Datasets: []predict.DatasetReq{ds("x", "create", []int{8}, 1, "B", "localdisk")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.AddStage(Stage{Name: "b", Datasets: []predict.DatasetReq{ds("x", "read", []int{4}, 1, "B", "localdisk")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.AddEdge("a", "b", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.Validate(); err == nil || !strings.Contains(err.Error(), "geometry") {
+		t.Fatalf("geometry mismatch not rejected: %v", err)
+	}
+
+	// Unknown access mode anywhere in the graph.
+	g4 := New()
+	if err := g4.AddStage(Stage{Name: "a", Datasets: []predict.DatasetReq{ds("x", "append", []int{4}, 1, "B", "localdisk")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g4.Validate(); err == nil || !strings.Contains(err.Error(), "access mode") {
+		t.Fatalf("unknown mode not rejected: %v", err)
+	}
+}
+
+// diamond is A → {B, C} → D with fixed durations.
+func diamond(t *testing.T) (*DAG, map[string]time.Duration) {
+	t.Helper()
+	g := New()
+	for _, name := range []string{"A", "B", "C", "D"} {
+		if err := g.AddStage(Stage{Name: name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]string{{"A", "B"}, {"A", "C"}, {"B", "D"}, {"C", "D"}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, map[string]time.Duration{
+		"A": 10 * time.Second, "B": 4 * time.Second,
+		"C": 2 * time.Second, "D": 6 * time.Second,
+	}
+}
+
+func TestComposeOverlap(t *testing.T) {
+	g, dur := diamond(t)
+	cases := []struct {
+		overlap  float64
+		makespan time.Duration
+		critical string
+	}{
+		{0, 20 * time.Second, "A -> B -> D"},
+		{0.5, 13 * time.Second, "A -> B -> D"},
+		{1, 10 * time.Second, "A"},
+	}
+	for _, c := range cases {
+		res, err := g.Compose(dur, c.overlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan != c.makespan {
+			t.Errorf("overlap %v: makespan = %v, want %v", c.overlap, res.Makespan, c.makespan)
+		}
+		if got := strings.Join(res.CriticalPath, " -> "); got != c.critical {
+			t.Errorf("overlap %v: critical path = %q, want %q", c.overlap, got, c.critical)
+		}
+	}
+	// Start-time recurrence at overlap 0.5: B and C start at 5 s, D at 7 s.
+	res, err := g.Compose(dur, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[string]time.Duration{}
+	for _, s := range res.Stages {
+		starts[s.Name] = s.Start
+	}
+	if starts["B"] != 5*time.Second || starts["C"] != 5*time.Second || starts["D"] != 7*time.Second {
+		t.Fatalf("starts = %v", starts)
+	}
+	if _, err := g.Compose(dur, -0.1); err == nil {
+		t.Fatal("negative overlap accepted")
+	}
+	if _, err := g.Compose(dur, 1.1); err == nil {
+		t.Fatal("overlap > 1 accepted")
+	}
+	delete(dur, "C")
+	if _, err := g.Compose(dur, 0); err == nil {
+		t.Fatal("missing duration accepted")
+	}
+}
+
+func TestPredictMakespanPipeline(t *testing.T) {
+	pdb := measuredDB(t)
+	g := Pipeline(16, 12, 6, 4)
+	prev := time.Duration(-1)
+	for _, overlap := range []float64{1, 0.5, 0} {
+		pred, err := g.PredictMakespan(pdb, overlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred.Makespan <= prev {
+			t.Fatalf("makespan must grow as overlap shrinks: %v (overlap %v) after %v", pred.Makespan, overlap, prev)
+		}
+		prev = pred.Makespan
+		if len(pred.CriticalPath) == 0 {
+			t.Fatal("no critical path")
+		}
+		if len(pred.Runs) != 4 {
+			t.Fatalf("runs = %d", len(pred.Runs))
+		}
+	}
+	// Serial composition sums every stage duration.
+	pred, err := g.PredictMakespan(pdb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum time.Duration
+	onPath := map[string]bool{}
+	for _, name := range pred.CriticalPath {
+		onPath[name] = true
+	}
+	for _, s := range pred.Stages {
+		if s.Duration <= 0 {
+			t.Fatalf("stage %s predicted %v", s.Name, s.Duration)
+		}
+		if onPath[s.Name] {
+			sum += s.Duration
+		}
+	}
+	if sum != pred.Makespan {
+		t.Fatalf("overlap-0 critical path sums to %v, makespan %v", sum, pred.Makespan)
+	}
+	if s := pred.TableString(); !strings.Contains(s, "makespan") {
+		t.Fatalf("table: %s", s)
+	}
+}
+
+func TestProvisionPipeline(t *testing.T) {
+	pdb := measuredDB(t)
+	g := Pipeline(16, 12, 6, 4)
+	tiers := []Tier{{Class: "localdisk", Free: 1 << 30}, {Class: "remotedisk", Free: 1 << 30}}
+	plan, err := g.Provision(pdb, "localdisk", tiers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// temp is read by two stages from the tapes: staged, prefetched
+	// before MSE (its topologically first reader).
+	sd, ok := plan.StagedFor("astro3d", "temp")
+	if !ok {
+		t.Fatalf("temp not staged; plan:\n%s", plan.PlanString())
+	}
+	if sd.Readers != 2 || sd.FirstConsumer != "mse" {
+		t.Fatalf("temp staged as %+v", sd)
+	}
+	wantInstance := int64(16 * 16 * 16 * 4)
+	wantDumps := 12/6 + 1
+	if sd.InstanceBytes != wantInstance || sd.Dumps != wantDumps {
+		t.Fatalf("temp working set %+v", sd)
+	}
+	if plan.CacheBudget < sd.WorkingSet {
+		t.Fatalf("cache budget %d below temp working set %d", plan.CacheBudget, sd.WorkingSet)
+	}
+	if plan.ExpectedReads != 2 {
+		t.Fatalf("expected reads = %d", plan.ExpectedReads)
+	}
+	items := plan.ItemsFor("mse")
+	if len(items) != wantDumps {
+		t.Fatalf("prefetch items = %d, want %d", len(items), wantDumps)
+	}
+	if plan.PrefetchP95 <= 0 {
+		t.Fatal("no prefetch p95")
+	}
+	// Single-reader intermediates move off the archive to the
+	// lifetime-optimal tier.
+	if ip, ok := plan.Placed("volren", "image"); !ok || ip.From != "remotetape" {
+		t.Fatalf("image not placed: %+v (ok=%v)", ip, ok)
+	} else if ip.Cost >= ip.DefaultCost {
+		t.Fatalf("placement did not improve lifetime cost: %+v", ip)
+	}
+	if _, ok := plan.Placed("astro3d", "vr_temp"); !ok {
+		t.Fatal("vr_temp (single reader) not placed")
+	}
+	// temp has two readers: never treated as a stage-private
+	// intermediate.
+	if _, ok := plan.Placed("astro3d", "temp"); ok {
+		t.Fatal("shared dataset temp placed as an intermediate")
+	}
+
+	// The provisioned schedule beats the unprovisioned one end to end.
+	for _, overlap := range []float64{0, 0.5, 1} {
+		base, err := g.PredictMakespan(pdb, overlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prov, err := g.PredictMakespanProvisioned(pdb, plan, overlap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prov.Makespan >= base.Makespan {
+			t.Fatalf("overlap %v: provisioned %v not below unprovisioned %v",
+				overlap, prov.Makespan, base.Makespan)
+		}
+	}
+}
+
+func TestProvisionNoTiers(t *testing.T) {
+	pdb := measuredDB(t)
+	g := Pipeline(16, 12, 6, 4)
+	plan, err := g.Provision(pdb, "localdisk", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Intermediates) != 0 {
+		t.Fatalf("placements without tiers: %+v", plan.Intermediates)
+	}
+	if _, ok := plan.StagedFor("astro3d", "temp"); !ok {
+		t.Fatal("staging must not require placement tiers")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	g := Pipeline(16, 12, 6, 4)
+	text := g.Format()
+	g2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, text)
+	}
+	if g2.Format() != text {
+		t.Fatalf("round trip drifted:\n%s\nvs\n%s", g2.Format(), text)
+	}
+	if len(g2.Stages()) != 4 || len(g2.Edges()) != 4 {
+		t.Fatalf("round trip lost structure: %d stages, %d edges", len(g2.Stages()), len(g2.Edges()))
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"cycle":               "stage a iters=1\nstage b iters=1\nedge a b\nedge b a",
+		"dup edge":            "stage a iters=1\nstage b iters=1\nedge a b\nedge a b",
+		"self loop":           "stage a iters=1\nedge a a",
+		"unknown stage":       "stage a iters=1\nedge a b",
+		"unknown directive":   "stages a",
+		"bad iters":           "stage a iters=zz",
+		"huge dim":            "stage a iters=1\ndataset a x mode=read dims=99999 etype=1 pat=B loc=localdisk",
+		"bad mode":            "stage a iters=1\ndataset a x mode=append dims=4 etype=1 pat=B loc=localdisk",
+		"pattern mismatch":    "stage a iters=1\ndataset a x mode=read dims=4x4 etype=1 pat=B loc=localdisk",
+		"dup dataset":         "stage a iters=1\ndataset a x mode=read dims=4 etype=1 pat=B loc=localdisk\ndataset a x mode=read dims=4 etype=1 pat=B loc=localdisk",
+		"edge ds not written": "stage a iters=1\nstage b iters=1\ndataset a x mode=read dims=4 etype=1 pat=B loc=localdisk\ndataset b x mode=read dims=4 etype=1 pat=B loc=localdisk\nedge a b x",
+	}
+	for name, text := range cases {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, text)
+		}
+	}
+	// Comments and blank lines are fine.
+	ok := "# a tiny chain\nstage a iters=6\n\ndataset a x mode=create dims=4 etype=1 pat=B loc=localdisk # trailing\nstage b iters=6\ndataset b x mode=read dims=4 etype=1 pat=B loc=localdisk\nedge a b x\n"
+	g, err := Parse(ok)
+	if err != nil {
+		t.Fatalf("commented input rejected: %v", err)
+	}
+	if len(g.Stages()) != 2 {
+		t.Fatalf("stages = %d", len(g.Stages()))
+	}
+}

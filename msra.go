@@ -50,6 +50,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/vtime"
 	"repro/internal/wal"
+	"repro/internal/workflow"
 )
 
 // Core user-API types (the paper's primary contribution).
@@ -528,6 +529,53 @@ func ParseHSMPolicy(s string) (HSMPolicy, error) { return hsm.ParsePolicy(s) }
 
 // FormatHSMPolicy renders a policy back into the flag syntax.
 func FormatHSMPolicy(p HSMPolicy) string { return hsm.FormatPolicy(p) }
+
+// Workflow-aware prediction: a DAG of application stages whose node
+// costs come from the calibrated predictor.  The graph predicts the
+// chain's makespan under a configurable producer/consumer overlap
+// (critical-path composition), and Provision turns the same graph into
+// an execution plan — per-stage cache budgets sized from predicted
+// working sets, DAG-edge prefetch schedules for the staging engine,
+// and eq. (1) placement of stage-private intermediates priced over
+// their remaining lifetime rather than steady state.  This is what
+// `predict -workflow` evaluates.
+type (
+	// WorkflowDAG is the stage graph; nodes carry PredictionRequest-
+	// shaped dataset descriptions, edges carry the datasets flowing
+	// between stages.
+	WorkflowDAG = workflow.DAG
+	// WorkflowStage is one node: a named application run.
+	WorkflowStage = workflow.Stage
+	// WorkflowEdge is one producer→consumer data dependency.
+	WorkflowEdge = workflow.Edge
+	// WorkflowSchedule is one stage's start/duration/critical-path
+	// row of a composed makespan.
+	WorkflowSchedule = workflow.StageSchedule
+	// WorkflowMakespan is a composed schedule at one overlap level.
+	WorkflowMakespan = workflow.MakespanResult
+	// WorkflowPrediction is a makespan plus the per-stage eq. (2)
+	// evaluations behind it.
+	WorkflowPrediction = workflow.Prediction
+	// WorkflowPlan is a provisioning decision: cache budgets,
+	// prefetch schedule, intermediate placements.
+	WorkflowPlan = workflow.Plan
+	// WorkflowTier is spare capacity offered to the provisioner for
+	// intermediate placement.
+	WorkflowTier = workflow.Tier
+)
+
+// NewWorkflowDAG returns an empty workflow graph.
+func NewWorkflowDAG() *WorkflowDAG { return workflow.New() }
+
+// ParseWorkflow reads a DAG from its text form (see the workflow
+// package for the stage/dataset/edge line syntax).
+func ParseWorkflow(text string) (*WorkflowDAG, error) { return workflow.Parse(text) }
+
+// WorkflowPipeline builds the paper's astro3d → MSE / volren → viewer
+// post-processing chain at the given problem size.
+func WorkflowPipeline(n, maxIter, freq, procs int) *WorkflowDAG {
+	return workflow.Pipeline(n, maxIter, freq, procs)
+}
 
 // ParsePattern parses a distribution string such as "BBB" or "B**".
 func ParsePattern(s string) (Pattern, error) { return pattern.Parse(s) }
