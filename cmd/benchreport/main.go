@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchreport [-scale test|bench|paper]
-//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|calib|qos|failover|crash|hsm|workflow]
+//	            [-exp all|table1|table2|fig6|fig7|fig8|fig9|fig10a|fig10b|fig10c|fig11|worked|naive|srbnet|chaos|staging|calib|qos|failover|crash|hsm|workflow|cluster]
 //	            [-json dir]
 //
 // The -exp list in this comment and in the flag help both come from
@@ -303,6 +303,30 @@ func run(scale experiments.Scale, exp, jsonDir string) error {
 		}
 		if !experiments.WorkflowOK(res) {
 			return fmt.Errorf("workflow: acceptance gate failed")
+		}
+	}
+	if all || exp == "cluster" {
+		res, err := experiments.Cluster(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "== Cluster: sharded brokers with leader-leased replicated meta-data ==\n%s\n",
+			experiments.ClusterString(res))
+		err = writeJSON(jsonDir, "cluster", scale, map[string]float64{
+			"acked_mutations":       float64(res.AckedMutations),
+			"lost_acked":            float64(res.LostAcked),
+			"dump_mismatches":       float64(res.DumpMismatches),
+			"failover_retries":      float64(res.FailoverRetries),
+			"survivor_budget_bytes": float64(res.SurvivorBudget),
+			"queue_budget_bytes":    float64(res.QueueBudget),
+			"single_over_direct_x":  res.SingleOverDirect(),
+			"sharded_speedup_x":     res.ShardedSpeedup(),
+		}, res)
+		if err != nil {
+			return err
+		}
+		if !experiments.ClusterOK(res) {
+			return fmt.Errorf("cluster: acceptance gate failed")
 		}
 	}
 	if all || exp == "failover" {

@@ -62,6 +62,14 @@ func TestCommittedBenchHeadlines(t *testing.T) {
 			{"placements", gt, 0},
 			{"cache_hit_rate", gt, 0.9},
 		},
+		"cluster": {
+			{"acked_mutations", gt, 0},
+			{"lost_acked", eq, 0},
+			{"dump_mismatches", eq, 0},
+			{"failover_retries", gt, 0},
+			{"sharded_speedup_x", gt, 2},
+			{"single_over_direct_x", gt, 0},
+		},
 		"hsm": {
 			{"mount_win_x", gt, 1},
 			{"migrations", gt, 0},
@@ -111,6 +119,13 @@ func TestCommittedBenchHeadlines(t *testing.T) {
 					if !ok || !(prov > 0 && prov < v) {
 						t.Errorf("provisioned makespan %g s not under unprovisioned %g s (%s)", prov, v, k)
 					}
+				}
+			}
+			// The cluster budget invariant is relative: the survivors'
+			// leases must sum to exactly the configured global budget.
+			if exp == "cluster" {
+				if sb, qb := doc.Headline["survivor_budget_bytes"], doc.Headline["queue_budget_bytes"]; !(qb > 0 && sb == qb) {
+					t.Errorf("survivor leases %g B do not re-cover the %g B budget", sb, qb)
 				}
 			}
 			// The hsm recall deadline is relative, not absolute: compare

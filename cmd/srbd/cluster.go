@@ -1,0 +1,203 @@
+// Clustered serving mode (-cluster N): the daemon runs N brokers in
+// one process as one logical broker.  Each broker gets its own storage
+// resources, TCP listener, and qos scheduler; the internal/cluster
+// layer replicates the shared meta-data through a leader-leased log,
+// shards the namespace by collection hash, and redirects clients that
+// land on the wrong broker.  The global -queue-bytes admission budget
+// is leased to brokers in proportion to the shards they own, and every
+// re-lease lands in the scheduler through SetMaxQueuedBytes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/cluster"
+	"repro/internal/dbstore"
+	"repro/internal/localdisk"
+	"repro/internal/memfs"
+	"repro/internal/model"
+	"repro/internal/osfs"
+	"repro/internal/predict"
+	"repro/internal/ptool"
+	"repro/internal/qos"
+	"repro/internal/remotedisk"
+	"repro/internal/srb"
+	"repro/internal/srbnet"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/vtime"
+)
+
+type clusterConfig struct {
+	n, shards   int
+	peers       []string
+	root        string
+	user        string
+	secret      string
+	timescale   float64
+	tenants     map[string]int
+	maxInflight int
+	queueBytes  int64
+}
+
+// clusterPeers resolves the per-broker listen addresses: an explicit
+// -peers list must match the broker count; otherwise the -addr port is
+// incremented per broker (port 0 stays 0 everywhere — the kernel
+// picks, and the startup banner prints the result).
+func clusterPeers(addr, peersFlag string, n int) ([]string, error) {
+	if peersFlag != "" {
+		peers := strings.Split(peersFlag, ",")
+		if len(peers) != n {
+			return nil, fmt.Errorf("-peers lists %d addresses for -cluster %d", len(peers), n)
+		}
+		for i := range peers {
+			peers[i] = strings.TrimSpace(peers[i])
+			if peers[i] == "" {
+				return nil, fmt.Errorf("-peers entry %d is empty", i)
+			}
+		}
+		return peers, nil
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-addr %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("-addr port %q: %w", portStr, err)
+	}
+	peers := make([]string, n)
+	for i := range peers {
+		p := 0
+		if port != 0 {
+			p = port + i
+		}
+		peers[i] = net.JoinHostPort(host, strconv.Itoa(p))
+	}
+	return peers, nil
+}
+
+// serveCluster assembles and serves the N-broker cluster, blocking
+// until SIGINT/SIGTERM.
+func serveCluster(cfg clusterConfig) {
+	shards := cfg.shards
+	if shards == 0 {
+		shards = cfg.n
+	}
+	cl, err := cluster.New(cluster.Config{
+		Nodes: cfg.n, Shards: shards, QueueBudget: cfg.queueBytes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := vtime.NewScaled(cfg.timescale)
+
+	store := func(node int, sub string) storage.Store {
+		if cfg.root == "" {
+			return memfs.New()
+		}
+		fs, err := osfs.New(filepath.Join(cfg.root, fmt.Sprintf("node%d", node), sub))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fs
+	}
+
+	addrs := make([]string, cfg.n)
+	servers := make([]*srbnet.Server, cfg.n)
+	scheds := make([]*qos.Scheduler, cfg.n)
+	for i := 0; i < cfg.n; i++ {
+		broker := srb.NewBroker()
+		local, err := localdisk.New("argonne-ssa", store(i, "local"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rdisk, err := remotedisk.New("sdsc-disk", store(i, "rdisk"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rtape, err := tape.New(tape.Config{Name: "sdsc-hpss", Params: model.RemoteTape2000(), Store: store(i, "tape")})
+		if err != nil {
+			log.Fatal(err)
+		}
+		localdb, err := dbstore.New("nwu-postgres", store(i, "db"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, be := range []storage.Backend{local, rdisk, rtape, localdb} {
+			if err := broker.Register(be); err != nil {
+				log.Fatal(err)
+			}
+		}
+		broker.AddUser(cfg.user, cfg.secret)
+
+		node := cl.Node(i)
+		opts := []srbnet.ServerOption{srbnet.WithShardRouter(node)}
+		if cfg.maxInflight > 0 {
+			if i == 0 {
+				// Price admission from measured constants, as the
+				// single-broker path does.  Measuring once at the
+				// genesis leader is enough: the mutations replicate
+				// through the cluster log, so every broker's pricer
+				// reads the same rows from its own replica.
+				if _, err := ptool.MeasureAll(vtime.NewVirtual(), node.DB(), ptool.Config{Repeats: 1}, local, rdisk, rtape); err != nil {
+					log.Fatal(err)
+				}
+				local.ResetClocks()
+				rdisk.ResetClocks()
+				rtape.ResetClocks()
+			}
+			sched, err := qos.New(qos.Config{
+				Tenants:     cfg.tenants,
+				MaxInFlight: cfg.maxInflight,
+				// The broker starts with its leased share of the
+				// cluster-wide -queue-bytes budget; re-leases after a
+				// failover or rebalance arrive through the hook below.
+				MaxQueuedBytes: node.Budget().QueueBytes,
+				Price:          qos.PredictPricer(predict.NewDB(node.DB())),
+				Tape:           rtape,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			node.OnQuota(func(b cluster.Budgets) { sched.SetMaxQueuedBytes(b.QueueBytes) })
+			scheds[i] = sched
+			opts = append(opts, srbnet.WithScheduler(sched))
+		}
+		srv, err := srbnet.Serve(cfg.peers[i], broker, sim, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	cl.SetAddrs(addrs)
+
+	mode := "unscheduled"
+	if cfg.maxInflight > 0 {
+		mode = fmt.Sprintf("qos max-inflight %d, queue budget %d", cfg.maxInflight, cfg.queueBytes)
+	}
+	fmt.Printf("srbd cluster listening on %s (%d brokers, %d shards, timescale %g, %s)\n",
+		strings.Join(addrs, ","), cfg.n, shards, cfg.timescale, mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	for i := range servers {
+		if scheds[i] != nil {
+			scheds[i].Close()
+		}
+		if err := servers[i].Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -21,6 +21,7 @@
 //	     [-tenants astro3d:3,viewer:1] [-max-inflight 8] [-queue-bytes 268435456]
 //	     [-journal] [-journal-dir DIR] [-hsm] [-hsm-policy cold=48h,...] [-hsm-capacity N]
 //	     [-workflow DAG-FILE] [-workflow-overlap 0.5]
+//	     [-cluster N] [-peers a:1,b:2,...] [-shards S]
 //
 // Example: give the simulation account 3× the share of the viewer and
 // cap the backlog at 64 MiB:
@@ -49,6 +50,16 @@
 // journal as the rest of the broker state, and startup maps any
 // in-flight migration or recall interrupted by a crash back to its
 // safe state.
+//
+// With -cluster N the daemon serves N brokers in one process as one
+// logical broker: each broker listens on its own address (-peers, or
+// -addr's port incremented), owns a hash-sharded slice of the
+// namespace (-shards, default N), and replicates the shared meta-data
+// through a leader-leased log.  Clients built with msra.WithCluster
+// route by shard and follow redirects; the -queue-bytes admission
+// budget becomes cluster-wide, leased to brokers in proportion to the
+// shards they own.  -hsm requires -journal (lifecycle state must be
+// crash-recoverable), and -cluster is incompatible with both.
 //
 // With -workflow, the daemon prices a whole post-processing chain
 // against its performance database before serving: the DAG file (in
@@ -108,6 +119,9 @@ func main() {
 	hsmCapacity := flag.Int64("hsm-capacity", 1<<30, "disk-pool byte capacity the lifecycle watermarks divide")
 	workflowFile := flag.String("workflow", "", "price a workflow DAG file against the performance database at startup")
 	workflowOverlap := flag.Float64("workflow-overlap", 0, "producer/consumer overlap for -workflow (0 staged .. 1 pipelined)")
+	clusterN := flag.Int("cluster", 0, "run N brokers as one logical clustered broker (0 = single broker)")
+	peersFlag := flag.String("peers", "", "comma-separated listen addresses, one per cluster broker (default: -addr's port, incremented)")
+	shardsFlag := flag.Int("shards", 0, "cluster namespace shard count (default: number of brokers)")
 	flag.Parse()
 
 	if *journalDir == "" && *root != "" {
@@ -127,6 +141,21 @@ func main() {
 	if *journal && *journalDir == "" {
 		log.Fatal("-journal needs -journal-dir (or -root)")
 	}
+	if *hsmOn && !*journal {
+		log.Fatal("-hsm needs -journal: lifecycle migration and recall markers must be crash-recoverable, or an interrupted sweep silently strands datasets (add -journal, and -journal-dir or -root)")
+	}
+	if *clusterN < 0 {
+		log.Fatalf("-cluster must be >= 0, got %d", *clusterN)
+	}
+	if *clusterN == 0 && (*peersFlag != "" || *shardsFlag != 0) {
+		log.Fatal("-peers and -shards need -cluster")
+	}
+	if *clusterN > 0 && (*journal || *hsmOn) {
+		log.Fatal("-cluster replicates broker meta-data through the cluster log; it is incompatible with -journal and -hsm")
+	}
+	if *clusterN > 0 && *workflowFile != "" {
+		log.Fatal("-workflow is not supported with -cluster")
+	}
 
 	tenants, err := qos.ParseTenants(*tenantsFlag)
 	if err != nil {
@@ -144,6 +173,20 @@ func main() {
 	}
 	if *queueBytes < 0 {
 		log.Fatalf("-queue-bytes must be >= 0, got %d", *queueBytes)
+	}
+
+	if *clusterN > 0 {
+		peers, err := clusterPeers(*addr, *peersFlag, *clusterN)
+		if err != nil {
+			log.Fatal(err)
+		}
+		serveCluster(clusterConfig{
+			n: *clusterN, shards: *shardsFlag, peers: peers,
+			root: *root, user: *user, secret: *secret,
+			timescale: *timescale, tenants: tenants,
+			maxInflight: *maxInflight, queueBytes: *queueBytes,
+		})
+		return
 	}
 
 	store := func(sub string) storage.Store {

@@ -1,0 +1,320 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/metadb"
+	"repro/internal/vtime"
+)
+
+func newProc(t *testing.T) *vtime.Proc {
+	t.Helper()
+	return vtime.NewVirtual().NewProc("test")
+}
+
+// TestReplicationReachesEveryReplica commits mutations at the leader
+// and expects identical canonical state on every replica.
+func TestReplicationReachesEveryReplica(t *testing.T) {
+	cl, err := New(Config{Nodes: 3, Shards: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProc(t)
+	lead := cl.Node(0)
+	for i := 0; i < 10; i++ {
+		if err := lead.DB().PutRun(p, metadb.Run{ID: fmt.Sprintf("run-%02d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lead.DB().AddSample(p, metadb.PerfSample{Resource: "disk", Op: "read", Size: 4096, Seconds: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cl.Nodes() {
+		if got := len(n.DB().Runs(nil)); got != 10 {
+			t.Fatalf("node %d holds %d runs, want 10", n.ID(), got)
+		}
+		if got := len(n.DB().Samples(nil, "disk", "read")); got != 1 {
+			t.Fatalf("node %d holds %d samples, want 1", n.ID(), got)
+		}
+		if c, a := n.Log().Commit(), n.Log().Applied(); c != a {
+			t.Fatalf("node %d commit %d != applied %d", n.ID(), c, a)
+		}
+	}
+}
+
+// TestFollowerRefusesMutation proves a follower's replica fails
+// mutations closed with a NotLeaderError that names the leader.
+func TestFollowerRefusesMutation(t *testing.T) {
+	cl, err := New(Config{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProc(t)
+	err = cl.Node(1).DB().PutRun(p, metadb.Run{ID: "x"})
+	if !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("follower accepted a mutation: %v", err)
+	}
+	var nle *NotLeaderError
+	if !errors.As(err, &nle) || nle.Leader != 0 {
+		t.Fatalf("refusal does not name leader 0: %v", err)
+	}
+}
+
+// TestLeaderKillFailover kills the leader mid-workload: acked
+// mutations must survive on the survivors, the lease must fence
+// failover until it lapses, and after the election the new leader
+// accepts writes and owns the dead broker's shards.
+func TestLeaderKillFailover(t *testing.T) {
+	cl, err := New(Config{Nodes: 3, Shards: 6, Lease: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProc(t)
+	var acked []string
+	put := func(n *Node, id string) error {
+		if err := n.DB().PutRun(p, metadb.Run{ID: id}); err != nil {
+			return err
+		}
+		acked = append(acked, id)
+		return nil
+	}
+	for i := 0; i < 5; i++ {
+		if err := put(cl.Node(0), fmt.Sprintf("pre-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Node(0).Kill()
+
+	// Inside the fencing window nothing can lead.
+	if _, ok := cl.Leader(p); ok {
+		t.Fatal("leader reported live inside the lease fencing window")
+	}
+	if err := put(cl.Node(1), "too-early"); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("follower accepted a write before the lease lapsed: %v", err)
+	}
+
+	// Advance past the lease: the survivors elect node 1 (longest log
+	// ties break to the lowest live ID).
+	p.Advance(3 * time.Second)
+	id, ok := cl.Leader(p)
+	if !ok || id != 1 {
+		t.Fatalf("leader after failover = %d, %v; want 1, true", id, ok)
+	}
+	if cl.Term() != 2 {
+		t.Fatalf("term = %d, want 2", cl.Term())
+	}
+	for i := 0; i < 5; i++ {
+		if err := put(cl.Node(1), fmt.Sprintf("post-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// No acked mutation may be lost on any live replica.
+	for _, n := range []*Node{cl.Node(1), cl.Node(2)} {
+		for _, id := range acked {
+			if _, err := n.DB().GetRun(nil, id); err != nil {
+				t.Fatalf("node %d lost acked run %q: %v", n.ID(), id, err)
+			}
+		}
+	}
+
+	// The dead broker's shards must have moved to survivors.
+	for s, owner := range cl.Ring().Owners() {
+		if owner == 0 {
+			t.Fatalf("shard %d still owned by dead node 0", s)
+		}
+	}
+}
+
+// TestNoQuorumFailsClosed kills a majority: writes and elections must
+// refuse rather than proceed on a minority.
+func TestNoQuorumFailsClosed(t *testing.T) {
+	cl, err := New(Config{Nodes: 3, Lease: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProc(t)
+	cl.Node(1).Kill()
+	cl.Node(2).Kill()
+	if err := cl.Node(0).DB().PutRun(p, metadb.Run{ID: "minority"}); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("minority leader acked a write: %v", err)
+	}
+	cl.Node(0).Kill()
+	p.Advance(5 * time.Second)
+	if _, ok := cl.Leader(p); ok {
+		t.Fatal("a minority elected a leader")
+	}
+}
+
+// TestDivergentReplicaFaultsClosed plants a conflicting entry on one
+// follower (same term, same index, different bytes — bit-rot's
+// signature) and expects the next append to fault that replica out
+// while the remaining majority commits.
+func TestDivergentReplicaFaultsClosed(t *testing.T) {
+	cl, err := New(Config{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProc(t)
+	bad := cl.Node(2)
+	next := bad.Log().LastIndex() + 1
+	rot := Entry{Index: next, Term: cl.Term(), Frame: jsonFrameT(t, 0x7f, "planted")}
+	if err := bad.Log().appendEntries([]Entry{rot}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Node(0).DB().PutRun(p, metadb.Run{ID: "after-rot"}); err != nil {
+		t.Fatalf("majority append failed: %v", err)
+	}
+	if !bad.Down() || !errors.Is(bad.Err(), ErrDiverged) {
+		t.Fatalf("divergent replica not faulted: down=%v err=%v", bad.Down(), bad.Err())
+	}
+	for _, n := range []*Node{cl.Node(0), cl.Node(1)} {
+		if _, err := n.DB().GetRun(nil, "after-rot"); err != nil {
+			t.Fatalf("node %d missing committed run: %v", n.ID(), err)
+		}
+	}
+}
+
+// TestCorruptFrameRefused flips payload bits under the CRC: the log
+// must refuse the entry outright.
+func TestCorruptFrameRefused(t *testing.T) {
+	frame := jsonFrameT(t, 0x01, "payload")
+	frame[len(frame)-1] ^= 0xff
+	var l Log
+	if err := l.appendEntries([]Entry{{Index: 1, Term: 1, Frame: frame}}); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("corrupt frame accepted: %v", err)
+	}
+	if l.LastIndex() != 0 {
+		t.Fatal("corrupt frame stored")
+	}
+}
+
+// TestBudgetLeases checks the leader leases global budgets
+// proportional to shard ownership, re-leases on failover, and fires
+// the per-node hook.
+func TestBudgetLeases(t *testing.T) {
+	var hooked []Budgets
+	cl, err := New(Config{Nodes: 3, Shards: 6, QueueBudget: 6 << 20, PlaceBudget: 12 << 20, Lease: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cl.Nodes() {
+		if b := n.Budget(); b.QueueBytes != 2<<20 || b.PlaceBytes != 4<<20 {
+			t.Fatalf("node %d genesis lease = %+v, want 2MiB/4MiB", n.ID(), b)
+		}
+	}
+	cl.Node(2).OnQuota(func(b Budgets) { hooked = append(hooked, b) })
+	p := newProc(t)
+	if err := cl.SetGlobalBudget(p, 12<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b := cl.Node(2).Budget(); b.QueueBytes != 4<<20 {
+		t.Fatalf("node 2 lease after SetGlobalBudget = %+v", b)
+	}
+	if len(hooked) == 0 {
+		t.Fatal("quota hook never fired")
+	}
+	cl.Node(0).Kill()
+	p.Advance(2 * time.Second)
+	if _, ok := cl.Leader(p); !ok {
+		t.Fatal("no leader after lease lapse")
+	}
+	// Node 0's two shards moved to the survivors, and its budget
+	// share moved with them.
+	var total int64
+	for _, n := range []*Node{cl.Node(1), cl.Node(2)} {
+		total += n.Budget().QueueBytes
+	}
+	if total != 12<<20 {
+		t.Fatalf("survivor leases sum to %d, want the full 12MiB budget", total)
+	}
+}
+
+// TestRejoinCatchesUp brings a killed node back through the
+// metadb.Clone snapshot path and expects identical state.
+func TestRejoinCatchesUp(t *testing.T) {
+	cl, err := New(Config{Nodes: 3, Lease: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newProc(t)
+	cl.Node(2).Kill()
+	for i := 0; i < 8; i++ {
+		if err := cl.Node(0).DB().PutRun(p, metadb.Run{ID: fmt.Sprintf("while-away-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Node(2).Rejoin(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cl.Node(2).DB().Runs(nil)); got != 8 {
+		t.Fatalf("rejoined node holds %d runs, want 8", got)
+	}
+	if err := cl.Node(0).DB().PutRun(p, metadb.Run{ID: "after-rejoin"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Node(2).DB().GetRun(nil, "after-rejoin"); err != nil {
+		t.Fatalf("rejoined node missing post-rejoin commit: %v", err)
+	}
+	if err := cl.Rebalance(p); err != nil {
+		t.Fatal(err)
+	}
+	owned := false
+	for _, owner := range cl.Ring().Owners() {
+		if owner == 2 {
+			owned = true
+		}
+	}
+	if !owned {
+		t.Fatal("rebalance gave the rejoined node no shards")
+	}
+}
+
+// TestRingEdgeCases covers the empty/zero ring and the single-broker
+// degeneration.
+func TestRingEdgeCases(t *testing.T) {
+	if _, err := NewRing(0, 3); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing(4, 0); err == nil {
+		t.Fatal("nodeless ring accepted")
+	}
+	var zero Ring
+	if zero.Shard("/astro/run1/chunk") != 0 || zero.Owner(7) != 0 {
+		t.Fatal("zero ring does not degenerate to node 0")
+	}
+	single, err := NewRing(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		if single.Owner(s) != 0 {
+			t.Fatalf("single-broker ring shard %d owned by %d", s, single.Owner(s))
+		}
+	}
+	if CollectionKey("/astro/run1/chunk0") != "astro" || CollectionKey("flat") != "flat" {
+		t.Fatal("collection key extraction broken")
+	}
+	r3, err := NewRing(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, owner := range r3.Owners() {
+		if owner != s%3 {
+			t.Fatalf("round-robin broken at shard %d: owner %d", s, owner)
+		}
+	}
+}
+
+// jsonFrameT builds a WAL-framed record for tests.
+func jsonFrameT(t *testing.T, typ byte, v any) []byte {
+	t.Helper()
+	f, err := jsonFrame(typ, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in.
+// Wall-clock comparisons (the cluster scale-out and degeneration
+// legs) skip their ratio gates under -race: the detector's
+// instrumentation multiplies the real CPU cost of the wire path,
+// swamping the scaled device waits the legs are measuring.
+const raceEnabled = true

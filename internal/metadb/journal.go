@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/vtime"
 	"repro/internal/wal"
 )
 
@@ -121,10 +122,81 @@ func (db *DB) journalLocked(typ byte, v any) error {
 	if err != nil {
 		return fmt.Errorf("metadb journal: %w", err)
 	}
+	return db.journalRawLocked(typ, data)
+}
+
+// journalRawLocked appends one pre-marshalled record and waits for the
+// fsync barrier.  Called with db.mu held.  Without a journal it is
+// free.
+func (db *DB) journalRawLocked(typ byte, data []byte) error {
+	if db.log == nil {
+		return nil
+	}
 	if err := db.log.Append(typ, data); err != nil {
 		return err
 	}
 	return db.log.Sync()
+}
+
+// Replicator routes mutations through a cluster replicated log.  When
+// one is installed every mutator hands its journal record to
+// Replicate INSTEAD of journaling and applying it locally; the log
+// layer feeds the committed record back to every replica — this
+// database included — through ApplyRecord.  Replicate returning nil
+// therefore means the mutation is durable on a quorum and applied
+// locally, the same ack contract a journaled mutator gives.
+type Replicator interface {
+	Replicate(p *vtime.Proc, typ byte, data []byte) error
+}
+
+// SetReplicator installs (or, with nil, removes) the cluster
+// replicator.  The mutator that triggers replication holds no
+// database lock while Replicate runs, so the replicator is free to
+// call ApplyRecord on any replica, including this one.
+func (db *DB) SetReplicator(r Replicator) {
+	db.mu.Lock()
+	db.repl = r
+	db.mu.Unlock()
+}
+
+// replicator returns the installed replicator, if any.
+func (db *DB) replicator() Replicator {
+	db.mu.RLock()
+	r := db.repl
+	db.mu.RUnlock()
+	return r
+}
+
+// replicate consumes one mutation when a replicator is installed.
+// handled=false means no replicator: the caller journals and applies
+// locally as usual.  handled=true means the record was offered to the
+// replicated log; on nil error it has been committed and applied back
+// to these tables via ApplyRecord, so the caller must not touch them.
+func (db *DB) replicate(p *vtime.Proc, typ byte, v any) (handled bool, err error) {
+	rep := db.replicator()
+	if rep == nil {
+		return false, nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return true, fmt.Errorf("metadb journal: %w", err)
+	}
+	return true, rep.Replicate(p, typ, data)
+}
+
+// ApplyRecord applies one committed replicated record: the follower
+// half of cluster replication.  The record is journaled locally (when
+// a journal is open) and then applied through the same switch crash
+// recovery replays, so a replica's tables and journal stay exactly as
+// if the mutation had happened here.  The replicator hook is not
+// consulted — the record has already been through the leader's log.
+func (db *DB) ApplyRecord(typ byte, data []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.journalRawLocked(typ, data); err != nil {
+		return err
+	}
+	return db.apply(wal.Record{Type: typ, Data: data})
 }
 
 // install replaces the tables from a decoded snapshot (recovery path;

@@ -123,6 +123,10 @@ type DB struct {
 	log *wal.Log
 
 	mu         sync.RWMutex
+	// repl, when set, diverts every mutation through a cluster
+	// replicated log instead of the local journal/apply path (see
+	// Replicator in journal.go).
+	repl       Replicator
 	runs       map[string]Run
 	datasets   map[string]Dataset
 	lifecycles map[string]Lifecycle
@@ -156,6 +160,9 @@ func (db *DB) PutRun(p *vtime.Proc, r Run) error {
 		return fmt.Errorf("metadb: run with empty ID")
 	}
 	db.charge(p, model.Write)
+	if ok, err := db.replicate(p, recPutRun, r); ok {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.journalLocked(recPutRun, r); err != nil {
@@ -196,6 +203,9 @@ func (db *DB) PutDataset(p *vtime.Proc, d Dataset) error {
 		return fmt.Errorf("metadb: dataset with empty key (%q, %q)", d.RunID, d.Name)
 	}
 	db.charge(p, model.Write)
+	if ok, err := db.replicate(p, recPutDataset, d); ok {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.journalLocked(recPutDataset, d); err != nil {
@@ -263,6 +273,9 @@ func (db *DB) PutLifecycle(p *vtime.Proc, l Lifecycle) error {
 		return fmt.Errorf("metadb: lifecycle with empty key (%q, %q)", l.Pool, l.Path)
 	}
 	db.charge(p, model.Write)
+	if ok, err := db.replicate(p, recPutLifecycle, l); ok {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.journalLocked(recPutLifecycle, l); err != nil {
@@ -288,11 +301,17 @@ func (db *DB) GetLifecycle(p *vtime.Proc, pool, path string) (Lifecycle, error) 
 // tier).  Deleting a missing row is a no-op.
 func (db *DB) DeleteLifecycle(p *vtime.Proc, pool, path string) error {
 	db.charge(p, model.Write)
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.lifecycles[lcKey(pool, path)]; !ok {
+	db.mu.RLock()
+	_, present := db.lifecycles[lcKey(pool, path)]
+	db.mu.RUnlock()
+	if !present {
 		return nil
 	}
+	if ok, err := db.replicate(p, recDelLifecycle, lifecycleKey{Pool: pool, Path: path}); ok {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if err := db.journalLocked(recDelLifecycle, lifecycleKey{Pool: pool, Path: path}); err != nil {
 		return err
 	}
@@ -325,6 +344,9 @@ func (db *DB) Lifecycles(p *vtime.Proc, pool string) []Lifecycle {
 // without a journal; with one, nil means the sample is crash-durable.
 func (db *DB) AddSample(p *vtime.Proc, s PerfSample) error {
 	db.charge(p, model.Write)
+	if ok, err := db.replicate(p, recAddSample, s); ok {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.journalLocked(recAddSample, s); err != nil {
@@ -343,6 +365,9 @@ func (db *DB) AddSample(p *vtime.Proc, s PerfSample) error {
 // disagree with the arguments are rewritten to match.
 func (db *DB) ReplaceSamples(p *vtime.Proc, resource, op string, samples []PerfSample) error {
 	db.charge(p, model.Write)
+	if ok, err := db.replicate(p, recReplaceSamples, replacePayload{Resource: resource, Op: op, Samples: samples}); ok {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.journalLocked(recReplaceSamples, replacePayload{Resource: resource, Op: op, Samples: samples}); err != nil {
@@ -396,6 +421,9 @@ func (db *DB) Samples(p *vtime.Proc, resource, op string) []PerfSample {
 // SetConstant inserts or replaces an eq. (1) constant.
 func (db *DB) SetConstant(p *vtime.Proc, c PerfConstant) error {
 	db.charge(p, model.Write)
+	if ok, err := db.replicate(p, recSetConstant, c); ok {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.journalLocked(recSetConstant, c); err != nil {

@@ -645,6 +645,20 @@ func (s *Scheduler) Resume() {
 	s.grantLocked()
 }
 
+// SetMaxQueuedBytes re-leases the global queued-bytes budget at
+// runtime.  A cluster leader uses this to hand each broker its share
+// of the cluster-wide admission budget; 0 removes the bound.  Already
+// queued requests are not re-evaluated — the new bound applies to the
+// next admission decision.
+func (s *Scheduler) SetMaxQueuedBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.MaxQueuedBytes = n
+}
+
 // QueueDepth returns the number of queued (not yet granted) requests.
 func (s *Scheduler) QueueDepth() int {
 	s.mu.Lock()

@@ -328,3 +328,42 @@ func TestConfigValidation(t *testing.T) {
 		t.Errorf("zero config: %v", err)
 	}
 }
+
+// TestSetMaxQueuedBytes re-leases the global admission budget at
+// runtime, the knob a cluster leader turns when shard ownership (and
+// with it each broker's budget share) moves.
+func TestSetMaxQueuedBytes(t *testing.T) {
+	sim := vtime.NewVirtual()
+	s, err := New(Config{MaxInFlight: 1, MaxQueuedBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Pause()
+
+	var mu sync.Mutex
+	var order []string
+	wg := fill(t, s, sim, "a", []string{"seed"}, &order, &mu)
+
+	// Under the original 1000-byte budget an 800-byte request fits.
+	// Shrink the lease and the same request is shed.
+	s.SetMaxQueuedBytes(100)
+	err = s.Do(sim.NewProc("b"), Request{Tenant: "b", Op: "write", Bytes: 800}, func() error { return nil })
+	if err == nil {
+		t.Fatal("shrunk budget admitted an over-budget request")
+	}
+	checkOverload(t, err, "b")
+
+	// Grow the lease back and the request is admitted.
+	s.SetMaxQueuedBytes(2000)
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Do(sim.NewProc("b2"), Request{Tenant: "b", Op: "write", Bytes: 800}, func() error { return nil })
+	}()
+	waitDepthAbove(t, s, 1)
+	s.Resume()
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("re-grown budget rejected: %v", err)
+	}
+}

@@ -155,6 +155,16 @@ type Client struct {
 	redialAttempts int
 	redialBackoff  time.Duration
 
+	// Cluster routing (WithCluster): broker addresses index-aligned
+	// with cluster node IDs, the shard-map size, and the per-address
+	// sub-clients Connect fans out to.  Counters are atomics.
+	clusterAddrs     []string
+	clusterShards    int
+	clusterRedirects int64
+	clusterFailovers int64
+	subMu            sync.Mutex
+	subs             map[string]*Client
+
 	pidMu   sync.Mutex
 	pids    map[*vtime.Proc]uint64
 	nextPID uint64
@@ -370,11 +380,15 @@ func (c *Client) Close() error {
 	for _, m := range conns {
 		m.fail(fmt.Errorf("srbnet client: %w", storage.ErrClosed))
 	}
+	c.closeSubClients()
 	return nil
 }
 
 // Connect implements storage.Backend.
 func (c *Client) Connect(p *vtime.Proc) (storage.Session, error) {
+	if len(c.clusterAddrs) > 0 {
+		return c.connectCluster(p)
+	}
 	req := getRequest()
 	req.Op = opConnect
 	req.PID = c.pid(p)

@@ -1,0 +1,318 @@
+package srbnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/memfs"
+	"repro/internal/remotedisk"
+	"repro/internal/srb"
+	"repro/internal/storage"
+	"repro/internal/vtime"
+)
+
+// newClusterServers starts n brokers, each with its own backend and a
+// cluster.Node shard router, and returns the cluster plus the client
+// built over all broker addresses.
+func newClusterServers(t *testing.T, sim *vtime.Sim, n, shards int) (*cluster.Cluster, []*Server, *Client) {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{Nodes: n, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, n)
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		broker := srb.NewBroker()
+		be, err := remotedisk.New("sdsc-disk", memfs.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := broker.Register(be); err != nil {
+			t.Fatal(err)
+		}
+		broker.AddUser("shen", "nwu")
+		srv, err := Serve("127.0.0.1:0", broker, sim, WithShardRouter(cl.Node(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetLogf(func(string, ...any) {})
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+		servers[i] = srv
+	}
+	cl.SetAddrs(addrs)
+	c := NewClient(addrs[0], "shen", "nwu", "sdsc-disk", storage.KindRemoteDisk,
+		WithCluster(addrs, shards))
+	t.Cleanup(func() { c.Close() })
+	return cl, servers, c
+}
+
+// pathForShard finds a collection path whose key hashes to the wanted
+// shard.
+func pathForShard(t *testing.T, want, shards int) string {
+	t.Helper()
+	for i := 0; i < 10*shards; i++ {
+		p := fmt.Sprintf("/col%d/file", i)
+		if cluster.ShardOf(cluster.CollectionKey(p), shards) == want {
+			return p
+		}
+	}
+	t.Fatalf("no collection found for shard %d/%d", want, shards)
+	return ""
+}
+
+// runWorkload drives one representative path-op sequence and returns
+// the data read back.
+func runWorkload(t *testing.T, p *vtime.Proc, sess storage.Session) []byte {
+	t.Helper()
+	wf := sess.(storage.WholeFiler)
+	payload := bytes.Repeat([]byte("shard"), 2048)
+	if err := wf.PutFile(p, "astro/run1/chunk0", storage.ModeCreate, payload); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := sess.Stat(p, "astro/run1/chunk0"); err != nil || fi.Size != int64(len(payload)) {
+		t.Fatalf("stat = %+v, %v", fi, err)
+	}
+	if infos, err := sess.List(p, "astro/"); err != nil || len(infos) != 1 {
+		t.Fatalf("list = %d entries, %v", len(infos), err)
+	}
+	got, err := wf.GetFile(p, "astro/run1/chunk0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestSingleBrokerClusterMatchesDirect proves the degenerate case: a
+// one-address cluster session must behave byte-for-byte like the plain
+// client, including identical virtual-time charges.
+func TestSingleBrokerClusterMatchesDirect(t *testing.T) {
+	run := func(clustered bool) (time.Duration, []byte) {
+		sim := vtime.NewVirtual()
+		srv, direct := newServer(t, sim)
+		c := direct
+		if clustered {
+			c = NewClient(srv.Addr(), "shen", "nwu", "sdsc-disk", storage.KindRemoteDisk,
+				WithCluster([]string{srv.Addr()}, 1))
+		}
+		t.Cleanup(func() { c.Close() })
+		p := sim.NewProc("p")
+		sess, err := c.Connect(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := runWorkload(t, p, sess)
+		if err := sess.Close(p); err != nil {
+			t.Fatal(err)
+		}
+		return p.Now(), data
+	}
+	directNow, directData := run(false)
+	clusterNow, clusterData := run(true)
+	if directNow != clusterNow {
+		t.Fatalf("single-broker cluster charged %v, direct client %v", clusterNow, directNow)
+	}
+	if !bytes.Equal(directData, clusterData) {
+		t.Fatal("single-broker cluster returned different data")
+	}
+}
+
+// TestShardsSpreadAcrossBrokers writes one file per shard and expects
+// every broker to end up serving its genesis share with no redirects
+// (the cold route is the genesis assignment).
+func TestShardsSpreadAcrossBrokers(t *testing.T) {
+	sim := vtime.NewVirtual()
+	_, _, c := newClusterServers(t, sim, 3, 6)
+	p := sim.NewProc("p")
+	sess, err := c.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close(p)
+	wf := sess.(storage.WholeFiler)
+	for s := 0; s < 6; s++ {
+		path := pathForShard(t, s, 6)
+		if err := wf.PutFile(p, path, storage.ModeCreate, []byte("x")); err != nil {
+			t.Fatalf("shard %d put: %v", s, err)
+		}
+		if _, err := wf.GetFile(p, path); err != nil {
+			t.Fatalf("shard %d get: %v", s, err)
+		}
+	}
+	if redirects, failovers := c.ClusterStats(); redirects != 0 || failovers != 0 {
+		t.Fatalf("genesis-aligned workload saw %d redirects, %d failovers", redirects, failovers)
+	}
+}
+
+// TestRedirectFollowedAfterRebalance moves shards off a dead broker
+// and expects the client's stale cold route to be corrected by one
+// errWrongShard redirect per shard.
+func TestRedirectFollowedAfterRebalance(t *testing.T) {
+	sim := vtime.NewVirtual()
+	cl, _, c := newClusterServers(t, sim, 3, 6)
+	p := sim.NewProc("p")
+	sess, err := c.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close(p)
+
+	// Take broker 2 out of the cluster (its TCP server stays up — it
+	// must answer with redirects, not silence) and rebalance its
+	// shards onto the survivors.
+	cl.Node(2).Kill()
+	if err := cl.Rebalance(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 2's cold route is broker 2, but the rebalance moved it.
+	path := pathForShard(t, 2, 6)
+	wf := sess.(storage.WholeFiler)
+	if err := wf.PutFile(p, path, storage.ModeCreate, []byte("moved")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wf.GetFile(p, path)
+	if err != nil || string(got) != "moved" {
+		t.Fatalf("read-after-redirect = %q, %v", got, err)
+	}
+	redirects, _ := c.ClusterStats()
+	if redirects == 0 {
+		t.Fatal("stale route was never redirected")
+	}
+	// The redirect was cached: the same shard routes straight to the
+	// owner now.
+	before := redirects
+	if _, err := wf.GetFile(p, path); err != nil {
+		t.Fatal(err)
+	}
+	if after, _ := c.ClusterStats(); after != before {
+		t.Fatalf("cached owner still redirected (%d → %d)", before, after)
+	}
+}
+
+// bounceRouter refuses every path, always naming addr as the owner —
+// the pathological flapping shard map.
+type bounceRouter struct {
+	mu   sync.Mutex
+	addr string
+}
+
+func (b *bounceRouter) Route(time.Duration, string) (string, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.addr, false
+}
+
+// TestRedirectLoopCapped wires a router that redirects every request
+// back to the same broker and expects the typed loop error instead of
+// a spin.
+func TestRedirectLoopCapped(t *testing.T) {
+	sim := vtime.NewVirtual()
+	broker := srb.NewBroker()
+	be, err := remotedisk.New("sdsc-disk", memfs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := broker.Register(be); err != nil {
+		t.Fatal(err)
+	}
+	broker.AddUser("shen", "nwu")
+	bounce := &bounceRouter{}
+	srv, err := Serve("127.0.0.1:0", broker, sim, WithShardRouter(bounce))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogf(func(string, ...any) {})
+	t.Cleanup(func() { srv.Close() })
+	bounce.mu.Lock()
+	bounce.addr = srv.Addr()
+	bounce.mu.Unlock()
+
+	c := NewClient(srv.Addr(), "shen", "nwu", "sdsc-disk", storage.KindRemoteDisk,
+		WithCluster([]string{srv.Addr()}, 1))
+	t.Cleanup(func() { c.Close() })
+	p := sim.NewProc("p")
+	sess, err := c.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close(p)
+	if _, err := sess.Stat(p, "/loop/file"); !errors.Is(err, ErrRedirectLoop) {
+		t.Fatalf("flapping router returned %v, want ErrRedirectLoop", err)
+	}
+}
+
+// TestPlainClientSurfacesWrongShard checks a non-cluster client sees
+// the typed redirect rather than an opaque failure.
+func TestPlainClientSurfacesWrongShard(t *testing.T) {
+	sim := vtime.NewVirtual()
+	_, servers, _ := newClusterServers(t, sim, 3, 6)
+	p := sim.NewProc("p")
+	// Broker 1 does not own shard 0 at genesis.
+	plain := NewClient(servers[1].Addr(), "shen", "nwu", "sdsc-disk", storage.KindRemoteDisk)
+	t.Cleanup(func() { plain.Close() })
+	sess, err := plain.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close(p)
+	_, err = sess.Stat(p, pathForShard(t, 0, 6))
+	if !errors.Is(err, ErrWrongShard) {
+		t.Fatalf("err = %v, want ErrWrongShard", err)
+	}
+	var ws *WrongShardError
+	if !errors.As(err, &ws) || ws.Addr != servers[0].Addr() {
+		t.Fatalf("redirect does not name the owner: %v", err)
+	}
+}
+
+// TestFailoverRotatesToSurvivors kills a broker (process and cluster
+// membership) and expects a call routed at it to back off on the
+// rank's clock, rotate to a survivor, and land once the lease-lapse
+// election has moved the shard.
+func TestFailoverRotatesToSurvivors(t *testing.T) {
+	sim := vtime.NewVirtual()
+	cl, servers, c := newClusterServers(t, sim, 3, 3)
+	p := sim.NewProc("p")
+	sess, err := c.Connect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close(p)
+	wf := sess.(storage.WholeFiler)
+
+	// Warm every broker while the cluster is whole.
+	for s := 0; s < 3; s++ {
+		if err := wf.PutFile(p, pathForShard(t, s, 3), storage.ModeCreate, []byte("pre")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Broker 0 dies for real: TCP listener down AND cluster node dead.
+	// (Leader death: node 0 is the genesis leader.)
+	servers[0].Close()
+	cl.Node(0).Kill()
+
+	path := pathForShard(t, 0, 3)
+	if err := wf.PutFile(p, path, storage.ModeCreate, []byte("post-failover")); err != nil {
+		t.Fatalf("failover put: %v", err)
+	}
+	got, err := wf.GetFile(p, path)
+	if err != nil || string(got) != "post-failover" {
+		t.Fatalf("failover get = %q, %v", got, err)
+	}
+	_, failovers := c.ClusterStats()
+	if failovers == 0 {
+		t.Fatal("no failover was counted")
+	}
+	// The dead broker's shard moved off it.
+	if owner := cl.Ring().Owner(0); owner == 0 {
+		t.Fatal("shard 0 still routed at the dead broker")
+	}
+}

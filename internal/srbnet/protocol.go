@@ -135,7 +135,32 @@ const (
 	errNoResource
 	errOverload
 	errOther
+	// errWrongShard is a cluster redirect: the broker does not own the
+	// path's shard, and ErrMsg carries the owning broker's address.
+	// Appended after errOther so existing wire values are unchanged.
+	errWrongShard
 )
+
+// ErrWrongShard is the sentinel under every shard redirect.
+var ErrWrongShard = errors.New("srbnet: wrong shard")
+
+// WrongShardError is the decoded redirect: the path belongs to the
+// broker at Addr.  The cluster-aware client follows it; a plain client
+// surfaces it, which is itself a readable hint to reconnect with
+// WithCluster.
+type WrongShardError struct{ Addr string }
+
+func (e *WrongShardError) Error() string {
+	return "srbnet: wrong shard (owner " + e.Addr + ")"
+}
+
+func (e *WrongShardError) Unwrap() error { return ErrWrongShard }
+
+// ErrRedirectLoop caps redirect chasing: the cluster session refuses
+// to follow more redirects for one call than the cluster has brokers
+// (plus slack), so a cyclic or flapping shard map fails typed instead
+// of spinning.
+var ErrRedirectLoop = errors.New("srbnet: shard redirect loop")
 
 func encodeErr(err error) (errCode, string) {
 	switch {
@@ -161,6 +186,14 @@ func encodeErr(err error) (errCode, string) {
 		return errAuth, err.Error()
 	case errors.Is(err, srb.ErrNoResource):
 		return errNoResource, err.Error()
+	case errors.Is(err, ErrWrongShard):
+		// The wire message is the owner address, not prose: the
+		// client-side decode rebuilds the typed redirect from it.
+		var ws *WrongShardError
+		if errors.As(err, &ws) {
+			return errWrongShard, ws.Addr
+		}
+		return errWrongShard, ""
 	default:
 		return errOther, err.Error()
 	}
@@ -181,6 +214,8 @@ func decodeErr(code errCode, msg string) error {
 	switch code {
 	case errNone:
 		return nil
+	case errWrongShard:
+		return &WrongShardError{Addr: msg}
 	case errNotExist:
 		sentinel = storage.ErrNotExist
 	case errExist:

@@ -10,6 +10,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/qos"
 	"repro/internal/resilient"
@@ -35,6 +36,7 @@ type Server struct {
 	lis    net.Listener
 	logf   func(format string, args ...any)
 	sched  *qos.Scheduler
+	router ShardRouter
 
 	maxFrame   int
 	chunkBytes int
@@ -66,6 +68,25 @@ type ServerOption func(*Server)
 // requests may still be queued, and share it across servers freely.
 func WithScheduler(sched *qos.Scheduler) ServerOption {
 	return func(s *Server) { s.sched = sched }
+}
+
+// ShardRouter decides whether this broker owns a path's namespace
+// shard.  Route returns ok=true when the path is local; otherwise it
+// returns the owning broker's address, which the server sends back as
+// an errWrongShard redirect.  now is the requesting rank's virtual
+// clock, so a routing miss observed after a leader death can drive the
+// cluster's lease-lapse failover.  cluster.Node implements this.
+type ShardRouter interface {
+	Route(now time.Duration, path string) (addr string, ok bool)
+}
+
+// WithShardRouter attaches cluster shard routing: every path-addressed
+// opcode (open, stat, list, remove, whole-file transfers) is checked
+// against the router before admission, and foreign paths are refused
+// with a redirect naming the owner.  Handle-addressed I/O is not
+// checked — a handle lives on the broker that opened it.
+func WithShardRouter(r ShardRouter) ServerOption {
+	return func(s *Server) { s.router = r }
 }
 
 // WithServerMaxFrame caps the declared body length the server accepts
@@ -477,6 +498,17 @@ func (s *Server) handle(req *request, wc *connWriter) *response {
 	}
 	proc := ss.proc(s.sim, req.PID)
 	proc.AdvanceTo(req.Now)
+	if s.router != nil && pathRouted(req.Op) {
+		if addr, ok := s.router.Route(proc.Now(), req.Path); !ok {
+			// A redirected streamed put still has chunk frames
+			// inbound; consume them so the connection stays framed.
+			drainStream(req.stream)
+			req.stream = nil
+			resp.Err, resp.ErrMsg = encodeErr(&WrongShardError{Addr: addr})
+			resp.Now = proc.Now()
+			return resp
+		}
+	}
 	if s.sched != nil {
 		if q, ok := schedRequest(ss, req); ok {
 			var out *response
@@ -501,6 +533,16 @@ func (s *Server) handle(req *request, wc *connWriter) *response {
 		}
 	}
 	return s.execute(ss, proc, req, resp, wc)
+}
+
+// pathRouted reports whether an opcode addresses the namespace by
+// path and is therefore subject to shard routing.
+func pathRouted(op opCode) bool {
+	switch op {
+	case opOpen, opStat, opList, opRemove, opPutFile, opGetFile:
+		return true
+	}
+	return false
 }
 
 // schedRequest maps a wire request onto a qos.Request.  Only the

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/calib"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dbstore"
 	"repro/internal/device"
@@ -252,6 +253,13 @@ var (
 	// frame declaring more than this many bytes poisons the
 	// connection instead of allocating (default 64 MiB).
 	WithSRBMaxFrame = srbnet.WithMaxFrame
+	// WithSRBCluster makes the client shard-aware over a clustered
+	// broker (`srbd -cluster`): path operations route to the broker
+	// owning the path's collection shard, wrong-shard redirects are
+	// followed and cached, and a dead broker is ridden out by backing
+	// off on the rank's clock until the cluster's lease-lapse
+	// failover moves the shard.
+	WithSRBCluster = srbnet.WithCluster
 )
 
 // SRB server-side wire-v3 knobs, mirrors of the client pair above.
@@ -262,7 +270,20 @@ var (
 	// WithSRBServerMaxFrame caps the server decoder's pre-allocation
 	// from wire-declared lengths (default 64 MiB).
 	WithSRBServerMaxFrame = srbnet.WithServerMaxFrame
+	// WithSRBShardRouter makes the server redirect path operations for
+	// shards it does not own (a BrokerClusterNode is a ShardRouter);
+	// shard-aware clients chase the redirect, plain clients surface it
+	// as ErrSRBWrongShard.
+	WithSRBShardRouter = srbnet.WithShardRouter
 )
+
+// SRBShardRouter decides, per path operation, whether this server owns
+// the path's shard or the caller must be redirected to the owner.
+type SRBShardRouter = srbnet.ShardRouter
+
+// ErrSRBWrongShard is the redirect a non-cluster-aware client sees when
+// it asks a clustered broker for a path another member owns.
+var ErrSRBWrongShard = srbnet.ErrWrongShard
 
 // NewSRBClient returns a backend that reaches a broker resource over
 // TCP.
@@ -529,6 +550,45 @@ func ParseHSMPolicy(s string) (HSMPolicy, error) { return hsm.ParsePolicy(s) }
 
 // FormatHSMPolicy renders a policy back into the flag syntax.
 func FormatHSMPolicy(p HSMPolicy) string { return hsm.FormatPolicy(p) }
+
+// Clustered brokers: N srbd processes presenting one logical broker.
+// A deterministic vtime-driven leader lease orders every meta-data
+// mutation through a replicated log (journal-framed records, followers
+// applying via the replay path, fail-closed on divergent CRC), the
+// namespace is sharded by collection hash, and shard ownership and
+// per-broker admission quotas only change through that log.  This is
+// what `srbd -cluster` runs; pair the client with WithSRBCluster.
+type (
+	// BrokerCluster is the replicated control plane shared by the
+	// member brokers.
+	BrokerCluster = cluster.Cluster
+	// BrokerClusterConfig sizes a cluster: member count, shard count,
+	// lease term and the global admission budgets leased out to
+	// members.
+	BrokerClusterConfig = cluster.Config
+	// BrokerClusterNode is one member's view: its replicated MetaDB,
+	// shard routing (the server-side ShardRouter), and leased budgets.
+	BrokerClusterNode = cluster.Node
+	// BrokerBudgets is one member's leased slice of the cluster-wide
+	// admission budget.
+	BrokerBudgets = cluster.Budgets
+	// ShardRing maps collection-hash shards to owning member IDs.
+	ShardRing = cluster.Ring
+)
+
+// NewBrokerCluster validates cfg and returns a cluster whose nodes'
+// meta-data databases stay byte-identical under the replicated log.
+func NewBrokerCluster(cfg BrokerClusterConfig) (*BrokerCluster, error) { return cluster.New(cfg) }
+
+// ErrNotLeader is returned by mutations sent to a follower or during
+// a failover's fencing window; retry after the lease lapses.
+var ErrNotLeader = cluster.ErrNotLeader
+
+// ClusterShardOf maps a dataset path to its collection-hash shard,
+// matching the routing the servers and WithSRBCluster clients use.
+func ClusterShardOf(path string, shards int) int {
+	return cluster.ShardOf(cluster.CollectionKey(path), shards)
+}
 
 // Workflow-aware prediction: a DAG of application stages whose node
 // costs come from the calibrated predictor.  The graph predicts the
